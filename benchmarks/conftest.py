@@ -1,0 +1,22 @@
+"""Shared fixtures for the paper-table benchmarks."""
+
+import pytest
+
+from repro.bench.suite import SUITE, build_benchmark
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+
+
+@pytest.fixture(scope="session")
+def suite_programs():
+    """All synthetic benchmark programs, parsed once."""
+    return {name: build_benchmark(profile) for name, profile in SUITE.items()}
+
+
+@pytest.fixture(scope="session")
+def suite_results(suite_programs):
+    """Full pipeline results for the whole suite (floats on)."""
+    return {
+        name: analyze_program(program, ICPConfig())
+        for name, program in suite_programs.items()
+    }

@@ -1,0 +1,85 @@
+"""Section 3.2: the back-edge ratio as a flow-insensitiveness dial.
+
+The paper: "The ratio of the number of back edges to the total number of
+edges can be used as a measure of the flow-insensitiveness of our solution.
+When this ratio is zero ... the same results as a flow-sensitive iterative
+solution are achieved.  ...  In the limit that all edges are back edges and
+the ratio is one, the flow-sensitive method achieves the same results as the
+flow-insensitive solution."
+
+We build a family of programs with increasing cycle involvement and check the
+two limits plus monotone degradation in between: constants that require
+flow-sensitive reasoning survive at ratio 0 and are progressively lost as
+call edges become fallback edges.
+"""
+
+from repro.core.driver import analyze_program
+from repro.lang.parser import parse_program
+
+
+def chain_program(cycle_edges: int, chain_length: int = 6) -> str:
+    """A call chain where the last `cycle_edges` procedures loop back.
+
+    Each stage passes a locally computed constant (invisible to FI) plus a
+    counter.  Stages inside the cycle receive their values over fallback
+    edges, so the FI solution (which cannot see local constants) applies.
+    """
+    lines = ["proc main() { call s0(3); }"]
+    for i in range(chain_length):
+        is_cyclic = i >= chain_length - cycle_edges
+        next_proc = f"s{i + 1}" if i + 1 < chain_length else None
+        body = [f"v = {i} + 1;"]
+        if next_proc is not None:
+            body.append(f"call {next_proc}(v + 0);")
+        if is_cyclic:
+            # Loop back to self, guarded by the (varying) parameter.
+            body.append(f"if (p > 0) {{ call s{i}(p - 1); }}")
+        body.append("print(p);")
+        lines.append(f"proc s{i}(p) {{ {' '.join(body)} }}")
+    return "\n".join(lines)
+
+
+def constants_found(source: str) -> int:
+    result = analyze_program(parse_program(source))
+    return len(result.fs.constant_formals())
+
+
+def test_zero_ratio_equals_iterative_fixpoint():
+    result = analyze_program(parse_program(chain_program(0)))
+    assert result.fs.fallback_ratio(result.pcg) == 0.0
+    # Every stage's formal is a flow-sensitively known constant.
+    assert len(result.fs.constant_formals()) == 6
+
+
+def test_ratio_increases_with_cycles():
+    ratios = []
+    for cycle_edges in range(0, 6):
+        result = analyze_program(parse_program(chain_program(cycle_edges)))
+        ratios.append(result.fs.fallback_ratio(result.pcg))
+    assert ratios == sorted(ratios)
+    assert ratios[0] == 0.0 and ratios[-1] > 0.4
+
+
+def test_precision_degrades_monotonically(benchmark):
+    counts = benchmark(
+        lambda: [constants_found(chain_program(k)) for k in range(0, 6)]
+    )
+    print(f"\nconstant formals by cycle count: {counts}")
+    # More fallback edges -> never more constants.
+    for earlier, later in zip(counts, counts[1:]):
+        assert later <= earlier
+    assert counts[0] > counts[-1]
+
+
+def test_full_cycle_matches_fi_solution():
+    # With every non-entry stage on a cycle, the surviving constants are
+    # exactly those the FI solution can justify on the fallback edges.
+    result = analyze_program(parse_program(chain_program(5)))
+    fi_constants = set(result.fi.constant_formals())
+    fs_constants = set(result.fs.constant_formals())
+    # FS may still add constants for procedures whose *incoming* edge is not
+    # a fallback edge (the entry edge), but cyclic stages match FI.
+    cyclic_procs = {f"s{i}" for i in range(1, 6)}
+    fs_cyclic = {k for k in fs_constants if k[0] in cyclic_procs}
+    fi_cyclic = {k for k in fi_constants if k[0] in cyclic_procs}
+    assert fs_cyclic == fi_cyclic

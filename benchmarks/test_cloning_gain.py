@@ -1,0 +1,62 @@
+"""Cloning extension: constants recovered by goal-directed cloning.
+
+Section 5 cites Metzger & Stroud: "goal-directed procedure cloning based on
+constant propagation can substantially increase the number of
+interprocedural constants."  The paper's own Figure 2 reserves a cloning
+step in the backward walk.  This bench quantifies the claim on a workload
+whose procedures are called with conflicting constants: after one cloning
+round, re-running the flow-sensitive ICP finds substantially more constant
+formals.
+"""
+
+from repro.core.cloning import clone_for_constants
+from repro.core.driver import analyze_program
+from repro.lang.parser import parse_program
+
+
+def conflicting_workload(width: int = 10) -> str:
+    """Each kernel is called with two conflicting constant signatures."""
+    lines = ["proc main() {"]
+    for k in range(width):
+        lines.append(f"    call kern{k}({k + 1}, 64);")
+        lines.append(f"    call kern{k}({k + 2}, 64);")
+    lines.append("}")
+    for k in range(width):
+        lines.append(
+            f"proc kern{k}(mode, size) {{ print(mode * size); }}"
+        )
+    return "\n".join(lines)
+
+
+def _clone_and_reanalyze(source: str):
+    result = analyze_program(parse_program(source))
+    cloned = clone_for_constants(result)
+    return result, cloned, analyze_program(cloned.program)
+
+
+def test_cloning_constant_gain(benchmark):
+    source = conflicting_workload()
+    before, cloned, after = benchmark(_clone_and_reanalyze, source)
+
+    base_constants = len(before.fs.constant_formals())
+    after_constants = len(after.fs.constant_formals())
+    print(
+        f"\nconstant formals before cloning: {base_constants}, "
+        f"clones created: {cloned.total_clones}, after: {after_constants}"
+    )
+    # Before: only `size` (64 everywhere) is constant per kernel.
+    assert base_constants == 10
+    assert cloned.total_clones == 10
+    # After: every kernel/clone pair has both formals constant.
+    assert after_constants == 40
+    assert after_constants >= 2 * base_constants
+
+
+def test_cloning_preserves_behaviour():
+    from repro.interp import run_program
+
+    source = conflicting_workload()
+    before, cloned, _ = _clone_and_reanalyze(source)
+    assert run_program(parse_program(source)).outputs == run_program(
+        cloned.program
+    ).outputs

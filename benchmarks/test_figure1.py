@@ -1,0 +1,46 @@
+"""Figure 1: the six-method precision comparison on the paper's example.
+
+Regenerates the table in the paper's introduction and benchmarks the cost of
+the full flow-sensitive pipeline on the example.
+"""
+
+from repro.bench.programs import figure1_program
+from repro.core.driver import analyze_program
+from repro.core.jump_functions import JumpFunctionKind, jump_function_icp
+
+PAPER_FIGURE1 = {
+    "flow-sensitive": {"f1", "f2", "f3", "f4", "f5"},
+    "flow-insensitive": {"f1", "f3", "f4"},
+    JumpFunctionKind.LITERAL: {"f1", "f3"},
+    JumpFunctionKind.INTRA: {"f1", "f3", "f5"},
+    JumpFunctionKind.PASS_THROUGH: {"f1", "f3", "f4", "f5"},
+    JumpFunctionKind.POLYNOMIAL: {"f1", "f3", "f4", "f5"},
+}
+
+
+def _all_methods(program):
+    result = analyze_program(program)
+    found = {
+        "flow-sensitive": {f for _, f in result.fs.constant_formals()},
+        "flow-insensitive": {f for _, f in result.fi.constant_formals()},
+    }
+    for kind in JumpFunctionKind:
+        solution = jump_function_icp(
+            program, result.symbols, result.pcg, kind, result.modref.callsite_mod,
+            assign_aliases=result.aliases.partners,
+        )
+        found[kind] = {f for _, f in solution.constant_formals()}
+    return found
+
+
+def test_figure1_precision_table(benchmark):
+    program = figure1_program()
+    found = benchmark(_all_methods, program)
+    for method, expected in PAPER_FIGURE1.items():
+        assert found[method] == expected, method
+
+
+def test_figure1_pipeline_cost(benchmark):
+    program = figure1_program()
+    result = benchmark(analyze_program, program)
+    assert len(result.fs.constant_formals()) == 5

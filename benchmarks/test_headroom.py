@@ -1,0 +1,96 @@
+"""Dynamic headroom: constants a static method could still win.
+
+The paper closes its results with an observation about untapped potential:
+"at least one benchmark would benefit from the propagation of constant array
+values."  This bench quantifies that headroom empirically: the recording
+interpreter observes every call argument at runtime; an argument whose
+observed value never varies is *dynamically constant* — an upper bound on
+what any sound static method could claim.  The gap between that bound and
+the flow-sensitive solution decomposes into array-valued arguments (the
+paper's observation) and genuinely input-dependent-but-constant values.
+"""
+
+from repro.bench.suite import SUITE, build_benchmark
+from repro.core.driver import analyze_program
+from repro.interp import Recorder, run_program
+from repro.interp.interpreter import MULTIPLE
+from repro.lang import ast
+
+
+def _headroom(program):
+    result = analyze_program(program)
+    recorder = Recorder()
+    run_program(program, max_steps=1_000_000, recorder=recorder)
+
+    dynamically_constant = 0
+    fs_found = 0
+    missed_array = 0
+    missed_other = 0
+
+    for proc in result.pcg.nodes:
+        intra = result.fs.intra.get(proc)
+        for site in result.symbols[proc].call_sites:
+            site_values = (
+                intra.call_sites.get((proc, site.index)) if intra else None
+            )
+            for pos, arg in enumerate(site.args):
+                observed = recorder.call_args.get((proc, site.index, pos))
+                if observed is None or observed is MULTIPLE:
+                    continue
+                dynamically_constant += 1
+                static = (
+                    site_values.arg_values[pos]
+                    if site_values and site_values.executable
+                    else None
+                )
+                if static is not None and static.is_const:
+                    fs_found += 1
+                elif ast.expr_variables(arg) & _array_names(result, proc):
+                    missed_array += 1
+                else:
+                    missed_other += 1
+    return dynamically_constant, fs_found, missed_array, missed_other
+
+
+def _array_names(result, proc):
+    return set(result.symbols[proc].array_names)
+
+
+def test_headroom_on_array_benchmarks(benchmark):
+    program = build_benchmark(SUITE["030.matrix300"])
+    totals = benchmark(_headroom, program)
+    dynamic, fs_found, missed_array, missed_other = totals
+    print(
+        f"\ndynamically constant args: {dynamic}, FS found: {fs_found}, "
+        f"missed (array-valued): {missed_array}, missed (other): {missed_other}"
+    )
+    # The FS method captures the large majority of the dynamic constants...
+    assert fs_found >= 0.5 * dynamic
+    # ...and the array kernels leave exactly the headroom the paper names.
+    assert missed_array >= 2
+
+
+def test_headroom_decomposition_consistent():
+    program = build_benchmark(SUITE["030.matrix300"])
+    dynamic, fs_found, missed_array, missed_other = _headroom(program)
+    assert fs_found + missed_array + missed_other == dynamic
+
+
+def test_fs_never_claims_nonconstant():
+    """The static solution is below the dynamic bound (soundness restated)."""
+    program = build_benchmark(SUITE["094.fpppp"])
+    result = analyze_program(program)
+    recorder = Recorder()
+    run_program(program, max_steps=1_000_000, recorder=recorder)
+    for proc in result.pcg.nodes:
+        intra = result.fs.intra.get(proc)
+        if intra is None or proc not in result.fs.fs_reachable:
+            continue
+        for (caller, index), site_values in intra.call_sites.items():
+            if not site_values.executable:
+                continue
+            for pos, value in enumerate(site_values.arg_values):
+                if not value.is_const:
+                    continue
+                observed = recorder.call_args.get((caller, index, pos))
+                assert observed is None or observed is not MULTIPLE

@@ -1,0 +1,76 @@
+"""Inlining vs interprocedural propagation (paper Section 5, Wegman–Zadeck).
+
+"They describe how to extend their algorithms interprocedurally, by using
+procedure integration ... This extension would capture the effect of return
+constants, but may not be efficient, in practice."
+
+This bench stages the comparison the paper implies: full inlining followed by
+*purely intraprocedural* constant propagation recovers the same substitutions
+as the flow-sensitive ICP on an inlinable workload — but at a measured code
+growth that the ICP avoids entirely.
+"""
+
+from repro.analysis.base import ConservativeEffects
+from repro.analysis.transform import transform_program
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+from repro.core.effects import SummaryEffects
+from repro.core.inlining import inline_calls, statement_count
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+def layered_workload(width: int = 6) -> str:
+    """Constants flowing through two layers of small procedures."""
+    lines = ["proc main() {"]
+    for k in range(width):
+        lines.append(f"    call top{k}({k + 3});")
+    lines.append("}")
+    for k in range(width):
+        lines.append(f"proc top{k}(a) {{ call bot{k}(a * 2, 5); }}")
+        lines.append(f"proc bot{k}(x, y) {{ print(x + y); print(x * y); }}")
+    return "\n".join(lines)
+
+
+def _icp_substitutions(source: str) -> int:
+    result = analyze_program(parse_program(source), ICPConfig(), run_transform=True)
+    return result.transform.total_substitutions
+
+
+def _inline_substitutions(source: str):
+    program = parse_program(source)
+    grown = inline_calls(program, rounds=3)
+    # Purely intraprocedural propagation on the integrated program.
+    symbols = collect_symbols(grown.program)
+    effects = ConservativeEffects(grown.program.global_set())
+    outcome = transform_program(grown.program, symbols, {}, effects)
+    return outcome.total_substitutions, grown
+
+
+def test_inlining_matches_icp_constants(benchmark):
+    source = layered_workload()
+    icp_subs = _icp_substitutions(source)
+    inline_subs, grown = benchmark(_inline_substitutions, source)
+
+    original_size = statement_count(parse_program(source))
+    grown_size = grown.statement_count()
+    print(
+        f"\nICP substitutions: {icp_subs} (program size {original_size}), "
+        f"inline+intra substitutions: {inline_subs} "
+        f"(program size {grown_size}, {grown.inlined_calls} calls inlined)"
+    )
+
+    # Integration recovers the interprocedural constants intraprocedurally.
+    assert inline_subs >= icp_subs > 0
+    # ...at a real code-growth cost the ICP does not pay.
+    assert grown_size > 1.5 * original_size
+
+
+def test_icp_cost_without_growth(benchmark):
+    source = layered_workload()
+    result = benchmark(
+        analyze_program, parse_program(source), ICPConfig(), True
+    )
+    assert statement_count(result.transform.program) == statement_count(
+        parse_program(source)
+    )

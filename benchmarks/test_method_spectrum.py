@@ -1,0 +1,64 @@
+"""The seven-method precision spectrum over the whole suite.
+
+Generalizes the paper's Figure 1 comparison: every implemented method runs
+over every synthetic benchmark, and the per-claim precision orderings that
+define the design space are asserted globally:
+
+    LITERAL ⊆ FI            (FI adds global constants and pass-through)
+    LITERAL ⊆ INTRA ⊆ PASS-THROUGH ⊆ POLYNOMIAL ⊆ FS
+    FI ⊆ FS ⊆ ITERATIVE
+"""
+
+from repro.bench.comparison import (
+    METHOD_ORDER,
+    compare_suite,
+    format_comparison,
+)
+
+CHAINS = [
+    ("literal", "flow-insensitive"),
+    ("literal", "intra"),
+    ("intra", "pass-through"),
+    ("pass-through", "polynomial"),
+    ("polynomial", "flow-sensitive"),
+    ("flow-insensitive", "flow-sensitive"),
+    ("flow-sensitive", "iterative"),
+]
+
+
+def test_method_spectrum(benchmark):
+    rows = benchmark(compare_suite)
+    print()
+    print(format_comparison(rows))
+
+    for row in rows:
+        for weaker, stronger in CHAINS:
+            weak_claims = row.claims[weaker]
+            strong_claims = row.claims[stronger]
+            for key, value in weak_claims.items():
+                assert strong_claims.get(key) == value, (
+                    row.name, weaker, stronger, key,
+                )
+
+    # The spectrum is strict overall: each step of the headline chain adds
+    # constants somewhere in the suite.
+    totals = {m: sum(r.count(m) for r in rows) for m in METHOD_ORDER}
+    assert totals["literal"] < totals["flow-insensitive"]
+    assert totals["polynomial"] < totals["flow-sensitive"]
+    assert totals["flow-insensitive"] < totals["flow-sensitive"]
+    # The suite is acyclic, so iteration buys nothing beyond one pass.
+    assert totals["iterative"] == totals["flow-sensitive"]
+
+
+def test_spectrum_on_recursive_workload():
+    from repro.bench.comparison import compare_methods
+
+    comparison = compare_methods(
+        """
+        proc main() { call f(7, 3); }
+        proc f(p, n) { if (n > 0) { call f(p * 1, n - 1); } print(p); }
+        """,
+        name="recursive",
+    )
+    # On cycles the iterative fixpoint is strictly stronger than one pass.
+    assert comparison.claim_set("flow-sensitive") < comparison.claim_set("iterative")

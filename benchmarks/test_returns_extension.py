@@ -1,0 +1,64 @@
+"""Section 3.2 extension ablation: propagating returned constants.
+
+The paper describes (but did not complete) an extension that propagates
+returned constants via one extra reverse traversal.  This bench measures what
+the extension buys on a return-heavy workload: additional constant formals
+and additional substitutions, at the cost of a second intraprocedural
+analysis per procedure.
+"""
+
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+from repro.lang.parser import parse_program
+
+
+def return_heavy_program(width: int = 8) -> str:
+    """`width` constant-returning helpers feeding downstream call sites."""
+    lines = ["proc main() {"]
+    for k in range(width):
+        lines.append(f"    x{k} = get{k}();")
+        lines.append(f"    call use{k}(x{k});")
+    lines.append("}")
+    for k in range(width):
+        lines.append(f"proc get{k}() {{ return {k * 3 + 1}; }}")
+        lines.append(f"proc use{k}(v) {{ print(v * 2); }}")
+    return "\n".join(lines)
+
+
+def test_returns_extension_gain(benchmark):
+    program_text = return_heavy_program()
+
+    def run_both():
+        base = analyze_program(
+            parse_program(program_text), ICPConfig(), run_transform=True
+        )
+        extended = analyze_program(
+            parse_program(program_text),
+            ICPConfig(propagate_returns=True),
+            run_transform=True,
+        )
+        return base, extended
+
+    base, extended = benchmark(run_both)
+
+    base_formals = len(base.fs.constant_formals())
+    # Forward-only: the x{k} values are call results, hence unknown.
+    assert base_formals == 0
+    assert base.transform.total_substitutions == 0
+
+    # With returns: every helper's constant return reaches its use site.
+    assert len(extended.returns.constant_returns()) == 8
+    assert extended.transform.total_substitutions >= 8
+
+    print(
+        f"\nsubstitutions without returns: {base.transform.total_substitutions}, "
+        f"with returns: {extended.transform.total_substitutions}"
+    )
+
+
+def test_returns_cost(benchmark):
+    """The extension's cost: one extra reverse traversal (~2x analysis)."""
+    program = parse_program(return_heavy_program(12))
+    config = ICPConfig(propagate_returns=True)
+    result = benchmark(analyze_program, program, config)
+    assert "returns" in result.timings

@@ -1,0 +1,60 @@
+"""Robustness of the synthetic-suite calibration under scaling.
+
+The analog benchmarks are built from patterns with known per-instance metric
+contributions, so every *ratio* the paper's tables report (IMM%, FI%, FS%,
+visible-global fraction) must be invariant when the whole program is scaled
+up.  This guards the calibration itself: if a pattern leaked cross-instance
+effects (shared globals, colliding names), scaling would distort the ratios
+and this bench would catch it.
+"""
+
+import pytest
+
+from repro.bench.suite import SUITE, build_benchmark
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+from repro.core.metrics import call_site_candidates, propagated_constants
+
+SCALED = ("013.spice2g6", "039.wave5", "030.matrix300")
+
+
+def metrics_at_scale(name: str, scale: int):
+    config = ICPConfig()
+    program = build_benchmark(SUITE[name], scale=scale)
+    result = analyze_program(program, config)
+    t1 = call_site_candidates(
+        name, program, result.symbols, result.pcg, result.modref,
+        result.fi, result.fs, config,
+    )
+    t2 = propagated_constants(
+        name, program, result.symbols, result.pcg, result.modref,
+        result.fi, result.fs, config,
+    )
+    return t1, t2
+
+
+@pytest.mark.parametrize("name", SCALED)
+def test_counts_scale_linearly(name):
+    base_t1, base_t2 = metrics_at_scale(name, 1)
+    big_t1, big_t2 = metrics_at_scale(name, 3)
+    assert big_t1.total_args == 3 * base_t1.total_args
+    assert big_t1.imm_args == 3 * base_t1.imm_args
+    assert big_t1.fi_args == 3 * base_t1.fi_args
+    assert big_t1.fs_args == 3 * base_t1.fs_args
+    assert big_t1.fs_globals_at_sites == 3 * base_t1.fs_globals_at_sites
+    assert big_t2.fi_formals == 3 * base_t2.fi_formals
+    assert big_t2.fs_formals == 3 * base_t2.fs_formals
+
+
+@pytest.mark.parametrize("name", SCALED)
+def test_ratios_invariant(name):
+    base_t1, _ = metrics_at_scale(name, 1)
+    big_t1, _ = metrics_at_scale(name, 3)
+    assert big_t1.imm_pct == pytest.approx(base_t1.imm_pct)
+    assert big_t1.fs_pct == pytest.approx(base_t1.fs_pct)
+
+
+def test_scaled_analysis_cost(benchmark):
+    program = build_benchmark(SUITE["013.spice2g6"], scale=3)
+    result = benchmark(analyze_program, program)
+    assert len(result.pcg.nodes) > 300

@@ -1,0 +1,54 @@
+"""Scalability: one flow-sensitive analysis per procedure, by construction.
+
+The paper's complexity argument is that the method performs exactly one
+flow-sensitive intraprocedural analysis per procedure (no PCG iteration).
+This bench grows generated programs and checks that (a) the number of
+engine invocations equals the number of reachable procedures and (b) analysis
+time grows roughly linearly with program size (procedures), not
+quadratically.
+"""
+
+import time
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+
+
+def _program_of_size(n_procs: int):
+    config = GeneratorConfig(n_procs=n_procs, max_stmts=6, p_call=0.35)
+    return generate_program(42, config)
+
+
+def test_one_analysis_per_procedure():
+    program = _program_of_size(12)
+    result = analyze_program(program)
+    # One IntraResult per reachable procedure: no iteration.
+    assert set(result.fs.intra) == set(result.pcg.nodes)
+
+
+def test_analysis_cost_mid(benchmark):
+    program = _program_of_size(20)
+    benchmark(analyze_program, program)
+
+
+def test_analysis_cost_large(benchmark):
+    program = _program_of_size(60)
+    benchmark(analyze_program, program)
+
+
+def test_roughly_linear_scaling():
+    def measure(n_procs: int) -> float:
+        program = _program_of_size(n_procs)
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            analyze_program(program, ICPConfig())
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    small = measure(10)
+    large = measure(80)
+    print(f"\n10 procs: {small * 1e3:.1f} ms, 80 procs: {large * 1e3:.1f} ms")
+    # 8x the procedures should cost well under 64x (quadratic) the time.
+    assert large < 40 * max(small, 1e-4)

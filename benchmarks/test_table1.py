@@ -1,0 +1,52 @@
+"""Table 1: interprocedural call-site constant candidates.
+
+Regenerates the table over the synthetic suite and asserts the paper's
+qualitative claims:
+
+- the FI argument count matches IMM except for pass-through-of-immediate
+  effects (only WAVE5, +2 in the paper);
+- the FS method finds additional constant arguments in six benchmarks
+  (SPICE2G6, DODUC, MATRIX300, WAVE5, NASA7, FPPPP) and exactly matches FI in
+  the rest;
+- the global call-site counts satisfy VIS <= FS, with invisible constants
+  present where the paper reports them.
+"""
+
+from repro.bench.tables import format_table1, table1_rows
+
+PAPER_FS_WINNERS = {
+    "013.spice2g6", "015.doduc", "030.matrix300",
+    "039.wave5", "093.nasa7", "094.fpppp",
+}
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    print()
+    print(format_table1(rows, "Table 1: call-site constant candidates"))
+
+    by_name = {row.name: row.measured for row in rows}
+
+    for name, m in by_name.items():
+        assert m.fs_args >= m.fi_args >= m.imm_args, name
+        assert m.vis_globals_at_sites <= m.fs_globals_at_sites, name
+        if name in PAPER_FS_WINNERS:
+            assert m.fs_args > m.fi_args, name
+        else:
+            assert m.fs_args == m.fi_args, name
+
+    # WAVE5 is the only benchmark where FI args exceed IMM (paper: +2).
+    for name, m in by_name.items():
+        if name == "039.wave5":
+            assert m.fi_args == m.imm_args + 2
+        else:
+            assert m.fi_args == m.imm_args, name
+
+    # Overall: FS exceeds FI by a meaningful margin (paper: +24% relative).
+    total_fi = sum(m.fi_args for m in by_name.values())
+    total_fs = sum(m.fs_args for m in by_name.values())
+    assert total_fs > 1.1 * total_fi
+
+    # Invisible globals exist (paper: FS 533 vs VIS 302 on SPICE2G6).
+    spice = by_name["013.spice2g6"]
+    assert spice.fs_globals_at_sites > spice.vis_globals_at_sites > 0

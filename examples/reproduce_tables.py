@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate every table of the paper's evaluation section.
+
+Runs the full pipeline over the synthetic SPEC-analog suite and prints
+Tables 1-5 with the paper's reported numbers side by side, plus the Section 4
+compile-time comparison.  Workloads are synthetic (see DESIGN.md), so
+absolute numbers differ; the qualitative relations the paper's prose states
+are checked by the assertions in benchmarks/.
+
+Run:  python examples/reproduce_tables.py
+"""
+
+from repro.bench import tables
+
+
+def main() -> None:
+    print(tables.format_table1(tables.table1_rows(), "Table 1: call-site constant candidates"))
+    print()
+    print(tables.format_table2(tables.table2_rows(), "Table 2: interprocedurally propagated constants"))
+    print()
+    print(tables.format_table1(tables.table3_rows(), "Table 3: candidates, GT subset (floats off)"))
+    print()
+    print(tables.format_table2(tables.table4_rows(), "Table 4: propagated, GT subset (floats off)"))
+    print()
+    print(tables.format_table5(tables.table5_rows()))
+    print()
+
+    rows = tables.timing_rows()
+    print("Section 4 timing: FS analysis-phase increase over FI (paper: ~1.5x)")
+    for row in rows:
+        print(
+            f"  {row.name:<16} base {row.base_seconds * 1e3:7.2f} ms   "
+            f"FI {row.fi_seconds * 1e3:6.2f} ms   FS {row.fs_seconds * 1e3:6.2f} ms   "
+            f"increase {row.analysis_increase:.2f}x"
+        )
+    mean = sum(r.analysis_increase for r in rows) / len(rows)
+    print(f"  mean increase: {mean:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs `wheel` for PEP 660 editable
+installs; this shim lets `python setup.py develop` work offline instead.
+Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Flow-sensitive interprocedural constant propagation (Carini & Hind, PLDI 1995).
+
+This package is a full, from-scratch reproduction of the paper's system:
+
+- :mod:`repro.lang` — the MiniF language frontend (a Fortran-semantics mini
+  language: by-reference parameters, ``global`` variables, ``init`` blocks).
+- :mod:`repro.ir` — CFG, dominators, SSA form, and the constant lattice.
+- :mod:`repro.analysis` — Wegman–Zadeck sparse conditional constant propagation
+  and the constant-substitution transformation.
+- :mod:`repro.callgraph` — the program call graph (PCG).
+- :mod:`repro.summary` — interprocedural alias, MOD/REF and USE summaries.
+- :mod:`repro.core` — the paper's contribution: flow-insensitive (Figure 3) and
+  flow-sensitive (Figure 4) interprocedural constant propagation, the
+  jump-function baselines, the metrics of Section 4, and the Figure 2 driver.
+- :mod:`repro.interp` — a reference interpreter used to validate soundness.
+- :mod:`repro.bench` — paper programs, workload generator, and table harness.
+
+Quickstart::
+
+    from repro import analyze_program
+    report = analyze_program(source_text)
+    print(report.summary())
+"""
+
+from repro.core.driver import CompilationPipeline, analyze_program
+from repro.core.config import ICPConfig
+from repro.lang.parser import parse_program
+
+__all__ = [
+    "CompilationPipeline",
+    "ICPConfig",
+    "analyze_program",
+    "parse_program",
+]
+
+__version__ = "1.0.0"

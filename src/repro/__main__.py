@@ -1,0 +1,8 @@
+"""``python -m repro`` — alias for the ``repro-icp`` command line."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Intraprocedural analyses: constant propagation engines and transforms."""
+
+from repro.analysis.base import (
+    CallEffects,
+    CallSiteValues,
+    ConservativeEffects,
+    IntraEngine,
+    IntraResult,
+)
+from repro.analysis.scc import SCCEngine
+from repro.analysis.simple import SimpleEngine
+from repro.analysis.liveness import upward_exposed
+from repro.analysis.transform import TransformResult, transform_program
+
+__all__ = [
+    "CallEffects",
+    "CallSiteValues",
+    "ConservativeEffects",
+    "IntraEngine",
+    "IntraResult",
+    "SCCEngine",
+    "SimpleEngine",
+    "TransformResult",
+    "transform_program",
+    "upward_exposed",
+]

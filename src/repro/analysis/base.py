@@ -1,0 +1,150 @@
+"""Shared interfaces for intraprocedural constant propagation engines.
+
+The paper stresses that its flow-sensitive ICP "can use any flow-sensitive
+intraprocedural constant propagation method"; this module defines the
+engine-neutral contract.  An engine consumes a procedure, an *entry
+environment* (lattice values for formals and globals at procedure entry), and
+a :class:`CallEffects` oracle describing what each call site may do, and
+produces an :class:`IntraResult`: the lattice value of every argument and
+every relevant global at every call site, plus the procedure's return value.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.lattice import BOTTOM, TOP, LatticeValue
+from repro.lang import ast
+from repro.lang.symbols import CallSite, ProcedureSymbols
+
+#: Program-wide call site key: (caller name, call site index).
+SiteKey = Tuple[str, int]
+
+
+def site_key(site: CallSite) -> SiteKey:
+    return (site.caller, site.index)
+
+
+@dataclass
+class CallSiteValues:
+    """Constant facts observed at one call site by an intraprocedural run."""
+
+    site: CallSite
+    #: False when the propagator proved the call site unreachable.
+    executable: bool
+    #: Lattice value of each argument expression at the call.
+    arg_values: List[LatticeValue]
+    #: Lattice value of each *recorded* global just before the call.
+    global_values: Dict[str, LatticeValue]
+
+
+class CallEffects(abc.ABC):
+    """Oracle describing the interprocedural side effects of call sites.
+
+    The flow-sensitive ICP instantiates this from MOD/REF/alias summaries;
+    standalone intraprocedural runs use :class:`ConservativeEffects`.
+    """
+
+    @abc.abstractmethod
+    def modified_vars(self, site: CallSite) -> Set[str]:
+        """Caller variables the call may modify (excluding the result target)."""
+
+    @abc.abstractmethod
+    def recorded_globals(self, site: CallSite) -> Set[str]:
+        """Globals whose value should be recorded at this call site."""
+
+    def return_value(self, site: CallSite) -> LatticeValue:
+        """Lattice value of the call's return (BOTTOM unless returns are propagated)."""
+        return BOTTOM
+
+    def modified_value(self, site: CallSite, var: str) -> LatticeValue:
+        """Lattice value of a call-modified variable *after* the call.
+
+        BOTTOM unless the exit-value extension supplies the callee's known
+        constant exit value for the bound variable.
+        """
+        return BOTTOM
+
+    def assign_extra_defs(self, proc: str, target: str) -> Set[str]:
+        """Alias partners also (maybe) modified when ``target`` is assigned."""
+        return set()
+
+
+class ConservativeEffects(CallEffects):
+    """Worst-case effects: every call may modify every global and every
+    bare-variable argument, and may reference every global."""
+
+    def __init__(self, global_names: Set[str]):
+        self._globals = set(global_names)
+
+    def modified_vars(self, site: CallSite) -> Set[str]:
+        modified = set(self._globals)
+        for arg in site.args:
+            if isinstance(arg, ast.Var):
+                modified.add(arg.name)
+        return modified
+
+    def recorded_globals(self, site: CallSite) -> Set[str]:
+        return set(self._globals)
+
+
+@dataclass
+class IntraResult:
+    """The outcome of one intraprocedural constant propagation run."""
+
+    proc_name: str
+    engine: str
+    call_sites: Dict[SiteKey, CallSiteValues]
+    return_value: LatticeValue
+    #: Engine detail used by the transformation pass (SCC engine only).
+    detail: Optional[object] = field(default=None, repr=False)
+    #: Lattice value of each requested variable at procedure exit
+    #: (meet over executable return points); None when not requested.
+    exit_values: Optional[Dict[str, LatticeValue]] = None
+
+    def site_values(self, site: CallSite) -> CallSiteValues:
+        return self.call_sites[site_key(site)]
+
+
+class IntraEngine(abc.ABC):
+    """A flow-sensitive intraprocedural constant propagation method."""
+
+    #: Short engine name used in configs and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def analyze(
+        self,
+        proc: ast.Procedure,
+        symbols: ProcedureSymbols,
+        entry_env: Dict[str, LatticeValue],
+        effects: CallEffects,
+        record_exit_vars: Optional[Set[str]] = None,
+    ) -> IntraResult:
+        """Propagate constants through ``proc`` given entry values and effects.
+
+        :param record_exit_vars: variables whose lattice value at procedure
+            exit should be computed (the Section 3.2 exit-value extension);
+            engines that cannot provide exit values may ignore this.
+        """
+
+
+def entry_value(
+    entry_env: Dict[str, LatticeValue],
+    symbols: ProcedureSymbols,
+    var: str,
+    optimistic_uninitialized: bool = False,
+) -> LatticeValue:
+    """Initial lattice value of ``var`` at procedure entry.
+
+    Formals and globals default to BOTTOM when the caller supplied no fact;
+    locals are uninitialized (BOTTOM by default; TOP when the optimistic
+    treatment of uninitialized variables is requested).
+    """
+    if var in entry_env:
+        return entry_env[var]
+    if symbols.kind_of(var) == "local":
+        return TOP if optimistic_uninitialized else BOTTOM
+    return BOTTOM

@@ -1,0 +1,193 @@
+"""Dead-assignment elimination (the cleanup half of the backward walk).
+
+After constant substitution, assignments like ``x = 3`` whose value was
+propagated into every use become dead; this pass removes them using a
+per-instruction backward liveness analysis.
+
+Safety rules:
+
+- only *local* variables are candidates — globals are visible to other
+  procedures and formals are by-reference (a store through a formal writes
+  the caller's variable);
+- right-hand sides in MiniF are side-effect free by construction (calls are
+  statements), so removing a dead assignment can only remove work;
+- statements in unreachable code are left untouched (nothing reads them, but
+  nothing executes them either — the transform pass handles pruning).
+
+The pass iterates to a fixpoint: removing ``x = y`` may render ``y``'s own
+definition dead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.ir.builder import build_cfg
+from repro.ir.cfg import ArrayStoreInstr, AssignInstr, CallInstr, PrintInstr
+from repro.ir.ssa import instr_use_vars
+from repro.lang import ast
+from repro.lang.symbols import CallSite, ProcedureSymbols, collect_symbols
+
+
+@dataclass
+class DCEResult:
+    """Outcome of dead-assignment elimination."""
+
+    program: ast.Program
+    removed: int = 0
+
+
+def eliminate_dead_assignments(
+    program: ast.Program,
+    call_uses: Optional[Callable[[CallSite], Set[str]]] = None,
+    max_rounds: int = 10,
+) -> DCEResult:
+    """Remove assignments to locals that are never subsequently read.
+
+    :param call_uses: caller variables a call may read (e.g. a bound
+        ``ModRefInfo.callsite_ref``); defaults to the safe assumption that a
+        call reads every argument variable and every global.
+    """
+    globals_set = set(program.global_names)
+    if call_uses is None:
+        def call_uses(site: CallSite) -> Set[str]:  # noqa: F811
+            used = set(globals_set)
+            for arg in site.args:
+                used.update(ast.expr_variables(arg))
+            return used
+
+    total_removed = 0
+    current = program
+    for _ in range(max(1, max_rounds)):
+        current, removed = _one_round(current, call_uses)
+        total_removed += removed
+        if removed == 0:
+            break
+    return DCEResult(program=current, removed=total_removed)
+
+
+def _one_round(program: ast.Program, call_uses) -> "tuple[ast.Program, int]":
+    symbols = collect_symbols(program)
+    dead_ids: Set[int] = set()
+    for proc in program.procedures:
+        dead_ids.update(_dead_assignments(proc, symbols[proc.name], call_uses))
+    if not dead_ids:
+        return program, 0
+    new_procs = [
+        ast.Procedure(
+            proc.name, list(proc.formals), _strip(proc.body, dead_ids), proc.pos
+        )
+        for proc in program.procedures
+    ]
+    new_program = ast.Program(
+        list(program.global_names),
+        [ast.GlobalInit(e.name, e.value, e.pos) for e in program.inits],
+        new_procs,
+    )
+    return new_program, len(dead_ids)
+
+
+def _dead_assignments(
+    proc: ast.Procedure,
+    proc_symbols: ProcedureSymbols,
+    call_uses,
+) -> Set[int]:
+    """ids of Assign statements to locals that are dead in ``proc``."""
+    build = build_cfg(proc, proc_symbols)
+    cfg = build.cfg
+    rpo = cfg.reachable_ids()
+    reachable = set(rpo)
+
+    # Block-level liveness fixpoint (may-read-later).
+    live_in: Dict[int, Set[str]] = {b: set() for b in rpo}
+    changed = True
+    while changed:
+        changed = False
+        for block_id in reversed(rpo):
+            live = set()
+            for succ in cfg.blocks[block_id].succs:
+                if succ in reachable:
+                    live |= live_in[succ]
+            live = _through_block(cfg.blocks[block_id], live, call_uses)
+            if live != live_in[block_id]:
+                live_in[block_id] = live
+                changed = True
+
+    # Per-instruction pass marking dead local assignments.
+    dead: Set[int] = set()
+    for block_id in rpo:
+        block = cfg.blocks[block_id]
+        live = set()
+        for succ in block.succs:
+            if succ in reachable:
+                live |= live_in[succ]
+        if block.terminator is not None:
+            live |= instr_use_vars(block.terminator)
+        for instr in reversed(block.instrs):
+            if isinstance(instr, AssignInstr):
+                target_kind = proc_symbols.kind_of(instr.target)
+                if target_kind == "local" and instr.target not in live:
+                    if instr.stmt is not None:
+                        dead.add(id(instr.stmt))
+                    continue  # a dead store: contributes no uses
+                live.discard(instr.target)
+                live |= instr_use_vars(instr)
+            elif isinstance(instr, ArrayStoreInstr):
+                # Never removed (may-def, possibly aliased); keeps the array
+                # and its operands live.
+                live.add(instr.target)
+                live |= instr_use_vars(instr)
+            elif isinstance(instr, CallInstr):
+                if instr.target is not None:
+                    live.discard(instr.target)
+                live |= call_uses(instr.site)
+            elif isinstance(instr, PrintInstr):
+                live |= instr_use_vars(instr)
+    return dead
+
+
+def _through_block(block, live_out: Set[str], call_uses) -> Set[str]:
+    """Transfer a block backwards for the block-level fixpoint."""
+    live = set(live_out)
+    if block.terminator is not None:
+        live |= instr_use_vars(block.terminator)
+    for instr in reversed(block.instrs):
+        if isinstance(instr, AssignInstr):
+            live.discard(instr.target)
+            live |= instr_use_vars(instr)
+        elif isinstance(instr, ArrayStoreInstr):
+            live.add(instr.target)
+            live |= instr_use_vars(instr)
+        elif isinstance(instr, CallInstr):
+            if instr.target is not None:
+                live.discard(instr.target)
+            live |= call_uses(instr.site)
+        elif isinstance(instr, PrintInstr):
+            live |= instr_use_vars(instr)
+    return live
+
+
+def _strip(block: ast.Block, dead_ids: Set[int]) -> ast.Block:
+    stmts: List[ast.Stmt] = []
+    for stmt in block.stmts:
+        if id(stmt) in dead_ids:
+            continue
+        if isinstance(stmt, ast.Block):
+            stmts.append(_strip(stmt, dead_ids))
+        elif isinstance(stmt, ast.If):
+            stmts.append(
+                ast.If(
+                    stmt.cond,
+                    _strip(stmt.then_block, dead_ids),
+                    _strip(stmt.else_block, dead_ids)
+                    if stmt.else_block is not None
+                    else None,
+                    stmt.pos,
+                )
+            )
+        elif isinstance(stmt, ast.While):
+            stmts.append(ast.While(stmt.cond, _strip(stmt.body, dead_ids), stmt.pos))
+        else:
+            stmts.append(stmt)
+    return ast.Block(stmts, block.pos)

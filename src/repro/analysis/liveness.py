@@ -1,0 +1,82 @@
+"""Upward-exposed-use computation (the intraprocedural half of USE).
+
+A variable is *upward exposed* in a procedure if some path from entry may read
+it before any definition.  The paper computes flow-sensitive procedure USE
+information with the same one-pass PCG scheme as the constant propagation (REF
+for back edges); :mod:`repro.summary.use` supplies the interprocedural part and
+calls into this module per procedure.
+
+Kill sets contain only *must* definitions (direct assignment targets and call
+result targets); may-definitions from call MOD effects or alias partners never
+kill, so the analysis stays conservative (a may-modified variable can still be
+read-before-write on the path where the call does not modify it).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+from repro.ir.cfg import ArrayStoreInstr, AssignInstr, CallInstr, CFG, PrintInstr
+from repro.ir.ssa import instr_use_vars
+from repro.lang.symbols import CallSite
+
+
+def upward_exposed(
+    cfg: CFG,
+    call_uses: Callable[[CallSite], Set[str]],
+    *,
+    include_print: bool = True,
+) -> Set[str]:
+    """Variables that may be read before being written in ``cfg``.
+
+    :param call_uses: maps a call site to the caller-variable names the call
+        may read (argument-expression variables plus bound-through uses; the
+        interprocedural USE pass supplies this from callee summaries).
+    """
+    rpo = cfg.reachable_ids()
+    reachable = set(rpo)
+
+    gen: Dict[int, Set[str]] = {}
+    kill: Dict[int, Set[str]] = {}
+    for block_id in rpo:
+        block = cfg.blocks[block_id]
+        block_gen: Set[str] = set()
+        block_kill: Set[str] = set()
+
+        def expose(names: Set[str]) -> None:
+            block_gen.update(names - block_kill)
+
+        for instr in block.instrs:
+            if isinstance(instr, AssignInstr):
+                expose(instr_use_vars(instr))
+                block_kill.add(instr.target)
+            elif isinstance(instr, ArrayStoreInstr):
+                # An element store is a may-def: it never kills the array.
+                expose(instr_use_vars(instr))
+            elif isinstance(instr, CallInstr):
+                expose(call_uses(instr.site))
+                if instr.target is not None:
+                    block_kill.add(instr.target)
+            elif isinstance(instr, PrintInstr):
+                if include_print:
+                    expose(instr_use_vars(instr))
+        term = block.terminator
+        if term is not None:
+            expose(instr_use_vars(term))
+        gen[block_id] = block_gen
+        kill[block_id] = block_kill
+
+    live_in: Dict[int, Set[str]] = {block_id: set(gen[block_id]) for block_id in rpo}
+    changed = True
+    while changed:
+        changed = False
+        for block_id in reversed(rpo):
+            live_out: Set[str] = set()
+            for succ_id in cfg.blocks[block_id].succs:
+                if succ_id in reachable:
+                    live_out.update(live_in[succ_id])
+            new_in = gen[block_id] | (live_out - kill[block_id])
+            if new_in != live_in[block_id]:
+                live_in[block_id] = new_in
+                changed = True
+    return live_in[cfg.entry_id]

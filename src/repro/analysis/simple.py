@@ -1,0 +1,180 @@
+"""A plain iterative (Kildall-style) constant propagator.
+
+Flow-sensitive but *not* conditional: every CFG edge is assumed executable, so
+no unreachable code is discarded.  Exists for two reasons:
+
+1. Differential testing — SCC must find a superset of the constants this
+   engine finds (asserted by property tests).
+2. The paper notes its flow-sensitive ICP can use *any* flow-sensitive
+   intraprocedural method; plugging this engine into the ICP gives the
+   ablation measured in ``benchmarks/bench_engine_ablation.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.base import (
+    CallEffects,
+    CallSiteValues,
+    IntraEngine,
+    IntraResult,
+    entry_value,
+    site_key,
+)
+from repro.ir.builder import build_cfg
+from repro.ir.cfg import ArrayStoreInstr, AssignInstr, CallInstr, Ret
+from repro.ir.eval import evaluate_expr
+from repro.ir.lattice import BOTTOM, TOP, LatticeValue, meet_all
+from repro.ir.ssa import instr_use_vars
+from repro.lang.symbols import ProcedureSymbols
+
+Env = Dict[str, LatticeValue]
+
+
+class SimpleEngine(IntraEngine):
+    """Dense iterative constant propagation without branch pruning."""
+
+    name = "simple"
+
+    def __init__(self, optimistic_uninitialized: bool = False):
+        self._optimistic_uninitialized = optimistic_uninitialized
+
+    def analyze(
+        self,
+        proc: ast.Procedure,
+        symbols: ProcedureSymbols,
+        entry_env: Dict[str, LatticeValue],
+        effects: CallEffects,
+        record_exit_vars=None,
+    ) -> IntraResult:
+        # record_exit_vars is accepted for interface parity; the dense
+        # engine does not provide exit values (callers fall back to BOTTOM).
+        build = build_cfg(proc, symbols)
+        cfg = build.cfg
+
+        variables = set()
+        for block in cfg.blocks:
+            for instr in block.instrs:
+                variables.update(instr_use_vars(instr))
+                if isinstance(instr, (AssignInstr, ArrayStoreInstr)):
+                    variables.add(instr.target)
+                elif isinstance(instr, CallInstr):
+                    if instr.target is not None:
+                        variables.add(instr.target)
+                    variables.update(effects.modified_vars(instr.site))
+                    variables.update(effects.recorded_globals(instr.site))
+            if block.terminator is not None:
+                variables.update(instr_use_vars(block.terminator))
+
+        entry_in: Env = {
+            var: entry_value(
+                entry_env, symbols, var, self._optimistic_uninitialized
+            )
+            for var in variables
+        }
+
+        rpo = cfg.reachable_ids()
+        reachable = set(rpo)
+        in_envs: Dict[int, Env] = {b: {v: TOP for v in variables} for b in rpo}
+        in_envs[cfg.entry_id] = dict(entry_in)
+
+        changed = True
+        while changed:
+            changed = False
+            for block_id in rpo:
+                if block_id != cfg.entry_id:
+                    preds = [
+                        p for p in cfg.blocks[block_id].preds if p in reachable
+                    ]
+                    new_in = {
+                        var: meet_all(
+                            self._out_env(cfg, p, in_envs[p], effects, proc.name)[var]
+                            for p in preds
+                        )
+                        for var in variables
+                    } if preds else in_envs[block_id]
+                    if new_in != in_envs[block_id]:
+                        in_envs[block_id] = new_in
+                        changed = True
+
+        call_sites: Dict[Tuple[str, int], CallSiteValues] = {}
+        return_contributions: List[LatticeValue] = []
+        for block_id in rpo:
+            env = dict(in_envs[block_id])
+            block = cfg.blocks[block_id]
+            for instr in block.instrs:
+                if isinstance(instr, CallInstr):
+                    lookup = lambda var: env.get(var, BOTTOM)  # noqa: E731
+                    arg_values = [evaluate_expr(a, lookup) for a in instr.args]
+                    global_values = {
+                        g: env.get(g, BOTTOM)
+                        for g in effects.recorded_globals(instr.site)
+                    }
+                    call_sites[site_key(instr.site)] = CallSiteValues(
+                        site=instr.site,
+                        executable=True,
+                        arg_values=arg_values,
+                        global_values=global_values,
+                    )
+                self._apply_instr(instr, env, effects, proc.name)
+            term = block.terminator
+            if isinstance(term, Ret):
+                if term.expr is None:
+                    return_contributions.append(BOTTOM)
+                else:
+                    lookup = lambda var: env.get(var, BOTTOM)  # noqa: E731
+                    return_contributions.append(evaluate_expr(term.expr, lookup))
+
+        # Call sites in unreachable-from-entry blocks (code after return).
+        for instr in cfg.call_instrs():
+            key = site_key(instr.site)
+            if key not in call_sites:
+                call_sites[key] = CallSiteValues(
+                    site=instr.site,
+                    executable=False,
+                    arg_values=[TOP for _ in instr.args],
+                    global_values={},
+                )
+
+        return IntraResult(
+            proc_name=proc.name,
+            engine=self.name,
+            call_sites=call_sites,
+            return_value=meet_all(return_contributions),
+            detail=None,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _out_env(
+        self, cfg, block_id: int, in_env: Env, effects: CallEffects, proc_name: str
+    ) -> Env:
+        env = dict(in_env)
+        for instr in cfg.blocks[block_id].instrs:
+            self._apply_instr(instr, env, effects, proc_name)
+        return env
+
+    @staticmethod
+    def _apply_instr(instr, env: Env, effects: CallEffects, proc_name: str) -> None:
+        if isinstance(instr, AssignInstr):
+            lookup = lambda var: env.get(var, BOTTOM)  # noqa: E731
+            result = evaluate_expr(instr.expr, lookup)
+            env[instr.target] = result
+            for partner in effects.assign_extra_defs(proc_name, instr.target):
+                if partner != instr.target and partner in env:
+                    env[partner] = BOTTOM
+        elif isinstance(instr, ArrayStoreInstr):
+            env[instr.target] = BOTTOM
+            for partner in effects.assign_extra_defs(proc_name, instr.target):
+                if partner != instr.target and partner in env:
+                    env[partner] = BOTTOM
+        elif isinstance(instr, CallInstr):
+            for var in effects.modified_vars(instr.site):
+                if var in env:
+                    env[var] = BOTTOM
+            if instr.target is not None:
+                env[instr.target] = effects.return_value(instr.site)
+                for partner in effects.assign_extra_defs(proc_name, instr.target):
+                    if partner != instr.target and partner in env:
+                        env[partner] = BOTTOM

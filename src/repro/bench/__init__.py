@@ -1,0 +1,34 @@
+"""Workloads: paper programs, random generator, SPEC-analog suite, tables."""
+
+from repro.bench.programs import (
+    figure1_program,
+    figure1_source,
+    mutual_recursion_program,
+    recursion_program,
+)
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.suite import SUITE, BenchmarkProfile, build_benchmark
+from repro.bench.tables import (
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "GeneratorConfig",
+    "SUITE",
+    "build_benchmark",
+    "figure1_program",
+    "figure1_source",
+    "generate_program",
+    "mutual_recursion_program",
+    "recursion_program",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+]

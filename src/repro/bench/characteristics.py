@@ -1,0 +1,149 @@
+"""Static interprocedural characteristics of a program.
+
+The paper points to companion studies ("Compile-Time Measurements of
+Interprocedural Data-Sharing in FORTRAN Programs" [7] and "A comparison of
+interprocedural array analysis methods" [17]) for the interprocedural
+characteristics of the benchmarks.  This module computes the equivalent
+statistics for any MiniF program, so the synthetic analogs can be compared
+against real workloads structurally, not just through the constant metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from repro.callgraph.pcg import build_pcg
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+@dataclass
+class ProgramCharacteristics:
+    """Structural statistics over the reachable part of a program."""
+
+    name: str
+    procedures: int = 0
+    call_sites: int = 0
+    call_edges: int = 0
+    back_edges: int = 0
+    arguments: int = 0
+    formals: int = 0
+    globals_declared: int = 0
+    globals_initialized: int = 0
+    literal_args: int = 0
+    byref_args: int = 0            # bare-variable (reference) arguments
+    byref_global_args: int = 0     # globals passed by reference
+    statements: int = 0
+    max_pcg_depth: int = 0
+    leaf_procedures: int = 0
+
+    @property
+    def args_per_site(self) -> float:
+        return self.arguments / self.call_sites if self.call_sites else 0.0
+
+    @property
+    def literal_arg_fraction(self) -> float:
+        return self.literal_args / self.arguments if self.arguments else 0.0
+
+    @property
+    def byref_arg_fraction(self) -> float:
+        return self.byref_args / self.arguments if self.arguments else 0.0
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "procedures": self.procedures,
+            "call_sites": self.call_sites,
+            "call_edges": self.call_edges,
+            "back_edges": self.back_edges,
+            "arguments": self.arguments,
+            "formals": self.formals,
+            "globals_declared": self.globals_declared,
+            "globals_initialized": self.globals_initialized,
+            "literal_args": self.literal_args,
+            "byref_args": self.byref_args,
+            "byref_global_args": self.byref_global_args,
+            "statements": self.statements,
+            "max_pcg_depth": self.max_pcg_depth,
+            "leaf_procedures": self.leaf_procedures,
+            "args_per_site": round(self.args_per_site, 2),
+            "literal_arg_fraction": round(self.literal_arg_fraction, 3),
+            "byref_arg_fraction": round(self.byref_arg_fraction, 3),
+        }
+
+
+def characterize(
+    source: Union[str, ast.Program], name: str = "program"
+) -> ProgramCharacteristics:
+    """Compute structural statistics for ``source``."""
+    program = parse_program(source) if isinstance(source, str) else source
+    symbols = collect_symbols(program)
+    pcg = build_pcg(program, symbols)
+    globals_set = program.global_set()
+
+    stats = ProgramCharacteristics(name=name)
+    stats.globals_declared = len(program.global_names)
+    stats.globals_initialized = len(program.initial_globals())
+    stats.procedures = len(pcg.nodes)
+    stats.call_edges = len(pcg.edges)
+    stats.back_edges = len(pcg.back_edges)
+
+    for proc_name in pcg.nodes:
+        proc_symbols = symbols[proc_name]
+        stats.formals += len(proc_symbols.formals)
+        if not proc_symbols.call_sites:
+            stats.leaf_procedures += 1
+        stats.call_sites += len(proc_symbols.call_sites)
+        proc = program.procedure(proc_name)
+        stats.statements += sum(1 for _ in ast.walk_statements(proc.body))
+        for site in proc_symbols.call_sites:
+            stats.arguments += len(site.args)
+            for arg in site.args:
+                if ast.literal_value(arg) is not None:
+                    stats.literal_args += 1
+                if isinstance(arg, ast.Var):
+                    stats.byref_args += 1
+                    if arg.name in globals_set:
+                        stats.byref_global_args += 1
+
+    stats.max_pcg_depth = _max_depth(pcg)
+    return stats
+
+
+def _max_depth(pcg) -> int:
+    """Longest acyclic call path from the entry (back edges ignored)."""
+    position = {name: i for i, name in enumerate(pcg.rpo)}
+    depth: Dict[str, int] = {name: 0 for name in pcg.rpo}
+    for name in pcg.rpo:
+        for edge in pcg.edges_out_of(name):
+            if position[edge.callee] > position[name]:  # forward edge only
+                depth[edge.callee] = max(depth[edge.callee], depth[name] + 1)
+    return max(depth.values(), default=0)
+
+
+def characterize_suite() -> List[ProgramCharacteristics]:
+    """Characteristics of every synthetic suite benchmark."""
+    from repro.bench.suite import SUITE, build_benchmark
+
+    return [
+        characterize(build_benchmark(profile), name)
+        for name, profile in SUITE.items()
+    ]
+
+
+def format_characteristics(rows: List[ProgramCharacteristics]) -> str:
+    header = (
+        f"{'program':<16} {'procs':>6} {'sites':>6} {'args':>6} {'FP':>5} "
+        f"{'glob':>5} {'lit%':>6} {'ref%':>6} {'depth':>6} {'stmts':>6}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            f"{row.name:<16} {row.procedures:>6} {row.call_sites:>6} "
+            f"{row.arguments:>6} {row.formals:>5} {row.globals_declared:>5} "
+            f"{row.literal_arg_fraction * 100:>5.1f}% "
+            f"{row.byref_arg_fraction * 100:>5.1f}% "
+            f"{row.max_pcg_depth:>6} {row.statements:>6}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Cross-method comparison harness: Figure 1 generalized to the whole suite.
+
+The paper's Figure 1 compares six methods on one example.  This harness runs
+*every* implemented method over any workload and counts the constant formal
+parameters each discovers, producing a precision spectrum:
+
+    LITERAL <= FI, LITERAL <= INTRA <= PASS-THROUGH <= POLYNOMIAL <= FS
+    FI <= FS <= ITERATIVE
+
+(all orderings hold per-claim, not just per-count, and are asserted by
+``benchmarks/test_method_spectrum.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+from repro.core.iterative import iterative_flow_sensitive_icp
+from repro.core.jump_functions import JumpFunctionKind, jump_function_icp
+from repro.ir.lattice import LatticeValue
+from repro.lang import ast
+
+FormalKey = Tuple[str, str]
+
+#: Canonical method order, least to most precise.
+METHOD_ORDER: Tuple[str, ...] = (
+    "literal",
+    "flow-insensitive",
+    "intra",
+    "pass-through",
+    "polynomial",
+    "flow-sensitive",
+    "iterative",
+)
+
+
+@dataclass
+class MethodComparison:
+    """Constant-formal claims per method for one program."""
+
+    name: str
+    claims: Dict[str, Dict[FormalKey, LatticeValue]] = field(default_factory=dict)
+    total_formals: int = 0
+
+    def count(self, method: str) -> int:
+        return len(self.claims.get(method, {}))
+
+    def counts(self) -> Dict[str, int]:
+        return {method: self.count(method) for method in METHOD_ORDER}
+
+    def claim_set(self, method: str) -> Set[FormalKey]:
+        return set(self.claims.get(method, {}))
+
+
+def compare_methods(
+    source: Union[str, ast.Program],
+    config: Optional[ICPConfig] = None,
+    name: str = "program",
+) -> MethodComparison:
+    """Run all seven methods over ``source`` and collect their claims."""
+    config = config or ICPConfig()
+    result = analyze_program(source, config)
+    comparison = MethodComparison(name=name)
+    comparison.total_formals = sum(
+        len(result.symbols[proc].formals) for proc in result.pcg.nodes
+    )
+
+    comparison.claims["flow-insensitive"] = {
+        key: value
+        for key, value in result.fi.formal_values.items()
+        if value.is_const
+    }
+    comparison.claims["flow-sensitive"] = {
+        key: value
+        for key, value in result.fs.entry_formals.items()
+        if value.is_const and key[0] in result.fs.fs_reachable
+    }
+
+    kind_names = {
+        JumpFunctionKind.LITERAL: "literal",
+        JumpFunctionKind.INTRA: "intra",
+        JumpFunctionKind.PASS_THROUGH: "pass-through",
+        JumpFunctionKind.POLYNOMIAL: "polynomial",
+    }
+    for kind, method in kind_names.items():
+        solution = jump_function_icp(
+            result.program, result.symbols, result.pcg, kind,
+            result.modref.callsite_mod, config,
+            assign_aliases=result.aliases.partners,
+        )
+        comparison.claims[method] = {
+            key: value
+            for key, value in solution.formal_values.items()
+            if value.is_const
+        }
+
+    iterative = iterative_flow_sensitive_icp(
+        result.program, result.symbols, result.pcg, result.modref,
+        result.aliases, config,
+    )
+    comparison.claims["iterative"] = {
+        key: value
+        for key, value in iterative.entry_formals.items()
+        if value.is_const and key[0] in iterative.fs_reachable
+    }
+    return comparison
+
+
+def compare_suite(
+    config: Optional[ICPConfig] = None,
+) -> List[MethodComparison]:
+    """Run the comparison over every synthetic suite benchmark."""
+    from repro.bench.suite import SUITE, build_benchmark
+
+    config = config or ICPConfig()
+    return [
+        compare_methods(build_benchmark(profile), config, name)
+        for name, profile in SUITE.items()
+    ]
+
+
+def format_comparison(rows: List[MethodComparison]) -> str:
+    """Render the spectrum as a table (constant formals per method)."""
+    header = f"{'program':<16} {'FP':>5} " + " ".join(
+        f"{m[:6]:>7}" for m in METHOD_ORDER
+    )
+    lines = [header]
+    for row in rows:
+        counts = row.counts()
+        lines.append(
+            f"{row.name:<16} {row.total_formals:>5} "
+            + " ".join(f"{counts[m]:>7}" for m in METHOD_ORDER)
+        )
+    totals = {m: sum(r.count(m) for r in rows) for m in METHOD_ORDER}
+    lines.append(
+        f"{'TOTAL':<16} {sum(r.total_formals for r in rows):>5} "
+        + " ".join(f"{totals[m]:>7}" for m in METHOD_ORDER)
+    )
+    return "\n".join(lines)

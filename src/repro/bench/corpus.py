@@ -1,0 +1,283 @@
+"""A corpus of realistic hand-written MiniF programs.
+
+Small, recognizable algorithms exercising every language feature, with the
+output each program must produce.  Used across the test suite as
+ground-truth workloads (realistic control flow beyond what the random
+generator emits) and as documentation of MiniF by example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+Value = Union[int, float]
+
+
+@dataclass(frozen=True)
+class CorpusProgram:
+    """One corpus entry: source plus its expected output."""
+
+    name: str
+    source: str
+    expected_output: List[Value]
+
+    def parse(self) -> ast.Program:
+        return parse_program(self.source)
+
+
+_CORPUS: List[CorpusProgram] = []
+
+
+def _add(name: str, source: str, expected: List[Value]) -> None:
+    _CORPUS.append(CorpusProgram(name, source, expected))
+
+
+_add(
+    "fibonacci",
+    """
+    proc main() {
+        n = 10;
+        r = fib(n);
+        print(r);
+    }
+    proc fib(n) {
+        if (n < 2) { return n; }
+        a = fib(n - 1);
+        b = fib(n - 2);
+        return a + b;
+    }
+    """,
+    [55],
+)
+
+_add(
+    "gcd",
+    """
+    proc main() {
+        g = gcd(252, 105);
+        print(g);
+        g = gcd(17, 5);
+        print(g);
+    }
+    proc gcd(a, b) {
+        while (b != 0) {
+            t = a % b;
+            a = b;
+            b = t;
+        }
+        return a;
+    }
+    """,
+    [21, 1],
+)
+
+_add(
+    "collatz_steps",
+    """
+    proc main() {
+        steps = count(27);
+        print(steps);
+    }
+    proc count(n) {
+        steps = 0;
+        while (n != 1) {
+            if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+            steps = steps + 1;
+        }
+        return steps;
+    }
+    """,
+    [111],
+)
+
+_add(
+    "power_table",
+    """
+    # Accumulator passed by reference (the Fortran out-parameter idiom).
+    proc main() {
+        base = 3;
+        e = 0;
+        while (e <= 4) {
+            # `e + 0` passes by value: power's countdown must not write
+            # through to our loop counter (by-reference semantics!).
+            call power(base, e + 0, result);
+            print(result);
+            e = e + 1;
+        }
+    }
+    proc power(b, e, out) {
+        out = 1;
+        while (e > 0) {
+            out = out * b;
+            e = e - 1;
+        }
+    }
+    """,
+    [1, 3, 9, 27, 81],
+)
+
+_add(
+    "running_statistics",
+    """
+    # Globals as COMMON-block state mutated across procedures.
+    global total, count;
+    init { total = 0; count = 0; }
+    proc main() {
+        call record(4);
+        call record(8);
+        call record(12);
+        print(total);
+        avg = mean();
+        print(avg);
+    }
+    proc record(x) {
+        total = total + x;
+        count = count + 1;
+    }
+    proc mean() {
+        return total / count;
+    }
+    """,
+    [24, 8],
+)
+
+_add(
+    "fixed_point_sqrt",
+    """
+    # Newton iteration on floats with an epsilon-controlled loop.
+    proc main() {
+        r = sqrt_newton(2.0);
+        scaled = r * 1000000;
+        print(scaled - scaled % 1);
+    }
+    proc sqrt_newton(x) {
+        guess = x;
+        i = 20;
+        while (i > 0) {
+            guess = (guess + x / guess) / 2.0;
+            i = i - 1;
+        }
+        return guess;
+    }
+    """,
+    [1414213.0],
+)
+
+_add(
+    "state_machine",
+    """
+    # A little DFA driven by a mode global; heavy branching on constants.
+    global state;
+    proc main() {
+        state = 0;
+        call step(1);
+        call step(1);
+        call step(0);
+        call step(1);
+        call step(1);
+        print(state);
+    }
+    proc step(bit) {
+        if (state == 0) {
+            if (bit) { state = 1; }
+        } else {
+            if (state == 1) {
+                if (bit) { state = 2; } else { state = 0; }
+            } else {
+                if (bit) { state = 2; } else { state = 0; }
+            }
+        }
+    }
+    """,
+    [2],
+)
+
+_add(
+    "triangular_numbers",
+    """
+    # Nested loops with an interprocedural constant stride.
+    proc main() {
+        call table(5, 1);
+    }
+    proc table(rows, stride) {
+        i = 1;
+        while (i <= rows) {
+            t = triangle(i, stride);
+            print(t);
+            i = i + stride;
+        }
+    }
+    proc triangle(n, stride) {
+        s = 0;
+        k = 1;
+        while (k <= n) {
+            s = s + k;
+            k = k + stride;
+        }
+        return s;
+    }
+    """,
+    [1, 3, 6, 10, 15],
+)
+
+
+_add(
+    "sieve_count",
+    """
+    # Sieve of Eratosthenes over an array (the paper's unpropagated values).
+    proc main() {
+        n = 30;
+        c = count_primes(n);
+        print(c);
+    }
+    proc count_primes(n) {
+        i = 0;
+        while (i <= n) { flags[i] = 1; i = i + 1; }
+        p = 2;
+        while (p * p <= n) {
+            if (flags[p] == 1) {
+                m = p * p;
+                while (m <= n) { flags[m] = 0; m = m + p; }
+            }
+            p = p + 1;
+        }
+        count = 0;
+        k = 2;
+        while (k <= n) { count = count + flags[k]; k = k + 1; }
+        return count;
+    }
+    """,
+    [10],
+)
+
+_add(
+    "dot_product",
+    """
+    # Whole arrays passed by reference into a worker procedure.
+    proc main() {
+        i = 0;
+        while (i < 4) { xs[i] = i + 1; ys[i] = 10 - i; i = i + 1; }
+        call dot(xs, ys, 4, result);
+        print(result);
+    }
+    proc dot(a, b, n, out) {
+        out = 0;
+        i = 0;
+        while (i < n) { out = out + a[i] * b[i]; i = i + 1; }
+    }
+    """,
+    [80],
+)
+
+
+def corpus() -> List[CorpusProgram]:
+    """All corpus programs (immutable entries; copy before mutating ASTs)."""
+    return list(_CORPUS)
+
+
+def corpus_by_name() -> Dict[str, CorpusProgram]:
+    return {entry.name: entry for entry in _CORPUS}

@@ -1,0 +1,147 @@
+"""Hand-written MiniF programs reconstructing the paper's examples.
+
+:func:`figure1_program` is the paper's Figure 1, rebuilt so that each method
+finds exactly the formals the paper's table lists:
+
+==================  =======================
+method              constant formals
+==================  =======================
+flow-sensitive      f1, f2, f3, f4, f5
+flow-insensitive    f1, f3, f4
+literal             f1, f3
+intra               f1, f3, f5
+pass-through        f1, f3, f4, f5
+polynomial          f1, f3, f4, f5
+==================  =======================
+
+The key line is the branch on ``f1``: only an analysis that knows ``f1 = 0``
+at ``sub1``'s entry can discard the ``y = 1`` arm and prove ``y`` (hence
+``f2``) constant at the call to ``sub2``.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+FIGURE1_SOURCE = """\
+# Paper Figure 1 (Carini & Hind, PLDI 1995), reconstructed.
+proc main() {
+    call sub1(0);
+}
+
+proc sub1(f1) {
+    x = 1;
+    if (f1 != 0) {
+        y = 1;
+    } else {
+        y = 0;
+    }
+    call sub2(y, 4, f1, x);
+}
+
+proc sub2(f2, f3, f4, f5) {
+    t = f2 + f3 + f4 + f5;
+    print(t);
+}
+"""
+
+
+def figure1_source() -> str:
+    """MiniF source of the paper's Figure 1 example."""
+    return FIGURE1_SOURCE
+
+
+def figure1_program() -> ast.Program:
+    """Parsed AST of the paper's Figure 1 example."""
+    return parse_program(FIGURE1_SOURCE)
+
+
+RECURSION_SOURCE = """\
+# Self-recursion: the PCG has one back edge, so the FS traversal uses the
+# FI solution for the recursive call.  `step` stays constant through the
+# recursion (the FI pass-through machinery proves it); `n` varies.
+proc main() {
+    call walk(8, 2);
+    print(0);
+}
+
+proc walk(n, step) {
+    if (n > 0) {
+        call walk(n - step, step);
+    }
+}
+"""
+
+
+def recursion_program() -> ast.Program:
+    """A self-recursive program (one PCG back edge)."""
+    return parse_program(RECURSION_SOURCE)
+
+
+MUTUAL_RECURSION_SOURCE = """\
+# Mutual recursion: even/odd descent.  `base` is passed through the cycle
+# unchanged; the FI fallback keeps it constant, while the counters vary.
+proc main() {
+    call even(6, 5);
+}
+
+proc even(n, base) {
+    if (n == 0) {
+        print(base);
+    } else {
+        call odd(n - 1, base);
+    }
+}
+
+proc odd(n, base) {
+    if (n == 0) {
+        print(base + 1);
+    } else {
+        call even(n - 1, base);
+    }
+}
+"""
+
+
+def mutual_recursion_program() -> ast.Program:
+    """A mutually recursive program (a two-procedure PCG cycle)."""
+    return parse_program(MUTUAL_RECURSION_SOURCE)
+
+
+GLOBALS_SOURCE = """\
+# Global constant propagation: `gain` is block-data initialized and never
+# modified (an FI program constant, propagated everywhere); `mode` is
+# block-data initialized but reassigned, so its FI candidacy is killed while
+# the FS method still sees mode = 3 and bias = 4 at the kernel call sites
+# (the assignments dominate the calls within the same procedure).
+global gain, mode, bias;
+
+init {
+    gain = 2.5;
+    mode = 1;
+}
+
+proc main() {
+    call setup();
+}
+
+proc setup() {
+    mode = 3;
+    bias = 4;
+    call kernel(10);
+    call kernel(10);
+}
+
+proc kernel(n) {
+    t = gain;
+    u = mode + bias + n;
+    print(t);
+    print(u);
+}
+"""
+
+
+def globals_program() -> ast.Program:
+    """Exercises block-data constants, killed candidates, and FS globals."""
+    return parse_program(GLOBALS_SOURCE)

@@ -1,0 +1,5 @@
+"""Program call graph construction and orderings."""
+
+from repro.callgraph.pcg import CallEdge, PCG, build_pcg
+
+__all__ = ["CallEdge", "PCG", "build_pcg"]

@@ -1,0 +1,194 @@
+"""Command-line interface: ``repro-icp`` (or ``python -m repro.cli``).
+
+Subcommands::
+
+    analyze FILE   run the Figure 2 pipeline and report discovered constants
+    optimize FILE  print the transformed (constant-substituted) program
+    run FILE       execute the program with the reference interpreter
+    tables [N..]   regenerate the paper's tables over the synthetic suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+from repro.errors import ReproError
+from repro.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _load(path: str):
+    """Parse a source file; .f/.for/.f77 go through the FORTRAN front end."""
+    text = _read(path)
+    if path.lower().endswith((".f", ".for", ".f77")):
+        from repro.lang.fortran import parse_fortran
+
+        return parse_fortran(text)
+    return parse_program(text)
+
+
+def _config_from(args: argparse.Namespace) -> ICPConfig:
+    return ICPConfig(
+        propagate_floats=not args.no_floats,
+        propagate_returns=args.returns or args.exit_values,
+        propagate_exit_values=args.exit_values,
+        engine=args.engine,
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    result = analyze_program(_load(args.file), _config_from(args))
+    if args.report:
+        from repro.core.report import full_report
+
+        print(full_report(result))
+    else:
+        print(result.summary())
+    if args.timings:
+        print("\nphase timings (seconds):")
+        for phase, seconds in result.timings.items():
+            print(f"  {phase:<10} {seconds:.6f}")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.core.report import pcg_to_dot
+
+    result = analyze_program(_load(args.file), _config_from(args))
+    print(pcg_to_dot(result))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core.optimize import optimize_program
+
+    result = optimize_program(
+        _load(args.file),
+        _config_from(args),
+        clone=args.clone,
+        inline=args.inline,
+        sweep=not args.no_sweep,
+    )
+    print(pretty_program(result.program), end="")
+    print(f"# {result.summary()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load(args.file)
+    outcome = run_program(program, max_steps=args.max_steps)
+    for value in outcome.outputs:
+        print(value)
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.bench import tables
+
+    wanted = set(args.numbers or [1, 2, 3, 4, 5])
+    if 1 in wanted:
+        print(tables.format_table1(tables.table1_rows(), "Table 1: call-site candidates"))
+        print()
+    if 2 in wanted:
+        print(tables.format_table2(tables.table2_rows(), "Table 2: propagated constants"))
+        print()
+    if 3 in wanted:
+        print(
+            tables.format_table1(
+                tables.table3_rows(), "Table 3: candidates (GT subset, no floats)"
+            )
+        )
+        print()
+    if 4 in wanted:
+        print(
+            tables.format_table2(
+                tables.table4_rows(), "Table 4: propagated (GT subset, no floats)"
+            )
+        )
+        print()
+    if 5 in wanted:
+        print(tables.format_table5(tables.table5_rows()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-icp",
+        description=(
+            "Flow-sensitive interprocedural constant propagation "
+            "(Carini & Hind, PLDI 1995)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--no-floats", action="store_true",
+                       help="disable floating-point constant propagation")
+        p.add_argument("--returns", action="store_true",
+                       help="enable the return-constant extension")
+        p.add_argument("--exit-values", action="store_true",
+                       help="also propagate constant exit values of modified "
+                            "formals and globals (implies --returns)")
+        p.add_argument("--engine", choices=("scc", "simple"), default="scc",
+                       help="intraprocedural engine (default: scc)")
+
+    analyze = sub.add_parser("analyze", help="report interprocedural constants")
+    analyze.add_argument("file")
+    analyze.add_argument("--timings", action="store_true")
+    analyze.add_argument("--report", action="store_true",
+                         help="detailed per-procedure report")
+    common(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    graph = sub.add_parser("graph", help="print the PCG as Graphviz DOT")
+    graph.add_argument("file")
+    common(graph)
+    graph.set_defaults(func=_cmd_graph)
+
+    optimize = sub.add_parser("optimize", help="print the transformed program")
+    optimize.add_argument("file")
+    optimize.add_argument("--clone", action="store_true",
+                          help="clone procedures whose sites disagree on constants")
+    optimize.add_argument("--inline", action="store_true",
+                          help="inline small leaf procedures first")
+    optimize.add_argument("--no-sweep", action="store_true",
+                          help="keep dead assignments after substitution")
+    common(optimize)
+    optimize.set_defaults(func=_cmd_optimize)
+
+    run = sub.add_parser("run", help="execute with the reference interpreter")
+    run.add_argument("file")
+    run.add_argument("--max-steps", type=int, default=1_000_000)
+    run.set_defaults(func=_cmd_run)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("numbers", nargs="*", type=int, choices=range(1, 6),
+                        metavar="N", help="table numbers (default: all)")
+    tables.set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Goal-directed procedure cloning driven by interprocedural constants.
+
+The paper's compilation model performs "optional procedure inlining and
+cloning ... with the output of interprocedural constant propagation available
+to them" (Figure 2, step 6), and Section 5 cites Metzger & Stroud's result
+that "goal-directed procedure cloning based on constant propagation can
+substantially increase the number of interprocedural constants".
+
+This pass implements that transformation: when a procedure's call sites
+supply *different* constant signatures (so the meet at the entry is BOTTOM),
+the procedure is cloned per signature and each call site is retargeted at the
+clone matching its constants.  Re-running the ICP on the cloned program then
+finds the per-clone constants.
+
+Procedures on PCG cycles are never cloned (cloning a recursive procedure
+would require cloning the whole cycle); the entry procedure has no call
+sites to specialize.  Cloning never changes behaviour — clone bodies are
+exact copies — which the test suite verifies against the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import ICPConfig
+from repro.core.driver import PipelineResult
+from repro.lang import ast
+from repro.lang.clone import clone_procedure, clone_program
+
+#: A constant signature: one entry per formal, (type name, value) or None.
+Signature = Tuple[Optional[Tuple[str, object]], ...]
+
+SiteKey = Tuple[str, int]
+
+
+@dataclass
+class CloningResult:
+    """Outcome of the cloning transformation."""
+
+    program: ast.Program
+    #: original procedure -> clone names created for it.
+    clones: Dict[str, List[str]] = field(default_factory=dict)
+    #: (caller, site index) -> new callee, for every retargeted site.
+    retargeted_sites: Dict[SiteKey, str] = field(default_factory=dict)
+
+    @property
+    def total_clones(self) -> int:
+        return sum(len(names) for names in self.clones.values())
+
+
+def clone_for_constants(
+    result: PipelineResult,
+    config: Optional[ICPConfig] = None,
+    max_clones_per_proc: int = 4,
+) -> CloningResult:
+    """Clone procedures whose call sites disagree on constant arguments.
+
+    :param result: a completed pipeline run (supplies the PCG and the
+        flow-sensitive call-site records).
+    :param max_clones_per_proc: cap on new clones per procedure; signature
+        groups beyond the cap keep calling the original.
+    """
+    config = config or result.config
+    fs = result.fs
+    pcg = result.pcg
+
+    cyclic = _cyclic_procedures(pcg)
+    retarget: Dict[SiteKey, str] = {}
+    plans: Dict[str, List[str]] = {}
+
+    for proc_name in pcg.rpo:
+        if proc_name == pcg.entry or proc_name in cyclic:
+            continue
+        formals = result.symbols[proc_name].formals
+        if not formals:
+            continue
+        groups = _signature_groups(proc_name, result, config)
+        if len(groups) < 2:
+            continue
+        if not any(any(part is not None for part in sig) for sig in groups):
+            continue  # no constants anywhere: nothing to specialize
+        # Largest group keeps the original; others get clones, biggest first.
+        ordered = sorted(groups.items(), key=lambda kv: (-len(kv[1]), repr(kv[0])))
+        clone_names: List[str] = []
+        for index, (_signature, sites) in enumerate(ordered[1:]):
+            if index >= max_clones_per_proc:
+                break
+            clone_name = f"{proc_name}__c{index + 1}"
+            clone_names.append(clone_name)
+            for site_key in sites:
+                retarget[site_key] = clone_name
+        if clone_names:
+            plans[proc_name] = clone_names
+
+    new_program = clone_program(result.program)
+    _retarget_sites(new_program, retarget)
+    proc_map = new_program.procedure_map()
+    for original, clone_names in plans.items():
+        for clone_name in clone_names:
+            new_program.procedures.append(
+                clone_procedure(proc_map[original], clone_name)
+            )
+    return CloningResult(
+        program=new_program, clones=plans, retargeted_sites=retarget
+    )
+
+
+def _cyclic_procedures(pcg) -> Set[str]:
+    cyclic: Set[str] = set()
+    for component in pcg.sccs:
+        if len(component) > 1:
+            cyclic.update(component)
+    for edge in pcg.edges:
+        if edge.caller == edge.callee:
+            cyclic.add(edge.caller)
+    return cyclic
+
+
+def _signature_groups(
+    proc_name: str,
+    result: PipelineResult,
+    config: ICPConfig,
+) -> Dict[Signature, List[SiteKey]]:
+    """Group live incoming call sites by their constant-argument signature."""
+    groups: Dict[Signature, List[SiteKey]] = {}
+    for edge in result.pcg.edges_into(proc_name):
+        if edge.caller not in result.fs.fs_reachable:
+            continue
+        site_values = result.fs.intra[edge.caller].site_values(edge.site)
+        if not site_values.executable:
+            continue
+        signature = tuple(
+            (type(v.const_value).__name__, v.const_value)
+            if (v := config.admit(value)).is_const
+            else None
+            for value in site_values.arg_values
+        )
+        groups.setdefault(signature, []).append((edge.caller, edge.site.index))
+    return groups
+
+
+def _retarget_sites(program: ast.Program, retarget: Dict[SiteKey, str]) -> None:
+    """Point each retargeted call site at its clone (mutates ``program``)."""
+    if not retarget:
+        return
+    for proc in program.procedures:
+        index = 0
+        for stmt in ast.walk_statements(proc.body):
+            if isinstance(stmt, (ast.CallStmt, ast.CallAssign)):
+                new_callee = retarget.get((proc.name, index))
+                if new_callee is not None:
+                    stmt.callee = new_callee
+                index += 1

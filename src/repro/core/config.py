@@ -1,0 +1,57 @@
+"""Configuration for the interprocedural constant propagation pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.lattice import BOTTOM, LatticeValue
+
+
+@dataclass(frozen=True)
+class ICPConfig:
+    """Knobs of the ICP pipeline, mirroring the paper's options.
+
+    :param propagate_floats: the paper's optional floating-point constant
+        propagation (Section 4).  When False, floating-point constants are
+        demoted to BOTTOM at every *interprocedural* boundary (argument
+        recording, global recording, block-data collection); intraprocedural
+        folding is unaffected.  Tables 3–5 of the paper run with this off.
+    :param propagate_returns: enable the Section 3.2 return-constant
+        extension (one extra reverse traversal; off in all paper tables).
+    :param propagate_exit_values: with ``propagate_returns``, also compute
+        each procedure's constant *exit values* for modified formals and
+        globals — the full "returned constant parameters and globals" of
+        Section 3.2 — and let the transformation exploit them after calls.
+    :param engine: intraprocedural method: ``"scc"`` (Wegman–Zadeck, the
+        paper's choice) or ``"simple"`` (plain iterative, for ablation).
+    :param prune_dead_branches: let the transformation delete branches decided
+        by constants.
+    :param insert_entry_assignments: make the transformation also materialize
+        ``v = c;`` assignments at procedure entry (the paper's description of
+        how constants are propagated into a procedure).
+    :param allow_missing: tolerate calls to procedures that are not in the
+        program (treated maximally conservatively), the paper's "missing
+        procedures" provision.
+    :param entry: name of the root procedure.
+    """
+
+    propagate_floats: bool = True
+    propagate_returns: bool = False
+    propagate_exit_values: bool = False
+    engine: str = "scc"
+    prune_dead_branches: bool = True
+    insert_entry_assignments: bool = False
+    allow_missing: bool = False
+    entry: str = "main"
+
+    def admit_value(self, value) -> bool:
+        """May this concrete constant cross a procedure boundary?"""
+        if isinstance(value, float) and not self.propagate_floats:
+            return False
+        return True
+
+    def admit(self, lattice: LatticeValue) -> LatticeValue:
+        """Demote inadmissible constants to BOTTOM at the boundary."""
+        if lattice.is_const and not self.admit_value(lattice.const_value):
+            return BOTTOM
+        return lattice

@@ -1,0 +1,58 @@
+"""Adapter exposing MOD/REF/alias summaries as a CallEffects oracle."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.analysis.base import CallEffects
+from repro.ir.lattice import BOTTOM, LatticeValue
+from repro.lang.symbols import CallSite
+from repro.summary.alias import AliasInfo
+from repro.summary.modref import ModRefInfo
+
+
+class SummaryEffects(CallEffects):
+    """Call effects derived from interprocedural MOD/REF and alias summaries.
+
+    ``recorded_globals`` follows the paper's rule: a global's value is recorded
+    at a call site only when the global is in the callee's (transitive) REF
+    set — "if a global constant at a call site is in the Ref set for the
+    called procedure then record the global as constant at this call site".
+    """
+
+    def __init__(
+        self,
+        modref: ModRefInfo,
+        aliases: Optional[AliasInfo] = None,
+        return_provider: Optional[Callable[[CallSite], LatticeValue]] = None,
+    ):
+        self._modref = modref
+        self._aliases = aliases
+        self._return_provider = return_provider
+        self._mod_cache: Dict[object, Set[str]] = {}
+        self._ref_globals_cache: Dict[str, Set[str]] = {}
+
+    def modified_vars(self, site: CallSite) -> Set[str]:
+        key = (site.caller, site.index)
+        cached = self._mod_cache.get(key)
+        if cached is None:
+            cached = self._modref.callsite_mod(site)
+            self._mod_cache[key] = cached
+        return cached
+
+    def recorded_globals(self, site: CallSite) -> Set[str]:
+        cached = self._ref_globals_cache.get(site.callee)
+        if cached is None:
+            cached = set(self._modref.ref_globals(site.callee))
+            self._ref_globals_cache[site.callee] = cached
+        return cached
+
+    def return_value(self, site: CallSite) -> LatticeValue:
+        if self._return_provider is None:
+            return BOTTOM
+        return self._return_provider(site)
+
+    def assign_extra_defs(self, proc: str, target: str) -> Set[str]:
+        if self._aliases is None:
+            return set()
+        return self._aliases.partners(proc, target)

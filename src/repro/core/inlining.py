@@ -1,0 +1,194 @@
+"""Procedure inlining (the Figure 2 backward-walk transformation).
+
+Section 5 recalls Wegman & Zadeck's alternative to interprocedural
+propagation: "using procedure integration to increase the effects of
+constants that are propagated ... but may not be efficient in practice".
+This pass implements that integration so the trade-off can be measured
+(``benchmarks/test_inlining_vs_icp.py``): inlining followed by purely
+intraprocedural propagation recovers interprocedural constants, at the cost
+of code growth the ICP avoids.
+
+A call site ``call q(...)`` is inlined when the callee
+
+- is not part of a PCG cycle (and is not the caller itself),
+- contains no ``return`` statements (so control falls through), and
+- has at most ``max_body_stmts`` statements.
+
+By-reference semantics are preserved exactly: a bare-variable argument
+renames the formal to the caller's variable (they alias, as at a real call);
+a compound argument materializes the Fortran temporary as a fresh local.
+Callee locals are renamed with a per-instance ``__inlN_`` prefix, which
+cannot collide (user identifiers in MiniF never contain ``__inl`` by
+construction of the generator and suite; collisions would be caught by the
+semantic-preservation property tests regardless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.callgraph.pcg import build_pcg
+from repro.lang import ast
+from repro.lang.clone import clone_stmt
+from repro.lang.symbols import collect_symbols
+
+
+@dataclass
+class InlineResult:
+    """Outcome of the inlining transformation."""
+
+    program: ast.Program
+    inlined_calls: int = 0
+    #: Callee names that were inlined at least once.
+    inlined_procs: Set[str] = field(default_factory=set)
+
+    def statement_count(self) -> int:
+        """Total statements in the program (the code-growth measure)."""
+        return sum(
+            1
+            for proc in self.program.procedures
+            for _ in ast.walk_statements(proc.body)
+        )
+
+
+def inline_calls(
+    program: ast.Program,
+    *,
+    max_body_stmts: int = 40,
+    rounds: int = 1,
+    entry: str = "main",
+) -> InlineResult:
+    """Inline eligible call statements; repeat for ``rounds`` passes."""
+    result = InlineResult(program=program)
+    # The temp-name counter must be global across rounds: a second round
+    # re-inlines into bodies that already contain first-round __inlN_ names,
+    # and reusing an instance number would unify two distinct locals.
+    counter = 0
+    for _ in range(max(1, rounds)):
+        inliner = _Inliner(result.program, max_body_stmts, entry, counter)
+        new_program, inlined, procs = inliner.run()
+        counter = inliner.counter
+        result.program = new_program
+        result.inlined_calls += inlined
+        result.inlined_procs |= procs
+        if inlined == 0:
+            break
+    return result
+
+
+def statement_count(program: ast.Program) -> int:
+    """Total statements across all procedures."""
+    return sum(
+        1 for proc in program.procedures for _ in ast.walk_statements(proc.body)
+    )
+
+
+class _Inliner:
+    def __init__(
+        self,
+        program: ast.Program,
+        max_body_stmts: int,
+        entry: str,
+        counter: int = 0,
+    ):
+        self._program = program
+        self._max_body = max_body_stmts
+        self._symbols = collect_symbols(program)
+        self._pcg = build_pcg(program, self._symbols, entry)
+        self._proc_map = program.procedure_map()
+        self._cyclic = self._cyclic_procs()
+        self.counter = counter
+        self._inlined = 0
+        self._inlined_procs: Set[str] = set()
+
+    def _cyclic_procs(self) -> Set[str]:
+        cyclic: Set[str] = set()
+        for component in self._pcg.sccs:
+            if len(component) > 1:
+                cyclic.update(component)
+        for edge in self._pcg.edges:
+            if edge.caller == edge.callee:
+                cyclic.add(edge.caller)
+        return cyclic
+
+    def run(self):
+        new_procs = [
+            ast.Procedure(
+                proc.name, list(proc.formals), self._rewrite_block(proc.body),
+                proc.pos,
+            )
+            for proc in self._program.procedures
+        ]
+        new_program = ast.Program(
+            list(self._program.global_names),
+            [ast.GlobalInit(e.name, e.value, e.pos) for e in self._program.inits],
+            new_procs,
+        )
+        return new_program, self._inlined, self._inlined_procs
+
+    # ------------------------------------------------------------------
+
+    def _eligible(self, stmt: ast.Stmt) -> bool:
+        if not isinstance(stmt, ast.CallStmt):
+            return False
+        callee = self._proc_map.get(stmt.callee)
+        if callee is None or stmt.callee in self._cyclic:
+            return False
+        body_stmts = list(ast.walk_statements(callee.body))
+        if len(body_stmts) - 1 > self._max_body:  # -1: the body block itself
+            return False
+        return not any(isinstance(s, ast.Return) for s in body_stmts)
+
+    def _rewrite_block(self, block: ast.Block) -> ast.Block:
+        stmts: List[ast.Stmt] = []
+        for stmt in block.stmts:
+            stmts.extend(self._rewrite_stmt(stmt))
+        return ast.Block(stmts, block.pos)
+
+    def _rewrite_stmt(self, stmt: ast.Stmt) -> List[ast.Stmt]:
+        if isinstance(stmt, ast.Block):
+            return [self._rewrite_block(stmt)]
+        if isinstance(stmt, ast.If):
+            return [
+                ast.If(
+                    stmt.cond,
+                    self._rewrite_block(stmt.then_block),
+                    self._rewrite_block(stmt.else_block)
+                    if stmt.else_block is not None
+                    else None,
+                    stmt.pos,
+                )
+            ]
+        if isinstance(stmt, ast.While):
+            return [ast.While(stmt.cond, self._rewrite_block(stmt.body), stmt.pos)]
+        if self._eligible(stmt):
+            return self._inline_site(stmt)  # type: ignore[arg-type]
+        return [stmt]
+
+    def _inline_site(self, call: ast.CallStmt) -> List[ast.Stmt]:
+        callee = self._proc_map[call.callee]
+        callee_symbols = self._symbols[call.callee]
+        self.counter += 1
+        prefix = f"__inl{self.counter}_"
+
+        rename: Dict[str, str] = {
+            local: prefix + local for local in callee_symbols.locals
+        }
+        prelude: List[ast.Stmt] = []
+        for formal, arg in zip(callee.formals, call.args):
+            if isinstance(arg, ast.Var):
+                # Bare variable: the formal aliases the caller's variable,
+                # exactly as the by-reference call would bind it.
+                rename[formal] = arg.name
+            else:
+                # Compound expression: materialize the Fortran temporary.
+                temp = prefix + formal
+                prelude.append(ast.Assign(temp, arg, call.pos))
+                rename[formal] = temp
+
+        body = clone_stmt(callee.body, rename)
+        self._inlined += 1
+        self._inlined_procs.add(call.callee)
+        assert isinstance(body, ast.Block)
+        return prelude + list(body.stmts)

@@ -1,0 +1,126 @@
+"""Structured text reports over a pipeline result.
+
+Produces the detailed per-procedure view a compiler engineer wants when
+debugging interprocedural constants: for each procedure, its entry constants
+under each method, call-site facts, and summary information (MOD/REF/USE,
+aliases).  Exposed through ``repro-icp analyze --report``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.driver import PipelineResult
+from repro.ir.lattice import LatticeValue
+
+
+def _fmt(value: LatticeValue) -> str:
+    if value.is_const:
+        return repr(value.const_value)
+    if value.is_top:
+        return "<unreached>"
+    return "?"
+
+
+def procedure_report(result: PipelineResult, proc: str) -> str:
+    """Detailed report for one procedure."""
+    symbols = result.symbols[proc]
+    lines = [f"procedure {proc}({', '.join(symbols.formals)})"]
+
+    if symbols.formals:
+        lines.append("  formal parameters at entry:")
+        for formal in symbols.formals:
+            fi = _fmt(result.fi.formal_value(proc, formal))
+            fs = _fmt(result.fs.entry_formal(proc, formal))
+            lines.append(f"    {formal:<12} FI: {fi:<12} FS: {fs}")
+
+    globals_here = sorted(
+        name
+        for name in result.modref.ref_globals(proc)
+        if name in symbols.referenced
+    )
+    if globals_here:
+        lines.append("  referenced globals at entry:")
+        for name in globals_here:
+            fi = (
+                repr(result.fi.global_constants[name])
+                if name in result.fi.global_constants
+                else "?"
+            )
+            fs = _fmt(result.fs.entry_global(proc, name))
+            lines.append(f"    {name:<12} FI: {fi:<12} FS: {fs}")
+
+    mod = sorted(result.modref.mod_of(proc))
+    ref = sorted(result.modref.ref_of(proc))
+    use = sorted(result.use.use_of(proc))
+    lines.append(f"  MOD: {mod}")
+    lines.append(f"  REF: {ref}")
+    lines.append(f"  USE: {use}")
+    pairs = sorted(result.aliases.pairs_of(proc))
+    if pairs:
+        lines.append(f"  may-alias: {pairs}")
+
+    if symbols.call_sites:
+        lines.append("  call sites:")
+        intra = result.fs.intra.get(proc)
+        for site in symbols.call_sites:
+            values = "?"
+            if intra is not None:
+                site_values = intra.call_sites.get((proc, site.index))
+                if site_values is not None:
+                    if not site_values.executable:
+                        values = "<unreachable>"
+                    else:
+                        values = ", ".join(
+                            _fmt(v) for v in site_values.arg_values
+                        )
+            lines.append(f"    #{site.index} -> {site.callee}({values})")
+    return "\n".join(lines)
+
+
+def full_report(result: PipelineResult) -> str:
+    """Report every reachable procedure, in call-graph order."""
+    parts: List[str] = [
+        "=" * 64,
+        "interprocedural constant propagation report",
+        f"entry: {result.pcg.entry}; procedures: {len(result.pcg.nodes)}; "
+        f"edges: {len(result.pcg.edges)} "
+        f"(fallback ratio {result.fs.fallback_ratio(result.pcg):.2f})",
+        "=" * 64,
+    ]
+    for proc in result.pcg.rpo:
+        parts.append(procedure_report(result, proc))
+        parts.append("-" * 64)
+    if result.returns is not None:
+        constants = result.returns.constant_returns()
+        parts.append(f"constant returns: { {p: _fmt(v) for p, v in constants.items()} }")
+        exits = result.returns.constant_exit_values()
+        if exits:
+            parts.append("constant exit values:")
+            for proc, table in sorted(exits.items()):
+                rendered = {var: _fmt(v) for var, v in table.items()}
+                parts.append(f"  {proc}: {rendered}")
+    return "\n".join(parts)
+
+
+def pcg_to_dot(result: PipelineResult, name: str = "pcg") -> str:
+    """Render the program call graph as Graphviz DOT.
+
+    Edge styling encodes the paper's machinery: dashed edges are the
+    back/fallback edges where the FS method substitutes the FI solution.
+    """
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=monospace];"]
+    for proc in result.pcg.nodes:
+        formals = ", ".join(result.symbols[proc].formals)
+        constants = sum(
+            1
+            for formal in result.symbols[proc].formals
+            if result.fs.entry_formal(proc, formal).is_const
+        )
+        label = f"{proc}({formals})\\n{constants} constant formal(s)"
+        lines.append(f'  "{proc}" [label="{label}"];')
+    for edge in result.pcg.edges:
+        style = ' [style=dashed, label="FI fallback"]' if result.pcg.is_fallback(edge) else ""
+        lines.append(f'  "{edge.caller}" -> "{edge.callee}"{style};')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,10 @@
+"""Reference interpreter for MiniF (the soundness oracle)."""
+
+from repro.interp.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    Recorder,
+    run_program,
+)
+
+__all__ = ["ExecutionResult", "Interpreter", "Recorder", "run_program"]

@@ -1,0 +1,44 @@
+"""Intermediate representation: CFG, dominators, SSA, and the constant lattice."""
+
+from repro.ir.lattice import BOTTOM, TOP, Const, LatticeValue, meet, values_equal
+from repro.ir.cfg import (
+    AssignInstr,
+    BasicBlock,
+    Branch,
+    CallInstr,
+    CFG,
+    Instr,
+    Jump,
+    PrintInstr,
+    Ret,
+    Terminator,
+)
+from repro.ir.builder import build_cfg
+from repro.ir.dominance import DominatorInfo, compute_dominators
+from repro.ir.ssa import PhiNode, SSAFunction, SSAName, build_ssa
+
+__all__ = [
+    "AssignInstr",
+    "BOTTOM",
+    "BasicBlock",
+    "Branch",
+    "CFG",
+    "CallInstr",
+    "Const",
+    "DominatorInfo",
+    "Instr",
+    "Jump",
+    "LatticeValue",
+    "PhiNode",
+    "PrintInstr",
+    "Ret",
+    "SSAFunction",
+    "SSAName",
+    "TOP",
+    "Terminator",
+    "build_cfg",
+    "build_ssa",
+    "compute_dominators",
+    "meet",
+    "values_equal",
+]

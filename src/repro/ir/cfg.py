@@ -1,0 +1,285 @@
+"""Control-flow graph for one procedure.
+
+A :class:`CFG` is a list of :class:`BasicBlock`; each block holds straight-line
+:class:`Instr` records and ends in exactly one :class:`Terminator`.  Edges are
+explicit ``(pred_id, succ_id)`` pairs, which is what the SCC propagator's
+edge-executability set is keyed on.
+
+Instructions reference the *original* AST expression objects; they are never
+mutated, and the SSA renamer annotates instructions with use/def maps instead
+of rewriting expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lang import ast
+from repro.lang.symbols import CallSite
+
+Edge = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# Instructions.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Instr:
+    """Base class for straight-line instructions.
+
+    ``uses``/``defs`` map variable names to SSA names once the function is in
+    SSA form (``None`` until then).
+    """
+
+    uses: Optional[Dict[str, "object"]] = field(default=None, init=False, repr=False)
+    defs: Optional[Dict[str, "object"]] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class AssignInstr(Instr):
+    """``target = expr`` where ``expr`` contains no calls."""
+
+    target: str
+    expr: ast.Expr
+    stmt: Optional[ast.Stmt] = field(default=None, repr=False)
+
+    def __str__(self) -> str:
+        return f"{self.target} = <expr>"
+
+
+@dataclass
+class ArrayStoreInstr(Instr):
+    """``target[index] = expr`` — a may-definition of the whole array.
+
+    The store never reads the array, never kills other elements, and the
+    array's abstract value is always BOTTOM (the paper does not propagate
+    array constants).
+    """
+
+    target: str
+    index: ast.Expr
+    expr: ast.Expr
+    stmt: Optional[ast.Stmt] = field(default=None, repr=False)
+
+    def __str__(self) -> str:
+        return f"{self.target}[<idx>] = <expr>"
+
+
+@dataclass
+class CallInstr(Instr):
+    """A procedure call, optionally capturing the return value.
+
+    ``reaching_globals`` is filled by the SSA renamer: for each global variable
+    requested at construction time, the SSA name holding that global's value
+    immediately *before* the call.  The flow-sensitive ICP reads each global's
+    lattice value at the call site through this map.
+    """
+
+    site: CallSite
+    target: Optional[str]
+    callee: str
+    args: List[ast.Expr]
+    stmt: Optional[ast.Stmt] = field(default=None, repr=False)
+    reaching_globals: Optional[Dict[str, "object"]] = field(
+        default=None, init=False, repr=False
+    )
+
+    def __str__(self) -> str:
+        prefix = f"{self.target} = " if self.target else "call "
+        return f"{prefix}{self.callee}(...) [{self.site}]"
+
+
+@dataclass
+class PrintInstr(Instr):
+    """``print(expr)`` — the program's observable output."""
+
+    expr: ast.Expr
+    stmt: Optional[ast.Stmt] = field(default=None, repr=False)
+
+    def __str__(self) -> str:
+        return "print <expr>"
+
+
+# ----------------------------------------------------------------------
+# Terminators.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Terminator:
+    """Base class for block terminators."""
+
+    uses: Optional[Dict[str, "object"]] = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class Jump(Terminator):
+    """Unconditional jump to ``target`` (a block id)."""
+
+    target: int
+
+    def __str__(self) -> str:
+        return f"jump B{self.target}"
+
+
+@dataclass
+class Branch(Terminator):
+    """Conditional branch: to ``true_target`` if ``cond`` is truthy."""
+
+    cond: ast.Expr
+    true_target: int
+    false_target: int
+    stmt: Optional[ast.Stmt] = field(default=None, repr=False)
+
+    def __str__(self) -> str:
+        return f"branch <cond> ? B{self.true_target} : B{self.false_target}"
+
+
+@dataclass
+class Ret(Terminator):
+    """Return from the procedure, optionally with a value.
+
+    ``reaching`` is filled by the SSA renamer when exit values are requested:
+    for each requested variable, the SSA name holding its value at this
+    return point (used by the exit-value extension of Section 3.2).
+    """
+
+    expr: Optional[ast.Expr] = None
+    stmt: Optional[ast.Stmt] = field(default=None, repr=False)
+    reaching: Optional[Dict[str, "object"]] = field(
+        default=None, init=False, repr=False
+    )
+
+    def __str__(self) -> str:
+        return "return <expr>" if self.expr is not None else "return"
+
+
+# ----------------------------------------------------------------------
+# Blocks and the CFG.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions plus a terminator."""
+
+    id: int
+    instrs: List[Instr] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+    preds: List[int] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return f"B{self.id}"
+
+
+class CFG:
+    """The control-flow graph of one procedure."""
+
+    def __init__(self, proc_name: str):
+        self.proc_name = proc_name
+        self.blocks: List[BasicBlock] = []
+        self.entry_id = self.new_block().id
+
+    # -- construction ----------------------------------------------------
+
+    def new_block(self) -> BasicBlock:
+        """Append and return a fresh empty block."""
+        block = BasicBlock(id=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, pred_id: int, succ_id: int) -> None:
+        """Add the CFG edge ``pred -> succ`` (idempotent per distinct pair)."""
+        pred = self.blocks[pred_id]
+        succ = self.blocks[succ_id]
+        if succ_id not in pred.succs:
+            pred.succs.append(succ_id)
+        if pred_id not in succ.preds:
+            succ.preds.append(pred_id)
+
+    def seal(self) -> None:
+        """Derive edges from terminators; every block must be terminated."""
+        for block in self.blocks:
+            if block.terminator is None:
+                raise ValueError(f"block B{block.id} of {self.proc_name} unterminated")
+            for succ_id in _terminator_targets(block.terminator):
+                self.add_edge(block.id, succ_id)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[self.entry_id]
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self.blocks[block_id]
+
+    def edges(self) -> Iterator[Edge]:
+        """All CFG edges as (pred_id, succ_id) pairs."""
+        for block in self.blocks:
+            for succ_id in block.succs:
+                yield (block.id, succ_id)
+
+    def reachable_ids(self) -> List[int]:
+        """Block ids reachable from entry, in reverse postorder."""
+        return reverse_postorder(self, self.entry_id)
+
+    def call_instrs(self) -> Iterator[CallInstr]:
+        """Every call instruction in the CFG, in block order."""
+        for block in self.blocks:
+            for instr in block.instrs:
+                if isinstance(instr, CallInstr):
+                    yield instr
+
+    def exit_block_ids(self) -> List[int]:
+        """Ids of blocks ending in a return."""
+        return [b.id for b in self.blocks if isinstance(b.terminator, Ret)]
+
+    def __str__(self) -> str:
+        lines = [f"CFG {self.proc_name} (entry B{self.entry_id})"]
+        for block in self.blocks:
+            preds = ",".join(f"B{p}" for p in block.preds)
+            lines.append(f"  B{block.id}  preds=[{preds}]")
+            for instr in block.instrs:
+                lines.append(f"    {instr}")
+            lines.append(f"    {block.terminator}")
+        return "\n".join(lines)
+
+
+def _terminator_targets(term: Terminator) -> List[int]:
+    if isinstance(term, Jump):
+        return [term.target]
+    if isinstance(term, Branch):
+        if term.true_target == term.false_target:
+            return [term.true_target]
+        return [term.true_target, term.false_target]
+    if isinstance(term, Ret):
+        return []
+    raise TypeError(f"unknown terminator {term!r}")
+
+
+def reverse_postorder(cfg: CFG, start_id: int) -> List[int]:
+    """Reverse postorder of blocks reachable from ``start_id`` (iterative)."""
+    visited: Set[int] = set()
+    postorder: List[int] = []
+    # Stack holds (block_id, next_successor_index).
+    stack: List[Tuple[int, int]] = [(start_id, 0)]
+    visited.add(start_id)
+    while stack:
+        block_id, succ_index = stack[-1]
+        succs = cfg.blocks[block_id].succs
+        if succ_index < len(succs):
+            stack[-1] = (block_id, succ_index + 1)
+            succ_id = succs[succ_index]
+            if succ_id not in visited:
+                visited.add(succ_id)
+                stack.append((succ_id, 0))
+        else:
+            stack.pop()
+            postorder.append(block_id)
+    postorder.reverse()
+    return postorder

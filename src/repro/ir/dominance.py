@@ -1,0 +1,95 @@
+"""Dominator tree and dominance frontiers.
+
+Implements the Cooper–Harvey–Kennedy iterative dominator algorithm ("A Simple,
+Fast Dominance Algorithm") over the reverse postorder of reachable blocks, and
+the standard dominance-frontier construction used for SSA phi placement.
+Unreachable blocks have no entry in any of the maps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.ir.cfg import CFG, reverse_postorder
+
+
+@dataclass
+class DominatorInfo:
+    """Dominator facts for the reachable portion of a CFG."""
+
+    #: Immediate dominator of each reachable block (entry maps to itself).
+    idom: Dict[int, int]
+    #: Children in the dominator tree (entry is the root).
+    dom_tree: Dict[int, List[int]]
+    #: Dominance frontier of each reachable block.
+    frontier: Dict[int, Set[int]]
+    #: Reachable block ids in reverse postorder.
+    rpo: List[int]
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True iff block ``a`` dominates block ``b`` (reflexive)."""
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom[node]
+            if parent == node:
+                return False
+            node = parent
+
+
+def compute_dominators(cfg: CFG) -> DominatorInfo:
+    """Compute idom, dominator tree, and dominance frontiers for ``cfg``."""
+    rpo = reverse_postorder(cfg, cfg.entry_id)
+    rpo_index = {block_id: i for i, block_id in enumerate(rpo)}
+    reachable = set(rpo)
+
+    idom: Dict[int, int] = {cfg.entry_id: cfg.entry_id}
+    changed = True
+    while changed:
+        changed = False
+        for block_id in rpo:
+            if block_id == cfg.entry_id:
+                continue
+            processed_preds = [
+                p for p in cfg.blocks[block_id].preds if p in idom and p in reachable
+            ]
+            if not processed_preds:
+                continue
+            new_idom = processed_preds[0]
+            for pred in processed_preds[1:]:
+                new_idom = _intersect(new_idom, pred, idom, rpo_index)
+            if idom.get(block_id) != new_idom:
+                idom[block_id] = new_idom
+                changed = True
+
+    dom_tree: Dict[int, List[int]] = {block_id: [] for block_id in rpo}
+    for block_id in rpo:
+        if block_id == cfg.entry_id:
+            continue
+        dom_tree[idom[block_id]].append(block_id)
+
+    frontier: Dict[int, Set[int]] = {block_id: set() for block_id in rpo}
+    for block_id in rpo:
+        preds = [p for p in cfg.blocks[block_id].preds if p in reachable]
+        if len(preds) < 2:
+            continue
+        for pred in preds:
+            runner = pred
+            while runner != idom[block_id]:
+                frontier[runner].add(block_id)
+                runner = idom[runner]
+
+    return DominatorInfo(idom=idom, dom_tree=dom_tree, frontier=frontier, rpo=rpo)
+
+
+def _intersect(
+    a: int, b: int, idom: Dict[int, int], rpo_index: Dict[int, int]
+) -> int:
+    while a != b:
+        while rpo_index[a] > rpo_index[b]:
+            a = idom[a]
+        while rpo_index[b] > rpo_index[a]:
+            b = idom[b]
+    return a

@@ -1,0 +1,201 @@
+"""Expression evaluation: one concrete semantics, one abstract semantics.
+
+The *concrete* functions (:func:`apply_binary`, :func:`apply_unary`,
+:func:`truthy`) define MiniF's runtime semantics and are shared by the
+reference interpreter; the *abstract* functions lift them to the constant
+lattice and are shared by every constant propagator.  Keeping both in one
+module guarantees the propagators fold exactly the operations the interpreter
+executes.
+
+Semantics (Fortran-flavoured):
+
+- ``int op int`` yields ``int``; ``/`` truncates toward zero and ``%`` is the
+  matching remainder (sign of the dividend), as in Fortran and C.
+- Any float operand promotes the result to ``float``; ``%`` is ``math.fmod``.
+- Comparisons and logical operators yield ``int`` 0 or 1; logical operators
+  test truthiness (non-zero) and **short-circuit left-to-right** (``0 and e``
+  never evaluates ``e``) — expressions are side-effect free, so
+  short-circuiting is observable only through runtime errors in ``e``.
+- Division or remainder by zero is a runtime error (:class:`EvalError`); the
+  abstract semantics therefore never folds it and yields BOTTOM.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Union
+
+from repro.errors import ReproError
+from repro.ir.lattice import BOTTOM, TOP, Const, LatticeValue
+from repro.lang import ast
+
+Value = Union[int, float]
+
+
+class EvalError(ReproError):
+    """A runtime evaluation error (division by zero, overflow)."""
+
+
+# ----------------------------------------------------------------------
+# Concrete semantics.
+# ----------------------------------------------------------------------
+
+
+def truthy(value: Value) -> bool:
+    """MiniF truthiness: any non-zero value is true."""
+    return value != 0
+
+
+def _int_div(a: int, b: int) -> int:
+    """Integer division truncating toward zero (Fortran/C semantics)."""
+    if b == 0:
+        raise EvalError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        return -quotient
+    return quotient
+
+
+def _int_rem(a: int, b: int) -> int:
+    """Remainder with the sign of the dividend (matches ``_int_div``)."""
+    if b == 0:
+        raise EvalError("integer remainder by zero")
+    return a - _int_div(a, b) * b
+
+
+def apply_binary(op: str, a: Value, b: Value) -> Value:
+    """Apply binary operator ``op`` to concrete values; may raise EvalError."""
+    try:
+        return _apply_binary(op, a, b)
+    except OverflowError as error:
+        # E.g. a huge int promoted to float: treat like any overflow.
+        raise EvalError("numeric overflow") from error
+
+
+def _apply_binary(op: str, a: Value, b: Value) -> Value:
+    if op == "+":
+        return _check_finite(a + b)
+    if op == "-":
+        return _check_finite(a - b)
+    if op == "*":
+        return _check_finite(a * b)
+    if op == "/":
+        if isinstance(a, int) and isinstance(b, int):
+            return _int_div(a, b)
+        if b == 0:
+            raise EvalError("float division by zero")
+        return _check_finite(a / b)
+    if op == "%":
+        if isinstance(a, int) and isinstance(b, int):
+            return _int_rem(a, b)
+        if b == 0:
+            raise EvalError("float remainder by zero")
+        return _check_finite(math.fmod(a, b))
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "and":
+        return int(truthy(a) and truthy(b))
+    if op == "or":
+        return int(truthy(a) or truthy(b))
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def apply_unary(op: str, a: Value) -> Value:
+    """Apply unary operator ``op`` to a concrete value."""
+    if op == "-":
+        return -a
+    if op == "not":
+        return int(not truthy(a))
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def _check_finite(value: Value) -> Value:
+    """Reject non-finite float results so folding never bakes in inf/NaN."""
+    if isinstance(value, float) and not math.isfinite(value):
+        raise EvalError("floating-point overflow")
+    return value
+
+
+# ----------------------------------------------------------------------
+# Abstract semantics over the constant lattice.
+# ----------------------------------------------------------------------
+
+
+def abstract_binary(op: str, a: LatticeValue, b: LatticeValue) -> LatticeValue:
+    """Lift :func:`apply_binary` to the lattice.
+
+    TOP operands are treated optimistically (the result is TOP, pending more
+    evidence), as required by the Wegman–Zadeck algorithm.  The
+    short-circuit refinement applies to the *left* operand only: ``and``/
+    ``or`` short-circuit left-to-right at runtime, so a decided left operand
+    makes the (possibly erroring) right operand irrelevant — but not vice
+    versa (folding on a decided *right* operand would hide a left-operand
+    runtime error; hypothesis found exactly that case).
+    """
+    if op == "and":
+        if _is_zero(a):
+            return Const(0)
+    elif op == "or":
+        if _is_nonzero(a):
+            return Const(1)
+    if a.is_top or b.is_top:
+        return TOP
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    try:
+        return Const(apply_binary(op, a.const_value, b.const_value))
+    except EvalError:
+        return BOTTOM
+
+
+def abstract_unary(op: str, a: LatticeValue) -> LatticeValue:
+    """Lift :func:`apply_unary` to the lattice."""
+    if a.is_top:
+        return TOP
+    if a.is_bottom:
+        return BOTTOM
+    try:
+        return Const(apply_unary(op, a.const_value))
+    except EvalError:
+        return BOTTOM
+
+
+def _is_zero(v: LatticeValue) -> bool:
+    return v.is_const and not truthy(v.const_value)
+
+
+def _is_nonzero(v: LatticeValue) -> bool:
+    return v.is_const and truthy(v.const_value)
+
+
+def evaluate_expr(
+    expr: ast.Expr, lookup: Callable[[str], LatticeValue]
+) -> LatticeValue:
+    """Abstractly evaluate ``expr`` with variable values given by ``lookup``."""
+    if isinstance(expr, ast.IntLit):
+        return Const(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return Const(expr.value)
+    if isinstance(expr, ast.Var):
+        return lookup(expr.name)
+    if isinstance(expr, ast.Index):
+        # Array elements are never propagated (paper Section 4: "We only
+        # propagate scalar variables").
+        return BOTTOM
+    if isinstance(expr, ast.Unary):
+        return abstract_unary(expr.op, evaluate_expr(expr.operand, lookup))
+    if isinstance(expr, ast.Binary):
+        left = evaluate_expr(expr.left, lookup)
+        right = evaluate_expr(expr.right, lookup)
+        return abstract_binary(expr.op, left, right)
+    raise TypeError(f"unknown expression node: {expr!r}")

@@ -1,0 +1,134 @@
+"""The three-level constant propagation lattice.
+
+::
+
+            TOP      (optimistic "no evidence yet" / unexecuted)
+          /  |  \\
+        ... c_i ...  (one element per constant value)
+          \\  |  /
+           BOTTOM    ("not a constant" / varies)
+
+``meet`` moves downward: ``meet(TOP, x) = x``, ``meet(c, c) = c``,
+``meet(c1, c2) = BOTTOM`` for distinct constants, ``meet(BOTTOM, x) = BOTTOM``.
+
+Constant equality is *type-sensitive*: the integer ``1`` and the float ``1.0``
+are different lattice elements (they are different Fortran constants), even
+though Python's ``==`` equates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Iterable, Union
+
+Value = Union[int, float]
+
+_TAG_TOP = 0
+_TAG_CONST = 1
+_TAG_BOTTOM = 2
+
+
+def values_equal(a: Value, b: Value) -> bool:
+    """Type-sensitive constant equality (1 != 1.0; NaN equals nothing)."""
+    if isinstance(a, bool) or isinstance(b, bool):  # bools never occur, but be safe
+        return a is b
+    if type(a) is not type(b):
+        return False
+    return a == b
+
+
+@dataclass(frozen=True)
+class LatticeValue:
+    """An element of the constant lattice.
+
+    Use the module-level :data:`TOP` and :data:`BOTTOM` singletons and the
+    :func:`Const` constructor rather than instantiating this class directly.
+    """
+
+    tag: int
+    value: Value = 0
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.tag == _TAG_TOP
+
+    @property
+    def is_const(self) -> bool:
+        return self.tag == _TAG_CONST
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.tag == _TAG_BOTTOM
+
+    @property
+    def const_value(self) -> Value:
+        """The constant payload; only valid when :attr:`is_const`."""
+        if not self.is_const:
+            raise ValueError(f"{self} is not a constant")
+        return self.value
+
+    @property
+    def is_float_const(self) -> bool:
+        return self.is_const and isinstance(self.value, float)
+
+    # -- structural equality (type-sensitive for constants) ---------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatticeValue):
+            return NotImplemented
+        if self.tag != other.tag:
+            return False
+        if self.tag != _TAG_CONST:
+            return True
+        return values_equal(self.value, other.value)
+
+    def __hash__(self) -> int:
+        if self.tag != _TAG_CONST:
+            return hash(self.tag)
+        return hash((self.tag, type(self.value).__name__, self.value))
+
+    def __repr__(self) -> str:
+        if self.is_top:
+            return "TOP"
+        if self.is_bottom:
+            return "BOTTOM"
+        return f"Const({self.value!r})"
+
+
+TOP = LatticeValue(_TAG_TOP)
+BOTTOM = LatticeValue(_TAG_BOTTOM)
+
+
+def Const(value: Value) -> LatticeValue:
+    """Construct the lattice element for constant ``value``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"constants must be int or float, got {value!r}")
+    return LatticeValue(_TAG_CONST, value)
+
+
+def meet(a: LatticeValue, b: LatticeValue) -> LatticeValue:
+    """The lattice meet (greatest lower bound) of two elements."""
+    if a.is_top:
+        return b
+    if b.is_top:
+        return a
+    if a.is_bottom or b.is_bottom:
+        return BOTTOM
+    if values_equal(a.value, b.value):
+        return a
+    return BOTTOM
+
+
+def meet_all(elements: Iterable[LatticeValue]) -> LatticeValue:
+    """Meet of an iterable of lattice elements (TOP for an empty iterable)."""
+    return reduce(meet, elements, TOP)
+
+
+def lattice_le(a: LatticeValue, b: LatticeValue) -> bool:
+    """Partial order: ``a <= b`` iff a is at or below b in the lattice."""
+    if a.is_bottom or b.is_top:
+        return True
+    return a == b

@@ -1,0 +1,311 @@
+"""SSA construction (Cytron et al.) over the MiniF CFG.
+
+Instead of rewriting expressions, the renamer *annotates* each instruction and
+terminator with ``uses`` (variable name -> reaching SSA name) and ``defs``
+(variable name -> SSA name assigned).  Within a single instruction every use
+of a variable sees the same reaching definition, so a per-instruction map is
+exact.
+
+Calls are multi-def instructions: a :class:`~repro.ir.cfg.CallInstr` defines
+its result target plus every caller variable the call may modify (supplied by
+``call_defs``).  Assignments to a variable that may alias others (by-reference
+formal aliasing) also define the alias partners (supplied by
+``assign_extra_defs``).  The renamer additionally records, for every call and
+each global in ``record_globals``, the SSA name of that global immediately
+before the call (``CallInstr.reaching_globals``) — this is how the
+flow-sensitive ICP reads a global's value at a call site.
+
+Only blocks reachable from entry are processed; instructions in unreachable
+blocks keep ``uses is None`` and are ignored by all analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.ir.cfg import (
+    ArrayStoreInstr,
+    AssignInstr,
+    Branch,
+    CallInstr,
+    CFG,
+    Instr,
+    Jump,
+    PrintInstr,
+    Ret,
+    Terminator,
+)
+from repro.ir.dominance import DominatorInfo, compute_dominators
+from repro.lang import ast
+
+
+@dataclass(frozen=True)
+class SSAName:
+    """A single static assignment of ``var`` (version 0 is the entry value)."""
+
+    var: str
+    version: int
+
+    def __str__(self) -> str:
+        return f"{self.var}.{self.version}"
+
+
+@dataclass
+class PhiNode:
+    """A phi function ``target = phi(args)`` placed at a join block."""
+
+    var: str
+    block_id: int
+    target: SSAName
+    #: pred block id -> incoming SSA name (filled during renaming).
+    args: Dict[int, SSAName] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"B{p}:{n}" for p, n in sorted(self.args.items()))
+        return f"{self.target} = phi({parts})"
+
+
+#: A reference to a place where an SSA name is used.
+UseRef = Tuple[str, int, object]  # ("phi"|"instr"|"term", block_id, node)
+
+
+@dataclass
+class SSAFunction:
+    """A procedure in SSA form."""
+
+    cfg: CFG
+    dom: DominatorInfo
+    variables: FrozenSet[str]
+    entry_defs: Dict[str, SSAName]
+    phis: Dict[int, List[PhiNode]]
+    uses_of: Dict[SSAName, List[UseRef]]
+    reachable: FrozenSet[int]
+
+    def all_names(self) -> Iterable[SSAName]:
+        """Every SSA name defined anywhere in the function."""
+        yield from self.entry_defs.values()
+        for phi_list in self.phis.values():
+            for phi in phi_list:
+                yield phi.target
+        for block_id in self.reachable:
+            for instr in self.cfg.blocks[block_id].instrs:
+                if instr.defs:
+                    yield from instr.defs.values()
+
+
+def instr_use_vars(instr: Union[Instr, Terminator]) -> Set[str]:
+    """Variable names read by an instruction or terminator."""
+    if isinstance(instr, AssignInstr):
+        return ast.expr_variables(instr.expr)
+    if isinstance(instr, ArrayStoreInstr):
+        # The store reads the index and the value, not the array itself.
+        return ast.expr_variables(instr.index) | ast.expr_variables(instr.expr)
+    if isinstance(instr, CallInstr):
+        names: Set[str] = set()
+        for arg in instr.args:
+            names.update(ast.expr_variables(arg))
+        return names
+    if isinstance(instr, PrintInstr):
+        return ast.expr_variables(instr.expr)
+    if isinstance(instr, Branch):
+        return ast.expr_variables(instr.cond)
+    if isinstance(instr, Ret):
+        if instr.expr is None:
+            return set()
+        return ast.expr_variables(instr.expr)
+    if isinstance(instr, Jump):
+        return set()
+    raise TypeError(f"unknown instruction {instr!r}")
+
+
+def _no_extra_defs(_target: str) -> Set[str]:
+    return set()
+
+
+def build_ssa(
+    cfg: CFG,
+    call_defs: Callable[[CallInstr], Set[str]],
+    record_globals: Optional[Set[str]] = None,
+    assign_extra_defs: Callable[[str], Set[str]] = _no_extra_defs,
+    extra_variables: Optional[Set[str]] = None,
+    record_at_returns: Optional[Set[str]] = None,
+) -> SSAFunction:
+    """Put ``cfg`` into SSA form.
+
+    :param call_defs: maps a call instruction to the caller-variable names it
+        may modify (its result target is handled separately).
+    :param record_globals: globals whose reaching SSA name should be recorded
+        at every call (for the flow-sensitive ICP).
+    :param assign_extra_defs: maps an assignment target to additional variables
+        the assignment may modify (alias partners).
+    :param extra_variables: names to include in SSA even if never mentioned.
+    :param record_at_returns: variables whose reaching SSA name should be
+        recorded at every return (for the exit-value extension).
+    """
+    dom = compute_dominators(cfg)
+    reachable = frozenset(dom.rpo)
+    record_globals = record_globals or set()
+    record_at_returns = record_at_returns or set()
+
+    # ------------------------------------------------------------------
+    # Collect variables and their definition blocks.
+    # ------------------------------------------------------------------
+    variables: Set[str] = set(record_globals) | set(record_at_returns)
+    if extra_variables:
+        variables.update(extra_variables)
+    def_blocks: Dict[str, Set[int]] = {}
+    instr_def_vars: Dict[int, List[str]] = {}  # id(instr) -> ordered def vars
+
+    def note_def(var: str, block_id: int) -> None:
+        variables.add(var)
+        def_blocks.setdefault(var, set()).add(block_id)
+
+    for block_id in dom.rpo:
+        block = cfg.blocks[block_id]
+        for instr in block.instrs:
+            variables.update(instr_use_vars(instr))
+            defs: List[str] = []
+            if isinstance(instr, (AssignInstr, ArrayStoreInstr)):
+                defs.append(instr.target)
+                for extra in sorted(assign_extra_defs(instr.target)):
+                    if extra != instr.target:
+                        defs.append(extra)
+            elif isinstance(instr, CallInstr):
+                extras: Set[str] = set(call_defs(instr))
+                if instr.target is not None:
+                    defs.append(instr.target)
+                    # Storing the result through an aliased name (e.g. a
+                    # global bound by reference to a formal) also defines
+                    # the alias partners.
+                    extras.update(assign_extra_defs(instr.target))
+                for extra in sorted(extras):
+                    if extra != instr.target:
+                        defs.append(extra)
+            for var in defs:
+                note_def(var, block_id)
+            instr_def_vars[id(instr)] = defs
+        if block.terminator is not None:
+            variables.update(instr_use_vars(block.terminator))
+
+    # Every variable has an implicit entry definition (version 0).
+    for var in variables:
+        def_blocks.setdefault(var, set()).add(cfg.entry_id)
+
+    # ------------------------------------------------------------------
+    # Phi placement via iterated dominance frontiers.
+    # ------------------------------------------------------------------
+    phis: Dict[int, List[PhiNode]] = {block_id: [] for block_id in dom.rpo}
+    phi_vars: Dict[int, Set[str]] = {block_id: set() for block_id in dom.rpo}
+    for var in sorted(variables):
+        worklist = [b for b in def_blocks.get(var, ()) if b in reachable]
+        on_list = set(worklist)
+        while worklist:
+            block_id = worklist.pop()
+            for frontier_id in dom.frontier[block_id]:
+                if var in phi_vars[frontier_id]:
+                    continue
+                phi_vars[frontier_id].add(var)
+                # Target SSA name assigned during renaming.
+                phis[frontier_id].append(PhiNode(var, frontier_id, SSAName(var, -1)))
+                if frontier_id not in on_list:
+                    on_list.add(frontier_id)
+                    worklist.append(frontier_id)
+
+    # ------------------------------------------------------------------
+    # Renaming (iterative dominator-tree walk).
+    # ------------------------------------------------------------------
+    counters: Dict[str, int] = {var: 0 for var in variables}
+    stacks: Dict[str, List[SSAName]] = {}
+    entry_defs: Dict[str, SSAName] = {}
+    for var in variables:
+        name = SSAName(var, 0)
+        entry_defs[var] = name
+        stacks[var] = [name]
+
+    def fresh(var: str) -> SSAName:
+        counters[var] += 1
+        return SSAName(var, counters[var])
+
+    # Each frame: (block_id, number-of-pushes-per-var recorded for unwinding).
+    pushed: List[List[str]] = []
+    walk: List[Tuple[int, bool]] = [(cfg.entry_id, False)]
+    while walk:
+        block_id, done = walk.pop()
+        if done:
+            for var in pushed.pop():
+                stacks[var].pop()
+            continue
+        walk.append((block_id, True))
+        frame_pushes: List[str] = []
+        pushed.append(frame_pushes)
+        block = cfg.blocks[block_id]
+
+        for phi in phis[block_id]:
+            name = fresh(phi.var)
+            phi.target = name
+            stacks[phi.var].append(name)
+            frame_pushes.append(phi.var)
+
+        for instr in block.instrs:
+            instr.uses = {var: stacks[var][-1] for var in instr_use_vars(instr)}
+            if isinstance(instr, CallInstr):
+                instr.reaching_globals = {
+                    g: stacks[g][-1] for g in record_globals
+                }
+            defs: Dict[str, SSAName] = {}
+            for var in instr_def_vars[id(instr)]:
+                name = fresh(var)
+                defs[var] = name
+                stacks[var].append(name)
+                frame_pushes.append(var)
+            instr.defs = defs
+
+        if block.terminator is not None:
+            block.terminator.uses = {
+                var: stacks[var][-1] for var in instr_use_vars(block.terminator)
+            }
+            if record_at_returns and isinstance(block.terminator, Ret):
+                block.terminator.reaching = {
+                    var: stacks[var][-1] for var in record_at_returns
+                }
+
+        for succ_id in block.succs:
+            if succ_id not in reachable:
+                continue
+            for phi in phis[succ_id]:
+                phi.args[block_id] = stacks[phi.var][-1]
+
+        for child in dom.dom_tree[block_id]:
+            walk.append((child, False))
+
+    # ------------------------------------------------------------------
+    # Def-use chains (phi arguments, instruction uses, terminator uses).
+    # ------------------------------------------------------------------
+    uses_of: Dict[SSAName, List[UseRef]] = {}
+
+    def add_use(name: SSAName, ref: UseRef) -> None:
+        uses_of.setdefault(name, []).append(ref)
+
+    for block_id in dom.rpo:
+        block = cfg.blocks[block_id]
+        for phi in phis[block_id]:
+            for name in phi.args.values():
+                add_use(name, ("phi", block_id, phi))
+        for instr in block.instrs:
+            for name in (instr.uses or {}).values():
+                add_use(name, ("instr", block_id, instr))
+        term = block.terminator
+        if term is not None and term.uses:
+            for name in term.uses.values():
+                add_use(name, ("term", block_id, term))
+
+    return SSAFunction(
+        cfg=cfg,
+        dom=dom,
+        variables=frozenset(variables),
+        entry_defs=entry_defs,
+        phis=phis,
+        uses_of=uses_of,
+        reachable=reachable,
+    )

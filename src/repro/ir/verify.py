@@ -1,0 +1,138 @@
+"""Structural verifiers for the CFG and SSA form.
+
+Used by the test suite (and available to downstream users debugging new
+passes) to check the invariants every analysis relies on:
+
+CFG:
+- every block has a terminator;
+- pred/succ lists are consistent with each other and with terminators;
+- branch/jump targets are valid block ids.
+
+SSA:
+- every SSA name has exactly one definition site;
+- every use (instruction, terminator, phi argument) refers to a defined name;
+- a definition dominates each of its uses (phi arguments must be defined in
+  a dominator of the corresponding predecessor);
+- each reachable block's phis have exactly one argument per reachable
+  predecessor.
+
+Verifiers raise :class:`VerificationError` with a precise message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.errors import ReproError
+from repro.ir.cfg import Branch, CFG, Jump, Ret
+from repro.ir.ssa import SSAFunction, SSAName
+
+
+class VerificationError(ReproError):
+    """An IR structural invariant is violated."""
+
+
+def verify_cfg(cfg: CFG) -> None:
+    """Check CFG structural invariants; raise VerificationError on failure."""
+    n = len(cfg.blocks)
+    if not (0 <= cfg.entry_id < n):
+        raise VerificationError(f"entry id B{cfg.entry_id} out of range")
+    for block in cfg.blocks:
+        term = block.terminator
+        if term is None:
+            raise VerificationError(f"B{block.id} has no terminator")
+        targets: Set[int] = set()
+        if isinstance(term, Jump):
+            targets = {term.target}
+        elif isinstance(term, Branch):
+            targets = {term.true_target, term.false_target}
+        elif not isinstance(term, Ret):
+            raise VerificationError(f"B{block.id}: unknown terminator {term!r}")
+        for target in targets:
+            if not (0 <= target < n):
+                raise VerificationError(
+                    f"B{block.id}: terminator target B{target} out of range"
+                )
+        if set(block.succs) != targets:
+            raise VerificationError(
+                f"B{block.id}: succs {block.succs} != terminator targets {targets}"
+            )
+        for succ in block.succs:
+            if block.id not in cfg.blocks[succ].preds:
+                raise VerificationError(
+                    f"edge B{block.id}->B{succ} missing from preds"
+                )
+        for pred in block.preds:
+            if block.id not in cfg.blocks[pred].succs:
+                raise VerificationError(
+                    f"pred edge B{pred}->B{block.id} missing from succs"
+                )
+
+
+def verify_ssa(ssa: SSAFunction) -> None:
+    """Check SSA invariants; raise VerificationError on failure."""
+    verify_cfg(ssa.cfg)
+    cfg = ssa.cfg
+
+    def_block: Dict[SSAName, int] = {}
+
+    def define(name: SSAName, block_id: int, what: str) -> None:
+        if name in def_block:
+            raise VerificationError(f"{what}: {name} defined twice")
+        def_block[name] = block_id
+
+    for var, name in ssa.entry_defs.items():
+        if name.var != var or name.version != 0:
+            raise VerificationError(f"entry def for {var} is {name}")
+        define(name, cfg.entry_id, "entry")
+    for block_id in ssa.reachable:
+        for phi in ssa.phis.get(block_id, ()):
+            if phi.block_id != block_id:
+                raise VerificationError(f"{phi} filed under B{block_id}")
+            define(phi.target, block_id, "phi")
+        for instr in cfg.blocks[block_id].instrs:
+            for name in (instr.defs or {}).values():
+                define(name, block_id, "instr")
+
+    def check_use(name: SSAName, block_id: int, what: str) -> None:
+        if name not in def_block:
+            raise VerificationError(f"{what}: use of undefined {name}")
+        if not ssa.dom.dominates(def_block[name], block_id):
+            raise VerificationError(
+                f"{what}: def of {name} (B{def_block[name]}) does not "
+                f"dominate use in B{block_id}"
+            )
+
+    for block_id in ssa.reachable:
+        block = cfg.blocks[block_id]
+        preds = {p for p in block.preds if p in ssa.reachable}
+        for phi in ssa.phis.get(block_id, ()):
+            if set(phi.args) != preds:
+                raise VerificationError(
+                    f"{phi}: args for {set(phi.args)}, preds are {preds}"
+                )
+            for pred_id, name in phi.args.items():
+                check_use(name, pred_id, f"phi {phi.target}")
+        for instr in block.instrs:
+            for name in (instr.uses or {}).values():
+                check_use(name, block_id, f"instr in B{block_id}")
+        term = block.terminator
+        if term is not None and term.uses:
+            for name in term.uses.values():
+                check_use(name, block_id, f"terminator of B{block_id}")
+
+
+def cfg_to_dot(cfg: CFG, name: str = "cfg") -> str:
+    """Render a CFG as Graphviz DOT (for debugging new passes)."""
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=monospace];"]
+    reachable = set(cfg.reachable_ids())
+    for block in cfg.blocks:
+        body = [f"B{block.id}"] + [str(i) for i in block.instrs]
+        body.append(str(block.terminator))
+        label = "\\l".join(body) + "\\l"
+        style = "" if block.id in reachable else ", style=dashed"
+        lines.append(f'  B{block.id} [label="{label}"{style}];')
+    for pred, succ in cfg.edges():
+        lines.append(f"  B{pred} -> B{succ};")
+    lines.append("}")
+    return "\n".join(lines)

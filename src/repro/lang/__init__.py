@@ -1,0 +1,81 @@
+"""The MiniF language frontend.
+
+MiniF is a small imperative language with Fortran 77 semantics, designed to
+exercise exactly the features the paper's analyses consume:
+
+- ``global`` declarations (Fortran COMMON blocks),
+- ``init { g = literal; }`` blocks (Fortran BLOCK DATA),
+- procedures with **by-reference** formal parameters (bare-variable arguments
+  alias the caller's variable; compound expressions pass a temporary),
+- structured control flow (``if``/``else``, ``while``),
+- integer and floating-point scalars.
+
+Grammar sketch::
+
+    program   := (global_decl | init_block | proc_decl)*
+    global_decl := "global" ident ("," ident)* ";"
+    init_block  := "init" "{" (ident "=" signed_literal ";")* "}"
+    proc_decl   := "proc" ident "(" [ident ("," ident)*] ")" block
+    stmt      := block | if | while | call | return | print | assignment
+    assignment:= ident "=" (ident "(" args ")" | expr) ";"
+
+A procedure call may appear either as a statement (``call p(...);``) or as the
+*entire* right-hand side of an assignment (``x = f(...);``); calls are not
+permitted inside compound expressions, which keeps expressions side-effect
+free (as in the paper's Fortran setting after call extraction).
+"""
+
+from repro.lang.ast import (
+    Assign,
+    Binary,
+    Block,
+    CallAssign,
+    CallStmt,
+    Expr,
+    FloatLit,
+    GlobalInit,
+    If,
+    IntLit,
+    Print,
+    Procedure,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    Var,
+    While,
+)
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_expression, parse_program
+from repro.lang.pretty import pretty_expr, pretty_program, pretty_stmt
+from repro.lang.validate import validate_program
+
+__all__ = [
+    "Assign",
+    "Binary",
+    "Block",
+    "CallAssign",
+    "CallStmt",
+    "Expr",
+    "FloatLit",
+    "GlobalInit",
+    "If",
+    "IntLit",
+    "Lexer",
+    "Parser",
+    "Print",
+    "Procedure",
+    "Program",
+    "Return",
+    "Stmt",
+    "Unary",
+    "Var",
+    "While",
+    "parse_expression",
+    "parse_program",
+    "pretty_expr",
+    "pretty_program",
+    "pretty_stmt",
+    "tokenize",
+    "validate_program",
+]

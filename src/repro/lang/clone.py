@@ -1,0 +1,138 @@
+"""Deep-copying and renaming of AST fragments.
+
+Used by the procedure-cloning and inlining transformations: both need fresh
+statement/expression trees (transformations annotate and rebuild nodes, so
+sharing would couple clones), and inlining additionally substitutes names.
+
+``rename`` maps *variable* names; ``rename_calls`` maps callee names.  Either
+may be partial — unmapped names are kept.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.lang import ast
+
+NameMap = Dict[str, str]
+
+
+def _mapped(name: str, mapping: Optional[NameMap]) -> str:
+    if mapping is None:
+        return name
+    return mapping.get(name, name)
+
+
+def clone_expr(expr: ast.Expr, rename: Optional[NameMap] = None) -> ast.Expr:
+    """Deep-copy an expression, renaming variables via ``rename``."""
+    if isinstance(expr, ast.IntLit):
+        return ast.IntLit(expr.value, expr.pos)
+    if isinstance(expr, ast.FloatLit):
+        return ast.FloatLit(expr.value, expr.pos)
+    if isinstance(expr, ast.Var):
+        return ast.Var(_mapped(expr.name, rename), expr.pos)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, clone_expr(expr.operand, rename), expr.pos)
+    if isinstance(expr, ast.Binary):
+        return ast.Binary(
+            expr.op,
+            clone_expr(expr.left, rename),
+            clone_expr(expr.right, rename),
+            expr.pos,
+        )
+    if isinstance(expr, ast.Index):
+        return ast.Index(
+            _mapped(expr.name, rename), clone_expr(expr.index, rename), expr.pos
+        )
+    raise TypeError(f"unknown expression node {expr!r}")
+
+
+def clone_stmt(
+    stmt: ast.Stmt,
+    rename: Optional[NameMap] = None,
+    rename_calls: Optional[NameMap] = None,
+) -> ast.Stmt:
+    """Deep-copy a statement, renaming variables and callees."""
+    if isinstance(stmt, ast.Block):
+        return clone_block(stmt, rename, rename_calls)
+    if isinstance(stmt, ast.Assign):
+        return ast.Assign(
+            _mapped(stmt.target, rename), clone_expr(stmt.expr, rename), stmt.pos
+        )
+    if isinstance(stmt, ast.AssignIndex):
+        return ast.AssignIndex(
+            _mapped(stmt.target, rename),
+            clone_expr(stmt.index, rename),
+            clone_expr(stmt.expr, rename),
+            stmt.pos,
+        )
+    if isinstance(stmt, ast.CallStmt):
+        return ast.CallStmt(
+            _mapped(stmt.callee, rename_calls),
+            [clone_expr(arg, rename) for arg in stmt.args],
+            stmt.pos,
+        )
+    if isinstance(stmt, ast.CallAssign):
+        return ast.CallAssign(
+            _mapped(stmt.target, rename),
+            _mapped(stmt.callee, rename_calls),
+            [clone_expr(arg, rename) for arg in stmt.args],
+            stmt.pos,
+        )
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            clone_expr(stmt.cond, rename),
+            clone_block(stmt.then_block, rename, rename_calls),
+            clone_block(stmt.else_block, rename, rename_calls)
+            if stmt.else_block is not None
+            else None,
+            stmt.pos,
+        )
+    if isinstance(stmt, ast.While):
+        return ast.While(
+            clone_expr(stmt.cond, rename),
+            clone_block(stmt.body, rename, rename_calls),
+            stmt.pos,
+        )
+    if isinstance(stmt, ast.Return):
+        expr = clone_expr(stmt.expr, rename) if stmt.expr is not None else None
+        return ast.Return(expr, stmt.pos)
+    if isinstance(stmt, ast.Print):
+        return ast.Print(clone_expr(stmt.expr, rename), stmt.pos)
+    raise TypeError(f"unknown statement node {stmt!r}")
+
+
+def clone_block(
+    block: ast.Block,
+    rename: Optional[NameMap] = None,
+    rename_calls: Optional[NameMap] = None,
+) -> ast.Block:
+    """Deep-copy a block."""
+    return ast.Block(
+        [clone_stmt(s, rename, rename_calls) for s in block.stmts], block.pos
+    )
+
+
+def clone_procedure(
+    proc: ast.Procedure,
+    new_name: Optional[str] = None,
+    rename: Optional[NameMap] = None,
+    rename_calls: Optional[NameMap] = None,
+) -> ast.Procedure:
+    """Deep-copy a procedure, optionally renaming it and its variables."""
+    formals = [_mapped(f, rename) for f in proc.formals]
+    return ast.Procedure(
+        new_name or proc.name,
+        formals,
+        clone_block(proc.body, rename, rename_calls),
+        proc.pos,
+    )
+
+
+def clone_program(program: ast.Program) -> ast.Program:
+    """Deep-copy a whole program."""
+    return ast.Program(
+        list(program.global_names),
+        [ast.GlobalInit(e.name, e.value, e.pos) for e in program.inits],
+        [clone_procedure(p) for p in program.procedures],
+    )

@@ -1,0 +1,718 @@
+"""A FORTRAN 77 subset front end.
+
+The paper's prototype analyzed Fortran; this module accepts a F77-flavoured
+surface syntax and translates it to the same AST the rest of the system
+consumes, so genuinely Fortran-looking sources run through the full
+pipeline::
+
+          COMMON G1, G2
+          BLOCK DATA
+            DATA G1 /1.5/
+          END
+
+          PROGRAM MAIN
+            CALL SUB1(0)
+          END
+
+          SUBROUTINE SUB1(F1)
+            X = 1
+            IF (F1 .NE. 0) THEN
+              Y = 1
+            ELSE
+              Y = 0
+            ENDIF
+            CALL SUB2(Y, 4, F1, X)
+          END
+
+Supported subset (documented deviations from full F77):
+
+- program units: ``PROGRAM``, ``SUBROUTINE``, ``FUNCTION``, ``BLOCK DATA``,
+  each closed by ``END``;
+- ``COMMON [/blk/] a, b`` declares globals (block names are ignored: the
+  reproduction models one global name space);
+- ``DATA name /literal/`` (inside BLOCK DATA) and plain assignments there;
+- statements: assignment, ``CALL``, block ``IF (c) THEN / ELSE / ENDIF``,
+  logical ``IF (c) stmt``, ``DO v = e1, e2 [, e3] ... ENDDO`` (literal step;
+  translated to a ``while`` loop — F77's precomputed trip count is *not*
+  modelled, so a body that modifies the index changes behaviour),
+  ``DO WHILE (c) ... ENDDO``, ``PRINT *, expr``, ``RETURN``,
+  ``CONTINUE`` (no-op);
+- ``DIMENSION A(n) [, B(m) ...]`` declares arrays for the enclosing unit
+  (bounds are recorded but not enforced, matching MiniF's unbounded
+  arrays); a dimensioned name used as ``A(I)`` is an array reference, which
+  resolves FORTRAN's call-vs-subscript paren ambiguity;
+- a FUNCTION's result is assigned to the function name, read back by
+  ``RETURN``/``END`` (translated through a result variable);
+- operators: arithmetic ``+ - * /``, the ``MOD(a, b)`` intrinsic (MiniF
+  ``%``), relationals ``.EQ. .NE. .LT. .LE. .GT. .GE.``, logicals
+  ``.AND. .OR. .NOT.``;
+- comment lines start with ``C``, ``c``, ``*``, or ``!``; ``!`` also starts
+  an inline comment; continuation lines, labels, GOTO, and type
+  declarations (``INTEGER``/``REAL`` — ignored if present) are out of scope.
+
+Identifiers are case-insensitive and normalized to lower case.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError, SourcePos
+from repro.lang import ast
+from repro.lang.parser import parse_expression
+
+_DOT_OPS = {
+    ".eq.": "==",
+    ".ne.": "!=",
+    ".lt.": "<",
+    ".le.": "<=",
+    ".gt.": ">",
+    ".ge.": ">=",
+    ".and.": " and ",
+    ".or.": " or ",
+    ".not.": " not ",
+}
+
+class _Lines:
+    """Pre-processed logical lines with their original line numbers."""
+
+    def __init__(self, source: str):
+        self.lines: List[Tuple[int, str]] = []
+        for number, raw in enumerate(source.splitlines(), start=1):
+            # Fixed-form comments: 'C', 'c', or '*' in COLUMN 1, standing
+            # alone or followed by whitespace.  (Checking the raw line
+            # matters: an indented assignment to a variable named `c` is a
+            # statement, not a comment.)
+            head = raw[:1]
+            if head in ("C", "c", "*") and (len(raw) == 1 or raw[1] in " \t"):
+                continue
+            stripped = raw.strip()
+            if not stripped or stripped == "*":
+                continue
+            if stripped.startswith("!"):
+                continue
+            if "!" in stripped:
+                stripped = stripped.split("!", 1)[0].strip()
+                if not stripped:
+                    continue
+            self.lines.append((number, stripped))
+        self.index = 0
+
+    def peek(self) -> Optional[Tuple[int, str]]:
+        if self.index < len(self.lines):
+            return self.lines[self.index]
+        return None
+
+    def next(self) -> Tuple[int, str]:
+        item = self.peek()
+        if item is None:
+            raise ParseError("unexpected end of FORTRAN source")
+        self.index += 1
+        return item
+
+
+def _pos(line_number: int) -> SourcePos:
+    return SourcePos(line_number, 1)
+
+
+def _translate_expr(text: str, line_number: int) -> ast.Expr:
+    """Translate a F77 expression by rewriting dot-operators to MiniF."""
+    rewritten = text
+    for dotted, replacement in _DOT_OPS.items():
+        pattern = re.compile(re.escape(dotted), re.IGNORECASE)
+        rewritten = pattern.sub(replacement, rewritten)
+    rewritten = _convert_mod_intrinsic(rewritten, line_number)
+    rewritten = rewritten.lower()
+    try:
+        return parse_expression(rewritten)
+    except ParseError as error:
+        raise ParseError(
+            f"bad FORTRAN expression {text!r}: {error.message}", _pos(line_number)
+        ) from error
+
+
+def _convert_mod_intrinsic(text: str, line_number: int) -> str:
+    """Rewrite ``MOD(a, b)`` to ``((a) % (b))`` (recursively)."""
+    while True:
+        match = re.search(r"\bmod\s*\(", text, re.IGNORECASE)
+        if match is None:
+            return text
+        open_paren = match.end() - 1
+        depth = 0
+        comma = -1
+        close = -1
+        for i in range(open_paren, len(text)):
+            char = text[i]
+            if char == "(":
+                depth += 1
+            elif char == ")":
+                depth -= 1
+                if depth == 0:
+                    close = i
+                    break
+            elif char == "," and depth == 1:
+                comma = i
+        if close < 0 or comma < 0:
+            raise ParseError("malformed MOD(a, b)", _pos(line_number))
+        a = text[open_paren + 1:comma]
+        b = text[comma + 1:close]
+        text = (
+            text[:match.start()] + f"(({a}) % ({b}))" + text[close + 1:]
+        )
+
+
+def _convert_subscripts(text: str, dims, line_number: int) -> str:
+    """Rewrite ``A(I)`` to ``A[I]`` for every DIMENSIONed name.
+
+    Resolves FORTRAN's paren ambiguity: a parenthesized reference to a
+    dimensioned name is an array subscript; everything else stays a call or
+    grouping.  Nested subscripts are converted recursively.
+    """
+    if not dims:
+        return text
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            name = text[i:j]
+            k = j
+            while k < n and text[k] in " \t":
+                k += 1
+            if k < n and text[k] == "(" and name.lower() in dims:
+                depth = 0
+                m = k
+                while m < n:
+                    if text[m] == "(":
+                        depth += 1
+                    elif text[m] == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    m += 1
+                if m >= n:
+                    raise ParseError(
+                        f"unbalanced subscript on {name!r}", _pos(line_number)
+                    )
+                inner = _convert_subscripts(text[k + 1:m], dims, line_number)
+                out.append(f"{name}[{inner}]")
+                i = m + 1
+                continue
+            out.append(name)
+            i = j
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+_UNIT_RE = re.compile(
+    r"^(program|subroutine|function|block\s+data)\b\s*(\w+)?\s*(\(([^)]*)\))?\s*$",
+    re.IGNORECASE,
+)
+_COMMON_RE = re.compile(r"^common\s*(/\s*\w+\s*/)?\s*(.+)$", re.IGNORECASE)
+_DATA_RE = re.compile(r"^data\s+(\w+)\s*/\s*([^/]+)\s*/\s*$", re.IGNORECASE)
+_CALL_RE = re.compile(r"^call\s+(\w+)\s*(\((.*)\))?\s*$", re.IGNORECASE)
+_PRINT_RE = re.compile(r"^print\s*\*\s*,\s*(.+)$", re.IGNORECASE)
+_IF_THEN_RE = re.compile(r"^if\s*\((.*)\)\s*then$", re.IGNORECASE)
+_IF_LOGICAL_RE = re.compile(r"^if\s*\((.*)\)\s*(\S.*)$", re.IGNORECASE)
+_DO_WHILE_RE = re.compile(r"^do\s+while\s*\((.*)\)$", re.IGNORECASE)
+_DO_RE = re.compile(
+    r"^do\s+(\w+)\s*=\s*([^,]+),\s*([^,]+?)(?:\s*,\s*(.+))?$", re.IGNORECASE
+)
+_ASSIGN_RE = re.compile(r"^(\w+)\s*=\s*(.+)$")
+_ARRAY_ASSIGN_RE = re.compile(r"^(\w+)\s*\[(.+)\]\s*=\s*(.+)$")
+_CALL_ASSIGN_RE = re.compile(r"^(\w+)\s*=\s*(\w+)\s*\((.*)\)\s*$")
+_DECL_RE = re.compile(r"^(integer|real|logical|implicit)\b", re.IGNORECASE)
+_DIMENSION_RE = re.compile(r"^dimension\s+(.+)$", re.IGNORECASE)
+_DIM_ENTRY_RE = re.compile(r"^([A-Za-z_]\w*)\s*\(\s*[\w\s,]*\s*\)$")
+
+
+def parse_fortran(source: str) -> ast.Program:
+    """Parse a F77-subset source into a MiniF program AST."""
+    lines = _Lines(source)
+    globals_order: List[str] = []
+    inits: List[ast.GlobalInit] = []
+    procedures: List[ast.Procedure] = []
+
+    while lines.peek() is not None:
+        number, text = lines.peek()
+        common = _COMMON_RE.match(text)
+        if common:
+            lines.next()
+            for name in common.group(2).split(","):
+                cleaned = name.strip().lower()
+                if not cleaned.isidentifier():
+                    raise ParseError(
+                        f"bad COMMON variable {name.strip()!r}", _pos(number)
+                    )
+                if cleaned not in globals_order:
+                    globals_order.append(cleaned)
+            continue
+        unit = _UNIT_RE.match(text)
+        if not unit:
+            raise ParseError(
+                f"expected a program unit or COMMON, found {text!r}", _pos(number)
+            )
+        kind = re.sub(r"\s+", " ", unit.group(1).lower())
+        lines.next()
+        if kind == "block data":
+            inits.extend(_parse_block_data(lines))
+        else:
+            procedures.append(_parse_unit(kind, unit, lines, number))
+    return ast.Program(globals_order, inits, procedures)
+
+
+def _parse_block_data(lines: _Lines) -> List[ast.GlobalInit]:
+    inits: List[ast.GlobalInit] = []
+    while True:
+        number, text = lines.next()
+        if text.lower() == "end":
+            return inits
+        data = _DATA_RE.match(text)
+        if data:
+            name = data.group(1).lower()
+            value = _literal_value(data.group(2).strip(), number)
+            inits.append(ast.GlobalInit(name, value, _pos(number)))
+            continue
+        assign = _ASSIGN_RE.match(text)
+        if assign:
+            name = assign.group(1).lower()
+            value = _literal_value(assign.group(2).strip(), number)
+            inits.append(ast.GlobalInit(name, value, _pos(number)))
+            continue
+        raise ParseError(f"bad BLOCK DATA statement {text!r}", _pos(number))
+
+
+def _literal_value(text: str, number: int):
+    expr = _translate_expr(text, number)
+    value = ast.literal_value(expr)
+    if value is None:
+        raise ParseError(
+            f"BLOCK DATA requires literal constants, found {text!r}", _pos(number)
+        )
+    return value
+
+
+def _parse_unit(kind: str, unit, lines: _Lines, number: int) -> ast.Procedure:
+    name = (unit.group(2) or "main").lower()
+    params_text = unit.group(4) or ""
+    formals = [
+        p.strip().lower() for p in params_text.split(",") if p.strip()
+    ]
+    if kind == "program":
+        name = "main"
+        formals = []
+    is_function = kind == "function"
+    result_var = f"{name}_result" if is_function else None
+
+    dims: set = set()
+    body = _parse_statements(lines, terminators=("end",), proc_name=name,
+                             result_var=result_var, dims=dims)
+    lines.next()  # consume END
+    stmts = list(body)
+    if is_function:
+        stmts.append(ast.Return(ast.Var(result_var)))
+    return ast.Procedure(name, formals, ast.Block(stmts), _pos(number))
+
+
+def _parse_statements(
+    lines: _Lines,
+    terminators: Tuple[str, ...],
+    proc_name: str,
+    result_var: Optional[str],
+    dims,
+) -> List[ast.Stmt]:
+    stmts: List[ast.Stmt] = []
+    while True:
+        item = lines.peek()
+        if item is None:
+            raise ParseError(
+                f"missing {'/'.join(t.upper() for t in terminators)}"
+            )
+        number, text = item
+        if text.lower().replace(" ", "") in terminators:
+            return stmts
+        lines.next()
+        stmt = _parse_statement(text, number, lines, proc_name, result_var, dims)
+        if stmt is not None:
+            stmts.append(stmt)
+
+
+def _parse_statement(
+    text: str,
+    number: int,
+    lines: _Lines,
+    proc_name: str,
+    result_var: Optional[str],
+    dims,
+) -> Optional[ast.Stmt]:
+    lowered = text.lower()
+    if lowered == "continue":
+        return None
+    dimension = _DIMENSION_RE.match(text)
+    if dimension:
+        _register_dimensions(dimension.group(1), dims, number)
+        return None
+    if _DECL_RE.match(text):
+        return None  # type declarations carry no information here
+    text = _convert_subscripts(text, dims, number)
+    lowered = text.lower()
+    if lowered == "return":
+        if result_var is not None:
+            return ast.Return(ast.Var(result_var), _pos(number))
+        return ast.Return(None, _pos(number))
+
+    call = _CALL_RE.match(text)
+    if call:
+        args = _parse_args(call.group(3) or "", number)
+        return ast.CallStmt(call.group(1).lower(), args, _pos(number))
+
+    printed = _PRINT_RE.match(text)
+    if printed:
+        return ast.Print(_translate_expr(printed.group(1), number), _pos(number))
+
+    if_then = _IF_THEN_RE.match(text)
+    if if_then:
+        return _parse_if_block(
+            if_then.group(1), number, lines, proc_name, result_var, dims
+        )
+
+    do_while = _DO_WHILE_RE.match(text)
+    if do_while:
+        cond = _translate_expr(do_while.group(1), number)
+        body = _parse_statements(lines, ("enddo",), proc_name, result_var, dims)
+        lines.next()  # ENDDO
+        return ast.While(cond, ast.Block(body), _pos(number))
+
+    do_loop = _DO_RE.match(text)
+    if do_loop:
+        return _parse_do(do_loop, number, lines, proc_name, result_var, dims)
+
+    array_assign = _ARRAY_ASSIGN_RE.match(text)
+    if array_assign:
+        target = array_assign.group(1).lower()
+        index = _translate_expr(array_assign.group(2), number)
+        expr = _translate_expr(array_assign.group(3), number)
+        return ast.AssignIndex(target, index, expr, _pos(number))
+
+    call_assign = _CALL_ASSIGN_RE.match(text)
+    if call_assign and call_assign.group(2).lower() != "mod":
+        target = call_assign.group(1).lower()
+        callee = call_assign.group(2).lower()
+        args = _parse_args(call_assign.group(3), number)
+        target = _map_result(target, proc_name, result_var)
+        return ast.CallAssign(target, callee, args, _pos(number))
+
+    # Logical IF must be tried after block IF and loops.
+    if_logical = _IF_LOGICAL_RE.match(text)
+    if if_logical and if_logical.group(2).lower() != "then":
+        cond = _translate_expr(if_logical.group(1), number)
+        inner = _parse_statement(
+            if_logical.group(2), number, lines, proc_name, result_var, dims
+        )
+        if inner is None:
+            raise ParseError("empty logical IF", _pos(number))
+        return ast.If(cond, ast.Block([inner]), None, _pos(number))
+
+    assign = _ASSIGN_RE.match(text)
+    if assign:
+        target = _map_result(assign.group(1).lower(), proc_name, result_var)
+        expr = _translate_expr(assign.group(2), number)
+        return ast.Assign(target, expr, _pos(number))
+
+    raise ParseError(f"unsupported FORTRAN statement {text!r}", _pos(number))
+
+
+def _register_dimensions(entries_text: str, dims, number: int) -> None:
+    """Record the names declared by one DIMENSION statement."""
+    depth = 0
+    current: List[str] = []
+    pieces: List[str] = []
+    for char in entries_text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    pieces.append("".join(current))
+    for piece in pieces:
+        entry = piece.strip()
+        match = _DIM_ENTRY_RE.match(entry)
+        if not match:
+            raise ParseError(
+                f"bad DIMENSION entry {entry!r}", _pos(number)
+            )
+        dims.add(match.group(1).lower())
+
+
+def _parse_args(args_text: str, number: int) -> List[ast.Expr]:
+    """Split an argument list on top-level commas and translate each."""
+    text = args_text.strip()
+    if not text:
+        return []
+    pieces: List[str] = []
+    depth = 0
+    current: List[str] = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(
+                    f"unbalanced parentheses in arguments {args_text!r}",
+                    _pos(number),
+                )
+        if char == "," and depth == 0:
+            pieces.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ParseError(
+            f"unbalanced parentheses in arguments {args_text!r}", _pos(number)
+        )
+    pieces.append("".join(current))
+    return [_translate_expr(piece.strip(), number) for piece in pieces]
+
+
+def _map_result(target: str, proc_name: str, result_var: Optional[str]) -> str:
+    if result_var is not None and target == proc_name:
+        return result_var
+    return target
+
+
+def _parse_if_block(
+    cond_text: str,
+    number: int,
+    lines: _Lines,
+    proc_name: str,
+    result_var: Optional[str],
+    dims,
+) -> ast.If:
+    cond = _translate_expr(cond_text, number)
+    then_stmts = _parse_statements(
+        lines, ("else", "endif"), proc_name, result_var, dims
+    )
+    marker_number, marker = lines.next()
+    else_block: Optional[ast.Block] = None
+    if marker.lower() == "else":
+        else_stmts = _parse_statements(lines, ("endif",), proc_name, result_var, dims)
+        lines.next()
+        else_block = ast.Block(else_stmts)
+    elif marker.lower().replace(" ", "") != "endif":
+        raise ParseError(f"expected ELSE or ENDIF, found {marker!r}", _pos(marker_number))
+    return ast.If(cond, ast.Block(then_stmts), else_block, _pos(number))
+
+
+def _parse_do(
+    do_match,
+    number: int,
+    lines: _Lines,
+    proc_name: str,
+    result_var: Optional[str],
+    dims,
+) -> ast.Block:
+    var = do_match.group(1).lower()
+    start = _translate_expr(do_match.group(2), number)
+    stop = _translate_expr(do_match.group(3), number)
+    step_text = do_match.group(4)
+    step_value = 1
+    if step_text is not None:
+        step_expr = _translate_expr(step_text, number)
+        literal = ast.literal_value(step_expr)
+        if literal is None or literal == 0:
+            raise ParseError(
+                "DO step must be a non-zero literal in this subset", _pos(number)
+            )
+        step_value = literal
+    body = _parse_statements(lines, ("enddo",), proc_name, result_var, dims)
+    lines.next()  # ENDDO
+    comparison = "<=" if step_value > 0 else ">="
+    increment = ast.Assign(
+        var, ast.Binary("+", ast.Var(var), _step_literal(step_value))
+    )
+    loop = ast.While(
+        ast.Binary(comparison, ast.Var(var), stop),
+        ast.Block(body + [increment]),
+        _pos(number),
+    )
+    return ast.Block([ast.Assign(var, start, _pos(number)), loop], _pos(number))
+
+
+def _step_literal(value) -> ast.Expr:
+    if isinstance(value, float):
+        if value < 0:
+            return ast.Unary("-", ast.FloatLit(-value))
+        return ast.FloatLit(value)
+    if value < 0:
+        return ast.Unary("-", ast.IntLit(-value))
+    return ast.IntLit(value)
+
+
+def fortran_to_minif(source: str) -> str:
+    """Translate F77-subset source to pretty-printed MiniF text."""
+    from repro.lang.pretty import pretty_program
+
+    return pretty_program(parse_fortran(source))
+
+
+# ----------------------------------------------------------------------
+# The reverse direction: MiniF -> FORTRAN 77 subset.
+# ----------------------------------------------------------------------
+
+_F77_OPS = {
+    "==": ".EQ.", "!=": ".NE.", "<": ".LT.", "<=": ".LE.",
+    ">": ".GT.", ">=": ".GE.", "and": ".AND.", "or": ".OR.",
+}
+
+_F77_KEYWORDS = frozenset({
+    "program", "subroutine", "function", "end", "call", "return", "print",
+    "if", "then", "else", "endif", "do", "enddo", "while", "continue",
+    "common", "data", "dimension", "mod", "integer", "real", "logical",
+})
+
+
+class FortranEmissionError(ParseError):
+    """The MiniF program uses a construct the F77 emitter cannot express."""
+
+
+def minif_to_fortran(program: ast.Program) -> str:
+    """Emit a MiniF program as F77-subset source.
+
+    ``parse_fortran(minif_to_fortran(p))`` is behaviourally equivalent to
+    ``p`` (property-tested against the interpreter).  Raises
+    :class:`FortranEmissionError` for inexpressible programs (a name that
+    collides with a FORTRAN keyword, or a value-returning procedure whose
+    own name is also one of its variables).
+    """
+    from repro.lang.symbols import collect_symbols
+
+    symbols = collect_symbols(program)
+    lines: List[str] = []
+
+    def check_name(name: str) -> str:
+        if name.lower() in _F77_KEYWORDS:
+            raise FortranEmissionError(
+                f"name {name!r} collides with a FORTRAN keyword"
+            )
+        return name
+
+    if program.global_names:
+        names = ", ".join(check_name(n) for n in program.global_names)
+        lines.append(f"      COMMON {names}")
+    if program.inits:
+        lines.append("      BLOCK DATA")
+        for entry in program.inits:
+            lines.append(f"        DATA {check_name(entry.name)} /{entry.value!r}/")
+        lines.append("      END")
+
+    for proc in program.procedures:
+        proc_symbols = symbols[proc.name]
+        is_function = proc_symbols.has_value_return
+        if is_function and proc.name in (
+            proc_symbols.locals | proc_symbols.formal_set
+        ):
+            raise FortranEmissionError(
+                f"function {proc.name!r} also names one of its variables"
+            )
+        formals = ", ".join(check_name(f) for f in proc.formals)
+        lines.append("")
+        if proc.name == "main":
+            lines.append("      PROGRAM MAIN")
+        elif is_function:
+            lines.append(f"      FUNCTION {check_name(proc.name)}({formals})")
+        else:
+            lines.append(f"      SUBROUTINE {check_name(proc.name)}({formals})")
+        for array in sorted(proc_symbols.array_names):
+            lines.append(f"        DIMENSION {check_name(array)}(1)")
+        _emit_block(proc.body, lines, indent=8, proc=proc, function=is_function)
+        lines.append("      END")
+    return "\n".join(lines) + "\n"
+
+
+def _emit_block(block: ast.Block, lines: List[str], indent: int, proc, function) -> None:
+    for stmt in block.stmts:
+        _emit_stmt(stmt, lines, indent, proc, function)
+
+
+def _emit_stmt(stmt: ast.Stmt, lines: List[str], indent: int, proc, function) -> None:
+    pad = " " * indent
+    if isinstance(stmt, ast.Block):
+        _emit_block(stmt, lines, indent, proc, function)
+    elif isinstance(stmt, ast.Assign):
+        lines.append(f"{pad}{stmt.target} = {_emit_expr(stmt.expr)}")
+    elif isinstance(stmt, ast.AssignIndex):
+        lines.append(
+            f"{pad}{stmt.target}({_emit_expr(stmt.index)}) = {_emit_expr(stmt.expr)}"
+        )
+    elif isinstance(stmt, ast.CallStmt):
+        args = ", ".join(_emit_expr(a) for a in stmt.args)
+        lines.append(f"{pad}CALL {stmt.callee}({args})")
+    elif isinstance(stmt, ast.CallAssign):
+        if stmt.callee.lower() == "mod":
+            raise FortranEmissionError("cannot call a procedure named 'mod'")
+        args = ", ".join(_emit_expr(a) for a in stmt.args)
+        lines.append(f"{pad}{stmt.target} = {stmt.callee}({args})")
+    elif isinstance(stmt, ast.Print):
+        lines.append(f"{pad}PRINT *, {_emit_expr(stmt.expr)}")
+    elif isinstance(stmt, ast.Return):
+        if stmt.expr is not None:
+            if not function:
+                raise FortranEmissionError(
+                    "value return outside a value-returning procedure"
+                )
+            lines.append(f"{pad}{proc.name} = {_emit_expr(stmt.expr)}")
+        lines.append(f"{pad}RETURN")
+    elif isinstance(stmt, ast.If):
+        lines.append(f"{pad}IF ({_emit_expr(stmt.cond)}) THEN")
+        _emit_block(stmt.then_block, lines, indent + 2, proc, function)
+        if stmt.else_block is not None:
+            lines.append(f"{pad}ELSE")
+            _emit_block(stmt.else_block, lines, indent + 2, proc, function)
+        lines.append(f"{pad}ENDIF")
+    elif isinstance(stmt, ast.While):
+        lines.append(f"{pad}DO WHILE ({_emit_expr(stmt.cond)})")
+        _emit_block(stmt.body, lines, indent + 2, proc, function)
+        lines.append(f"{pad}ENDDO")
+    else:
+        raise FortranEmissionError(f"unsupported statement {stmt!r}")
+
+
+def _emit_expr(expr: ast.Expr) -> str:
+    """Fully parenthesized emission: correctness over prettiness."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(expr, ast.Var):
+        if expr.name.lower() in _F77_KEYWORDS:
+            raise FortranEmissionError(
+                f"name {expr.name!r} collides with a FORTRAN keyword"
+            )
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return f"{expr.name}({_emit_expr(expr.index)})"
+    if isinstance(expr, ast.Unary):
+        if expr.op == "not":
+            return f"(.NOT. {_emit_expr(expr.operand)})"
+        return f"(-{_emit_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        left = _emit_expr(expr.left)
+        right = _emit_expr(expr.right)
+        if expr.op == "%":
+            return f"MOD({left}, {right})"
+        op = _F77_OPS.get(expr.op, expr.op)
+        return f"({left} {op} {right})"
+    raise FortranEmissionError(f"unsupported expression {expr!r}")

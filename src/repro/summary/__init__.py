@@ -1,0 +1,14 @@
+"""Interprocedural summaries: alias pairs, MOD/REF, and USE."""
+
+from repro.summary.alias import AliasInfo, compute_aliases
+from repro.summary.modref import ModRefInfo, compute_modref
+from repro.summary.use import UseInfo, compute_use
+
+__all__ = [
+    "AliasInfo",
+    "ModRefInfo",
+    "UseInfo",
+    "compute_aliases",
+    "compute_modref",
+    "compute_use",
+]

@@ -1,0 +1,143 @@
+"""Dead-assignment elimination tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dce import eliminate_dead_assignments
+from repro.bench.generator import generate_program
+from repro.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.validate import validate_program
+
+
+def dce(source, **kwargs):
+    program = parse_program(source) if isinstance(source, str) else source
+    return eliminate_dead_assignments(program, **kwargs)
+
+
+class TestBasicElimination:
+    def test_unused_local_removed(self):
+        result = dce("proc main() { x = 1; print(2); }")
+        assert result.removed == 1
+        assert "x = 1;" not in pretty_program(result.program)
+
+    def test_used_local_kept(self):
+        result = dce("proc main() { x = 1; print(x); }")
+        assert result.removed == 0
+
+    def test_overwritten_local_removed(self):
+        result = dce("proc main() { x = 1; x = 2; print(x); }")
+        assert result.removed == 1
+        assert "x = 2;" in pretty_program(result.program)
+
+    def test_chain_removed_over_rounds(self):
+        result = dce("proc main() { a = 1; b = a; c = b; print(0); }")
+        assert result.removed == 3
+
+    def test_globals_never_removed(self):
+        result = dce("global g; proc main() { g = 1; print(0); }")
+        assert result.removed == 0
+
+    def test_formals_never_removed(self):
+        # Assigning a formal writes through to the caller's variable.
+        result = dce(
+            "proc main() { x = 0; call f(x); print(x); } proc f(a) { a = 5; }"
+        )
+        assert result.removed == 0
+
+
+class TestControlFlow:
+    def test_conditional_use_keeps_assignment(self):
+        result = dce(
+            "proc main() { x = 1; if (x > 0) { print(x); } }"
+        )
+        assert result.removed == 0
+
+    def test_dead_in_one_branch(self):
+        source = """
+        proc main() {
+            c = 1;
+            if (c) { x = 5; } else { x = 6; print(x); }
+            print(c);
+        }
+        """
+        result = dce(source)
+        # x in the then-arm is never read on any path from there: removed.
+        # The else-arm assignment feeds the print inside that arm: kept.
+        assert result.removed == 1
+        text = pretty_program(result.program)
+        assert "x = 5;" not in text
+        assert "x = 6;" in text
+        assert run_program(result.program).outputs == run_program(
+            parse_program(source)
+        ).outputs
+
+    def test_loop_carried_use_kept(self):
+        result = dce(
+            "proc main() { s = 0; i = 2; while (i) { s = s + i; i = i - 1; } print(s); }"
+        )
+        assert result.removed == 0
+
+    def test_self_referential_loop_store_kept(self):
+        # `s = s + i` keeps itself alive through the back edge; removing it
+        # needs faint-variable analysis, which plain liveness is not.
+        result = dce(
+            "proc main() { s = 0; i = 2; while (i) { s = s + i; i = i - 1; } print(i); }"
+        )
+        assert result.removed == 0
+
+    def test_loop_dead_temporary_removed(self):
+        result = dce(
+            "proc main() { i = 2; while (i) { t = i * 2; i = i - 1; } print(i); }"
+        )
+        assert result.removed == 1
+        assert "t = " not in pretty_program(result.program)
+
+
+class TestCalls:
+    def test_arg_use_keeps_assignment(self):
+        result = dce(
+            "proc main() { x = 1; call f(x); } proc f(a) { print(a); }"
+        )
+        assert result.removed == 0
+
+    def test_precise_call_uses(self):
+        # With precise REF information, x is not read by f (f ignores a).
+        from tests.helpers import analyze
+
+        source = "proc main() { x = 1; call f(x); } proc f(a) { print(0); }"
+        pipeline = analyze(source)
+        result = eliminate_dead_assignments(
+            pipeline.program, call_uses=pipeline.modref.callsite_ref
+        )
+        assert result.removed == 1
+
+
+class TestSemanticPreservation:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_programs(self, seed):
+        program = generate_program(seed)
+        result = dce(program)
+        validate_program(result.program, require_main=True)
+        try:
+            before = run_program(program, max_steps=200_000).outputs
+        except Exception:
+            return
+        after = run_program(result.program, max_steps=200_000).outputs
+        assert before == after
+
+    def test_after_constant_substitution(self):
+        """The intended pipeline: substitute constants, then sweep the dead."""
+        from repro.core.config import ICPConfig
+        from repro.core.driver import analyze_program
+
+        source = """
+        proc main() { x = 3; y = x + 1; call f(y); }
+        proc f(a) { print(a * 2); }
+        """
+        result = analyze_program(source, ICPConfig(), run_transform=True)
+        swept = dce(result.transform.program)
+        text = pretty_program(swept.program)
+        assert swept.removed == 2  # x and y both dead after substitution
+        assert run_program(swept.program).outputs == [8]

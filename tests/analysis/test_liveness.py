@@ -1,0 +1,80 @@
+"""Upward-exposed-use analysis tests."""
+
+from repro.analysis.liveness import upward_exposed
+from repro.ir.builder import build_cfg
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+def exposed(body: str, extra: str = "", call_uses=None):
+    program = parse_program(f"proc main() {{ {body} }} {extra}")
+    symbols = collect_symbols(program)
+    cfg = build_cfg(program.procedure("main"), symbols["main"]).cfg
+    return upward_exposed(cfg, call_uses or (lambda site: set()))
+
+
+class TestStraightLine:
+    def test_use_before_def(self):
+        assert exposed("y = x + 1;") == {"x"}
+
+    def test_def_before_use_not_exposed(self):
+        assert exposed("x = 1; y = x;") == set()
+
+    def test_use_in_own_definition(self):
+        assert exposed("x = x + 1;") == {"x"}
+
+    def test_print_counts_as_use(self):
+        assert exposed("print(z);") == {"z"}
+
+    def test_return_expr_counts(self):
+        assert exposed("return w;") == {"w"}
+
+
+class TestControlFlow:
+    def test_branch_condition_exposed(self):
+        assert "c" in exposed("if (c) { x = 1; }")
+
+    def test_def_in_one_arm_does_not_kill(self):
+        # x defined only in the then-arm: the later use is still exposed.
+        assert "x" in exposed("if (c) { x = 1; } print(x);")
+
+    def test_def_in_both_arms_kills(self):
+        result = exposed("if (c) { x = 1; } else { x = 2; } print(x);")
+        assert "x" not in result
+
+    def test_loop_body_use(self):
+        result = exposed("i = 3; while (i > 0) { s = s + 1; i = i - 1; }")
+        assert "s" in result
+        assert "i" not in result
+
+    def test_code_after_return_ignored(self):
+        assert exposed("return; print(q);") == set()
+
+
+class TestCalls:
+    def test_compound_arg_vars_exposed_via_call_uses(self):
+        program = parse_program(
+            "proc main() { call f(a + 1); } proc f(x) {}"
+        )
+        symbols = collect_symbols(program)
+        cfg = build_cfg(program.procedure("main"), symbols["main"]).cfg
+        result = upward_exposed(
+            cfg, lambda site: {"a"}
+        )
+        assert result == {"a"}
+
+    def test_call_target_kills(self):
+        result = exposed(
+            "x = f(); print(x);",
+            extra="proc f() { return 1; }",
+        )
+        assert "x" not in result
+
+    def test_call_may_defs_do_not_kill(self):
+        # The call may modify g, but "may" is not "must": a use of g after
+        # the call is still upward exposed from entry.
+        result = exposed(
+            "call f(); print(g);",
+            extra="global g; proc f() { g = 1; }",
+        )
+        assert "g" in result

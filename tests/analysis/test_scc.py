@@ -1,0 +1,283 @@
+"""Wegman–Zadeck SCC engine tests: folding, branch pruning, loops, calls."""
+
+from repro.analysis.base import ConservativeEffects
+from repro.analysis.scc import SCCEngine
+from repro.ir.lattice import BOTTOM, Const
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+def run_scc(source, proc="main", entry_env=None, effects=None):
+    program = parse_program(source)
+    symbols = collect_symbols(program)
+    effects = effects or ConservativeEffects(program.global_set())
+    engine = SCCEngine()
+    return program, engine.analyze(
+        program.procedure(proc), symbols[proc], entry_env or {}, effects
+    )
+
+
+def arg_values(result, site_index=0):
+    key = next(k for k in result.call_sites if k[1] == site_index)
+    return result.call_sites[key].arg_values
+
+
+class TestStraightLineFolding:
+    def test_constant_chain(self):
+        _, result = run_scc(
+            "proc main() { x = 2; y = x + 3; call f(y); } proc f(a) {}"
+        )
+        assert arg_values(result) == [Const(5)]
+
+    def test_copy_propagation(self):
+        _, result = run_scc(
+            "proc main() { x = 7; y = x; z = y; call f(z); } proc f(a) {}"
+        )
+        assert arg_values(result) == [Const(7)]
+
+    def test_reassignment(self):
+        _, result = run_scc(
+            "proc main() { x = 1; x = 2; call f(x); } proc f(a) {}"
+        )
+        assert arg_values(result) == [Const(2)]
+
+    def test_float_arithmetic(self):
+        _, result = run_scc(
+            "proc main() { x = 1.5; y = x * 2; call f(y); } proc f(a) {}"
+        )
+        assert arg_values(result) == [Const(3.0)]
+
+    def test_division_by_zero_not_folded(self):
+        _, result = run_scc(
+            "proc main() { x = 0; y = 1 / x; call f(y); } proc f(a) {}"
+        )
+        assert arg_values(result) == [BOTTOM]
+
+
+class TestJoins:
+    def test_same_constant_both_arms(self):
+        _, result = run_scc(
+            """
+            proc main() { c = input(); if (c) { x = 4; } else { x = 4; }
+                          call f(x); }
+            proc f(a) {}
+            proc input() { return 1; }
+            """
+        )
+        # c is unknown (call result), both arms assign 4 -> x is 4.
+        assert arg_values(result, site_index=1) == [Const(4)]
+
+    def test_different_constants_meet_bottom(self):
+        _, result = run_scc(
+            """
+            proc main() { c = input(); if (c) { x = 1; } else { x = 2; }
+                          call f(x); }
+            proc f(a) {}
+            proc input() { return 1; }
+            """
+        )
+        assert arg_values(result, site_index=1) == [BOTTOM]
+
+
+class TestConditionalConstants:
+    def test_dead_branch_discarded(self):
+        _, result = run_scc(
+            """
+            proc main() { c = 0; if (c) { x = 1; } else { x = 2; }
+                          call f(x); }
+            proc f(a) {}
+            """
+        )
+        # The condition is the constant 0: only the else arm executes.
+        assert arg_values(result) == [Const(2)]
+
+    def test_call_in_dead_branch_not_executable(self):
+        _, result = run_scc(
+            """
+            proc main() { if (0) { call f(1); } call f(2); }
+            proc f(a) {}
+            """
+        )
+        sites = {k[1]: v for k, v in result.call_sites.items()}
+        assert not sites[0].executable
+        assert sites[1].executable
+
+    def test_figure1_conditional_kill(self):
+        # The paper's key example: f1 = 0 at entry makes y = 1 dead.
+        _, result = run_scc(
+            """
+            proc sub1(f1) {
+                x = 1;
+                if (f1 != 0) { y = 1; } else { y = 0; }
+                call sub2(y, 4, f1, x);
+            }
+            proc sub2(a, b, c, d) {}
+            """,
+            proc="sub1",
+            entry_env={"f1": Const(0)},
+        )
+        assert arg_values(result) == [Const(0), Const(4), Const(0), Const(1)]
+
+    def test_without_entry_constant_y_unknown(self):
+        _, result = run_scc(
+            """
+            proc sub1(f1) {
+                if (f1 != 0) { y = 1; } else { y = 0; }
+                call sub2(y);
+            }
+            proc sub2(a) {}
+            """,
+            proc="sub1",
+        )
+        assert arg_values(result) == [BOTTOM]
+
+    def test_nested_dead_branches(self):
+        _, result = run_scc(
+            """
+            proc main() {
+                a = 1;
+                if (a) { if (a > 1) { x = 9; } else { x = 3; } } else { x = 5; }
+                call f(x);
+            }
+            proc f(v) {}
+            """
+        )
+        assert arg_values(result) == [Const(3)]
+
+
+class TestLoops:
+    def test_loop_invariant_constant(self):
+        # `k + 0` passes by value: the conservative effects cannot kill it
+        # (a bare `k` would be a by-reference argument the callee may write).
+        _, result = run_scc(
+            """
+            proc main() { k = 6; i = 3; while (i > 0) { call f(k + 0); i = i - 1; } }
+            proc f(a) {}
+            """
+        )
+        assert arg_values(result) == [Const(6)]
+
+    def test_byref_loop_arg_conservatively_lowered(self):
+        _, result = run_scc(
+            """
+            proc main() { k = 6; i = 3; while (i > 0) { call f(k); i = i - 1; } }
+            proc f(a) {}
+            """
+        )
+        # Under worst-case effects the call may write through `k`.
+        assert arg_values(result) == [BOTTOM]
+
+    def test_induction_variable_bottom(self):
+        _, result = run_scc(
+            """
+            proc main() { i = 3; while (i > 0) { call f(i); i = i - 1; } }
+            proc f(a) {}
+            """
+        )
+        assert arg_values(result) == [BOTTOM]
+
+    def test_false_loop_never_entered(self):
+        _, result = run_scc(
+            """
+            proc main() { i = 0; while (i > 0) { call f(1); i = i - 1; }
+                          call f(2); }
+            proc f(a) {}
+            """
+        )
+        sites = {k[1]: v for k, v in result.call_sites.items()}
+        assert not sites[0].executable
+        assert sites[1].executable
+
+    def test_constant_rebuilt_each_iteration(self):
+        _, result = run_scc(
+            """
+            proc main() { i = 3; while (i > 0) { x = 5; call f(x); i = i - 1; } }
+            proc f(a) {}
+            """
+        )
+        assert arg_values(result) == [Const(5)]
+
+
+class TestCallEffects:
+    def test_call_kills_modified_global(self):
+        _, result = run_scc(
+            """
+            global g;
+            proc main() { g = 1; call touch(); call f(g); }
+            proc touch() { g = 2; }
+            proc f(a) {}
+            """
+        )
+        assert arg_values(result, site_index=1) == [BOTTOM]
+
+    def test_call_kills_byref_arg(self):
+        _, result = run_scc(
+            """
+            proc main() { x = 1; call touch(x); call f(x); }
+            proc touch(a) { a = 9; }
+            proc f(b) {}
+            """
+        )
+        assert arg_values(result, site_index=1) == [BOTTOM]
+
+    def test_call_result_bottom_by_default(self):
+        _, result = run_scc(
+            """
+            proc main() { x = f(1); call g(x); }
+            proc f(a) { return a; }
+            proc g(b) {}
+            """
+        )
+        assert arg_values(result, site_index=1) == [BOTTOM]
+
+    def test_entry_env_globals(self):
+        program = parse_program(
+            """
+            global g;
+            proc main() { call f(g); }
+            proc f(a) {}
+            """
+        )
+        symbols = collect_symbols(program)
+        engine = SCCEngine()
+        from repro.analysis.base import ConservativeEffects
+
+        result = engine.analyze(
+            program.procedure("main"),
+            symbols["main"],
+            {"g": Const(42)},
+            ConservativeEffects(program.global_set()),
+        )
+        assert arg_values(result) == [Const(42)]
+
+
+class TestReturnValue:
+    def test_constant_return(self):
+        _, result = run_scc("proc f() { return 3; } proc main() {}", proc="f")
+        assert result.return_value == Const(3)
+
+    def test_meet_of_returns(self):
+        _, result = run_scc(
+            "proc f(c) { if (c) { return 3; } return 3; } proc main() {}",
+            proc="f",
+        )
+        assert result.return_value == Const(3)
+
+    def test_differing_returns(self):
+        _, result = run_scc(
+            "proc f(c) { if (c) { return 3; } return 4; } proc main() {}",
+            proc="f",
+        )
+        assert result.return_value == BOTTOM
+
+    def test_return_under_entry_constant(self):
+        _, result = run_scc(
+            "proc f(c) { if (c) { return 3; } return 4; } proc main() {}",
+            proc="f",
+            entry_env={"c": Const(1)},
+        )
+        assert result.return_value == Const(3)
+
+    def test_bare_return_is_bottom(self):
+        _, result = run_scc("proc f() { return; } proc main() {}", proc="f")
+        assert result.return_value == BOTTOM

@@ -1,0 +1,120 @@
+"""Dense-engine tests and the SCC-dominates-simple agreement property."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.base import ConservativeEffects
+from repro.analysis.scc import SCCEngine
+from repro.analysis.simple import SimpleEngine
+from repro.bench.generator import generate_program
+from repro.ir.lattice import BOTTOM, Const, lattice_le
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+def run_engine(engine, source, proc="main", entry_env=None):
+    program = parse_program(source)
+    symbols = collect_symbols(program)
+    effects = ConservativeEffects(program.global_set())
+    return engine.analyze(
+        program.procedure(proc), symbols[proc], entry_env or {}, effects
+    )
+
+
+class TestSimpleEngine:
+    def test_straight_line(self):
+        result = run_engine(
+            SimpleEngine(),
+            "proc main() { x = 2; y = x * 3; call f(y); } proc f(a) {}",
+        )
+        (site,) = result.call_sites.values()
+        assert site.arg_values == [Const(6)]
+
+    def test_join_meets(self):
+        result = run_engine(
+            SimpleEngine(),
+            """
+            proc main() { if (c) { x = 1; } else { x = 2; } call f(x); }
+            proc f(a) {}
+            """,
+        )
+        (site,) = result.call_sites.values()
+        assert site.arg_values == [BOTTOM]
+
+    def test_no_branch_pruning(self):
+        # Unlike SCC, the dense engine cannot exploit a constant condition.
+        result = run_engine(
+            SimpleEngine(),
+            """
+            proc main() { c = 0; if (c) { x = 1; } else { x = 2; } call f(x); }
+            proc f(a) {}
+            """,
+        )
+        (site,) = result.call_sites.values()
+        assert site.arg_values == [BOTTOM]
+
+    def test_all_sites_executable(self):
+        result = run_engine(
+            SimpleEngine(),
+            "proc main() { if (0) { call f(1); } call f(2); } proc f(a) {}",
+        )
+        assert all(v.executable for v in result.call_sites.values())
+
+    def test_loop_constant(self):
+        result = run_engine(
+            SimpleEngine(),
+            """
+            proc main() { k = 9; i = 2; while (i) { call f(k + 0); i = i - 1; } }
+            proc f(a) {}
+            """,
+        )
+        site = result.call_sites[("main", 0)]
+        assert site.arg_values == [Const(9)]
+
+    def test_return_value(self):
+        result = run_engine(
+            SimpleEngine(), "proc f() { return 5; } proc main() {}", proc="f"
+        )
+        assert result.return_value == Const(5)
+
+
+class TestSCCDominatesSimple:
+    """SCC must be at least as precise as the dense engine, everywhere."""
+
+    def _compare(self, program):
+        symbols = collect_symbols(program)
+        effects = ConservativeEffects(program.global_set())
+        scc = SCCEngine()
+        simple = SimpleEngine()
+        for proc in program.procedures:
+            scc_result = scc.analyze(proc, symbols[proc.name], {}, effects)
+            simple_result = simple.analyze(proc, symbols[proc.name], {}, effects)
+            assert lattice_le(scc_result.return_value, simple_result.return_value) or (
+                scc_result.return_value == simple_result.return_value
+            ) or simple_result.return_value.is_bottom
+            for key, simple_site in simple_result.call_sites.items():
+                scc_site = scc_result.call_sites[key]
+                if not scc_site.executable:
+                    continue  # SCC proved the site dead: strictly more precise
+                for scc_value, simple_value in zip(
+                    scc_site.arg_values, simple_site.arg_values
+                ):
+                    # Everything simple knows, SCC knows at least as well:
+                    # simple const => scc same const (or scc proved deadness).
+                    if simple_value.is_const:
+                        assert scc_value == simple_value
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=8000))
+    def test_generated_programs(self, seed):
+        self._compare(generate_program(seed))
+
+    def test_conditional_example(self):
+        self._compare(
+            parse_program(
+                """
+                proc main() { c = 1; if (c) { x = 3; } else { x = 4; }
+                              call f(x, c); }
+                proc f(a, b) {}
+                """
+            )
+        )

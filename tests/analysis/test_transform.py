@@ -1,0 +1,191 @@
+"""Transformation pass tests: substitution, folding, pruning, semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.base import ConservativeEffects
+from repro.analysis.transform import constant_to_expr, transform_program
+from repro.bench.generator import generate_program
+from repro.core.effects import SummaryEffects
+from repro.interp import run_program
+from repro.ir.lattice import Const
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.symbols import collect_symbols
+
+
+def transform(source, entry_envs=None, **kwargs):
+    program = parse_program(source) if isinstance(source, str) else source
+    symbols = collect_symbols(program)
+    effects = ConservativeEffects(program.global_set())
+    return transform_program(
+        program, symbols, entry_envs or {}, effects, **kwargs
+    )
+
+
+class TestConstantToExpr:
+    def test_positive_int(self):
+        assert constant_to_expr(5) == ast.IntLit(5)
+
+    def test_negative_int(self):
+        assert constant_to_expr(-5) == ast.Unary("-", ast.IntLit(5))
+
+    def test_positive_float(self):
+        assert constant_to_expr(2.5) == ast.FloatLit(2.5)
+
+    def test_negative_float(self):
+        assert constant_to_expr(-2.5) == ast.Unary("-", ast.FloatLit(2.5))
+
+    def test_zero(self):
+        assert constant_to_expr(0) == ast.IntLit(0)
+
+
+class TestSubstitution:
+    def test_local_constant_substituted(self):
+        result = transform("proc main() { x = 3; print(x + 1); }")
+        text = pretty_program(result.program)
+        assert "print(4);" in text
+        assert result.total_substitutions == 1
+        assert result.total_folds == 1
+
+    def test_entry_env_substituted(self):
+        result = transform(
+            "proc f(a) { print(a * 2); } proc main() { call f(21); }",
+            entry_envs={"f": {"a": Const(21)}},
+        )
+        assert "print(42);" in pretty_program(result.program)
+
+    def test_unknown_not_substituted(self):
+        result = transform("proc main() { x = f(); print(x); } proc f() { return 1; }")
+        assert "print(x);" in pretty_program(result.program)
+
+    def test_byref_argument_not_replaced(self):
+        # x is constant, but f may modify it: the bare-var arg must survive.
+        result = transform(
+            """
+            proc main() { x = 1; call f(x); print(x); }
+            proc f(a) { a = 2; }
+            """
+        )
+        assert "call f(x);" in pretty_program(result.program)
+
+    def test_compound_arg_substituted(self):
+        result = transform(
+            """
+            proc main() { x = 1; call f(x + 0); }
+            proc f(a) { a = 2; }
+            """
+        )
+        assert "call f(1);" in pretty_program(result.program)
+
+    def test_substitution_count_per_proc(self):
+        result = transform(
+            """
+            proc main() { x = 1; print(x); print(x); }
+            proc other() { y = 2; print(y); }
+            """
+        )
+        assert result.substitutions["main"] == 2
+        assert result.substitutions["other"] == 1
+
+
+class TestPruning:
+    def test_constant_true_if(self):
+        result = transform(
+            "proc main() { if (1) { print(10); } else { print(20); } }"
+        )
+        text = pretty_program(result.program)
+        assert "print(10);" in text
+        assert "print(20);" not in text
+        assert result.total_pruned == 1
+
+    def test_constant_false_if_no_else(self):
+        result = transform("proc main() { if (0) { print(1); } print(2); }")
+        text = pretty_program(result.program)
+        assert "print(1);" not in text
+        assert "print(2);" in text
+
+    def test_dead_while_removed(self):
+        result = transform("proc main() { while (0) { print(1); } print(2); }")
+        text = pretty_program(result.program)
+        assert "while" not in text
+
+    def test_live_while_kept(self):
+        result = transform(
+            "proc main() { i = 2; while (i > 0) { i = i - 1; } print(i); }"
+        )
+        assert "while" in pretty_program(result.program)
+
+    def test_pruning_disabled(self):
+        result = transform(
+            "proc main() { if (1) { print(10); } else { print(20); } }",
+            prune_dead_branches=False,
+        )
+        text = pretty_program(result.program)
+        assert "print(20);" in text
+        assert result.total_pruned == 0
+
+    def test_unreachable_code_left_alone(self):
+        result = transform("proc main() { return; x = y + 1; }")
+        assert "x = y + 1;" in pretty_program(result.program)
+
+
+class TestEntryAssignments:
+    def test_inserted_for_referenced_constants(self):
+        result = transform(
+            "proc f(a, b) { print(a); } proc main() { call f(3, 4); }",
+            entry_envs={"f": {"a": Const(3), "b": Const(4)}},
+            insert_entry_assignments=True,
+        )
+        f = result.program.procedure("f")
+        # `a` is referenced -> gets an entry assignment; `b` is not.
+        first = f.body.stmts[0]
+        assert isinstance(first, ast.Assign) and first.target == "a"
+        targets = [s.target for s in f.body.stmts if isinstance(s, ast.Assign)]
+        assert "b" not in targets
+
+
+class TestSemanticPreservation:
+    def _check(self, program):
+        symbols = collect_symbols(program)
+        effects = ConservativeEffects(program.global_set())
+        result = transform_program(program, symbols, {}, effects)
+        try:
+            before = run_program(program, max_steps=200_000).outputs
+        except Exception:
+            return  # original program errors: nothing to compare
+        after = run_program(result.program, max_steps=400_000).outputs
+        assert before == after and all(
+            type(x) is type(y) for x, y in zip(before, after)
+        )
+
+    def test_figure1(self):
+        from repro.bench.programs import figure1_program
+
+        self._check(figure1_program())
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=8000))
+    def test_generated_programs(self, seed):
+        self._check(generate_program(seed))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=8000))
+    def test_with_interprocedural_envs(self, seed):
+        """Transform seeded with the FS solution preserves behaviour."""
+        from repro.core.driver import analyze_program
+
+        program = generate_program(seed)
+        result = analyze_program(program)
+        envs = {
+            proc: result.fs.entry_env(proc, result.symbols[proc])
+            for proc in result.pcg.nodes
+        }
+        effects = SummaryEffects(result.modref, result.aliases)
+        outcome = transform_program(program, result.symbols, envs, effects)
+        try:
+            before = run_program(program, max_steps=200_000).outputs
+        except Exception:
+            return
+        after = run_program(outcome.program, max_steps=400_000).outputs
+        assert before == after

@@ -1,0 +1,79 @@
+"""Program-characteristics module tests."""
+
+from repro.bench.characteristics import (
+    characterize,
+    characterize_suite,
+    format_characteristics,
+)
+
+SOURCE = """
+global g1, g2;
+init { g1 = 1; }
+proc main() {
+    x = 1;
+    call f(3, x, g1);
+    call f(4, x + 1, g2);
+}
+proc f(a, b, c) {
+    print(a + b);
+}
+proc orphan() { call f(1, 2, 3); }
+"""
+
+
+class TestCharacterize:
+    def test_counts(self):
+        stats = characterize(SOURCE, "demo")
+        assert stats.procedures == 2  # orphan unreachable
+        assert stats.call_sites == 2
+        assert stats.arguments == 6
+        assert stats.formals == 3
+        assert stats.globals_declared == 2
+        assert stats.globals_initialized == 1
+
+    def test_argument_classification(self):
+        stats = characterize(SOURCE)
+        assert stats.literal_args == 2   # 3 and 4
+        assert stats.byref_args == 3     # x, g1, g2
+        assert stats.byref_global_args == 2
+
+    def test_fractions(self):
+        stats = characterize(SOURCE)
+        assert stats.args_per_site == 3.0
+        assert abs(stats.literal_arg_fraction - 2 / 6) < 1e-9
+
+    def test_depth_and_leaves(self):
+        stats = characterize(
+            """
+            proc main() { call a(); }
+            proc a() { call b(); }
+            proc b() { print(1); }
+            """
+        )
+        assert stats.max_pcg_depth == 2
+        assert stats.leaf_procedures == 1
+
+    def test_back_edges_counted(self):
+        stats = characterize(
+            "proc main() { call f(2); } proc f(n) { if (n) { call f(n - 1); } }"
+        )
+        assert stats.back_edges == 1
+
+    def test_as_dict_keys(self):
+        table = characterize(SOURCE).as_dict()
+        assert table["procedures"] == 2
+        assert "literal_arg_fraction" in table
+
+
+class TestSuiteCharacteristics:
+    def test_covers_suite(self):
+        rows = characterize_suite()
+        assert len(rows) == 12
+        spice = next(r for r in rows if r.name == "013.spice2g6")
+        # The analog is a real corpus: hundreds of statements, deep enough.
+        assert spice.statements > 300
+        assert spice.procedures > 100
+
+    def test_formatting(self):
+        text = format_characteristics(characterize_suite())
+        assert "013.spice2g6" in text and "lit%" in text

@@ -1,0 +1,62 @@
+"""Cross-method comparison harness unit tests."""
+
+from repro.bench.comparison import (
+    METHOD_ORDER,
+    compare_methods,
+    compare_suite,
+    format_comparison,
+)
+
+FIGURE1 = """
+proc main() { call sub1(0); }
+proc sub1(f1) {
+    x = 1;
+    if (f1 != 0) { y = 1; } else { y = 0; }
+    call sub2(y, 4, f1, x);
+}
+proc sub2(f2, f3, f4, f5) { t = f2 + f3 + f4 + f5; print(t); }
+"""
+
+
+class TestCompareMethods:
+    def test_figure1_counts(self):
+        comparison = compare_methods(FIGURE1, name="fig1")
+        assert comparison.counts() == {
+            "literal": 2,
+            "flow-insensitive": 3,
+            "intra": 3,
+            "pass-through": 4,
+            "polynomial": 4,
+            "flow-sensitive": 5,
+            "iterative": 5,
+        }
+
+    def test_total_formals(self):
+        comparison = compare_methods(FIGURE1)
+        assert comparison.total_formals == 5
+
+    def test_claim_sets_nested(self):
+        comparison = compare_methods(FIGURE1)
+        assert comparison.claim_set("literal") < comparison.claim_set(
+            "flow-insensitive"
+        )
+        assert comparison.claim_set("polynomial") < comparison.claim_set(
+            "flow-sensitive"
+        )
+
+    def test_all_methods_present(self):
+        comparison = compare_methods(FIGURE1)
+        assert set(comparison.claims) == set(METHOD_ORDER)
+
+
+class TestFormatting:
+    def test_format_renders_totals(self):
+        rows = [compare_methods(FIGURE1, name="fig1")]
+        text = format_comparison(rows)
+        assert "fig1" in text and "TOTAL" in text
+
+    def test_suite_comparison_runs(self):
+        rows = compare_suite()
+        assert len(rows) == 12
+        text = format_comparison(rows)
+        assert "013.spice2g6" in text

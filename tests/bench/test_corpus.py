@@ -1,0 +1,77 @@
+"""Corpus programs: expected outputs, soundness, and optimization safety."""
+
+import pytest
+
+from repro.bench.corpus import corpus, corpus_by_name
+from repro.core.config import ICPConfig
+from repro.core.optimize import optimize_program
+from repro.interp import run_program
+from repro.lang.validate import validate_program
+from tests.helpers import assert_sound
+
+ALL = corpus()
+NAMES = [entry.name for entry in ALL]
+
+
+class TestCorpusPrograms:
+    @pytest.mark.parametrize("name", NAMES)
+    def test_validates(self, name):
+        validate_program(corpus_by_name()[name].parse())
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_expected_output(self, name):
+        entry = corpus_by_name()[name]
+        outputs = run_program(entry.parse(), max_steps=2_000_000).outputs
+        assert outputs == entry.expected_output
+        assert all(
+            type(a) is type(b)
+            for a, b in zip(outputs, entry.expected_output)
+        )
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_analysis_sound(self, name):
+        assert_sound(corpus_by_name()[name].parse())
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_optimizer_preserves_behaviour(self, name):
+        entry = corpus_by_name()[name]
+        result = optimize_program(entry.parse(), clone=True, inline=True)
+        outputs = run_program(result.program, max_steps=4_000_000).outputs
+        assert outputs == entry.expected_output
+
+    @pytest.mark.parametrize("name", NAMES)
+    def test_exit_value_extension_preserves_behaviour(self, name):
+        entry = corpus_by_name()[name]
+        config = ICPConfig(propagate_returns=True, propagate_exit_values=True)
+        from repro.core.driver import analyze_program
+
+        result = analyze_program(entry.parse(), config, run_transform=True)
+        outputs = run_program(
+            result.transform.program, max_steps=4_000_000
+        ).outputs
+        assert outputs == entry.expected_output
+
+
+class TestCorpusAnalysisFacts:
+    def test_triangular_stride_constant(self):
+        from tests.helpers import analyze
+
+        result = analyze(corpus_by_name()["triangular_numbers"].parse())
+        from repro.ir.lattice import Const
+
+        assert result.fs.entry_formal("table", "stride") == Const(1)
+        assert result.fs.entry_formal("triangle", "stride") == Const(1)
+
+    def test_fibonacci_recursion_handled(self):
+        from tests.helpers import analyze
+
+        result = analyze(corpus_by_name()["fibonacci"].parse())
+        assert result.pcg.has_cycles
+        # n varies through the recursion.
+        assert not result.fs.entry_formal("fib", "n").is_const
+
+    def test_running_statistics_globals_not_constant(self):
+        from tests.helpers import analyze
+
+        result = analyze(corpus_by_name()["running_statistics"].parse())
+        assert result.fi.global_constants == {}

@@ -1,0 +1,85 @@
+"""Random program generator tests: validity, determinism, termination."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.callgraph.pcg import build_pcg
+from repro.errors import InterpreterError
+from repro.interp import run_program
+from repro.lang.validate import validate_program
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+class TestValidity:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds)
+    def test_generated_programs_validate(self, seed):
+        validate_program(generate_program(seed))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_recursive_variant_validates(self, seed):
+        validate_program(
+            generate_program(seed, GeneratorConfig(allow_recursion=True))
+        )
+
+    def test_determinism(self):
+        for seed in (0, 7, 12345):
+            assert generate_program(seed) == generate_program(seed)
+
+    def test_distinct_seeds_differ(self):
+        assert generate_program(1) != generate_program(2)
+
+
+class TestExecution:
+    @settings(max_examples=80, deadline=None)
+    @given(seed=seeds)
+    def test_programs_terminate(self, seed):
+        program = generate_program(seed)
+        try:
+            run_program(program, max_steps=200_000)
+        except InterpreterError:
+            # Float overflow from extreme generated arithmetic is tolerated;
+            # nontermination (StepLimitExceeded) is not.
+            pass
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_recursive_programs_terminate(self, seed):
+        program = generate_program(seed, GeneratorConfig(allow_recursion=True))
+        try:
+            run_program(program, max_steps=400_000)
+        except InterpreterError:
+            pass
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_main_produces_output(self, seed):
+        program = generate_program(seed)
+        try:
+            outputs = run_program(program, max_steps=200_000).outputs
+        except InterpreterError:
+            return
+        assert outputs  # main always prints at least once
+
+
+class TestStructure:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_acyclic_by_default(self, seed):
+        program = generate_program(seed)
+        pcg = build_pcg(program)
+        assert not pcg.has_cycles
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=seeds)
+    def test_recursion_flag_adds_cycle(self, seed):
+        program = generate_program(seed, GeneratorConfig(allow_recursion=True))
+        pcg = build_pcg(program)
+        assert pcg.has_cycles
+
+    def test_config_scales_size(self):
+        small = generate_program(3, GeneratorConfig(n_procs=2, max_stmts=2))
+        large = generate_program(3, GeneratorConfig(n_procs=10, max_stmts=10))
+        assert len(large.procedures) > len(small.procedures)

@@ -1,0 +1,40 @@
+"""Paper example program tests."""
+
+from repro.bench.programs import (
+    figure1_program,
+    figure1_source,
+    globals_program,
+    mutual_recursion_program,
+    recursion_program,
+)
+from repro.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+
+
+class TestFigure1:
+    def test_validates(self):
+        validate_program(figure1_program())
+
+    def test_source_parses_to_same_ast(self):
+        assert parse_program(figure1_source()) == figure1_program()
+
+    def test_executes(self):
+        assert run_program(figure1_program()).outputs == [5]
+
+
+class TestRecursionPrograms:
+    def test_recursion_validates_and_runs(self):
+        program = recursion_program()
+        validate_program(program)
+        assert run_program(program).outputs == [0]
+
+    def test_mutual_recursion_runs(self):
+        program = mutual_recursion_program()
+        validate_program(program)
+        assert run_program(program).outputs == [5]
+
+    def test_globals_program_runs(self):
+        program = globals_program()
+        validate_program(program)
+        assert run_program(program).outputs == [2.5, 17, 2.5, 17]

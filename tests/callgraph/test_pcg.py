@@ -1,0 +1,125 @@
+"""Program call graph tests: reachability, ordering, back edges, SCCs."""
+
+from repro.callgraph.pcg import build_pcg
+from repro.lang.parser import parse_program
+
+
+def pcg_for(source, entry="main"):
+    return build_pcg(parse_program(source), entry=entry)
+
+
+CHAIN = """
+proc main() { call a(); }
+proc a() { call b(); }
+proc b() { }
+proc orphan() { call b(); }
+"""
+
+DIAMOND = """
+proc main() { call left(); call right(); }
+proc left() { call leaf(); }
+proc right() { call leaf(); }
+proc leaf() { }
+"""
+
+SELF_REC = """
+proc main() { call f(3); }
+proc f(n) { if (n > 0) { call f(n - 1); } }
+"""
+
+MUTUAL = """
+proc main() { call a(1); }
+proc a(n) { if (n) { call b(n - 1); } }
+proc b(n) { if (n) { call a(n - 1); } }
+"""
+
+
+class TestReachability:
+    def test_unreachable_excluded(self):
+        pcg = pcg_for(CHAIN)
+        assert set(pcg.nodes) == {"main", "a", "b"}
+        assert "orphan" not in pcg.reachable
+
+    def test_edges_only_between_reachable(self):
+        pcg = pcg_for(CHAIN)
+        assert len(pcg.edges) == 2
+
+    def test_edges_into_and_out(self):
+        pcg = pcg_for(DIAMOND)
+        assert len(pcg.edges_into("leaf")) == 2
+        assert len(pcg.edges_out_of("main")) == 2
+        assert pcg.edges_into("main") == []
+
+    def test_missing_callee_tracked(self):
+        pcg = pcg_for("proc main() { call ghost(); }")
+        assert pcg.missing_callees == {"ghost"}
+        assert pcg.edges == []
+
+    def test_one_edge_per_call_site(self):
+        pcg = pcg_for("proc main() { call f(); call f(); } proc f() { }")
+        assert len(pcg.edges) == 2
+        assert len(pcg.edges_into("f")) == 2
+
+
+class TestOrdering:
+    def test_rpo_is_topological_when_acyclic(self):
+        pcg = pcg_for(DIAMOND)
+        position = {name: i for i, name in enumerate(pcg.rpo)}
+        for edge in pcg.edges:
+            assert position[edge.caller] < position[edge.callee]
+
+    def test_rpo_starts_with_entry(self):
+        assert pcg_for(DIAMOND).rpo[0] == "main"
+
+    def test_no_fallback_edges_when_acyclic(self):
+        assert pcg_for(DIAMOND).fallback_edges == frozenset()
+        assert pcg_for(CHAIN).back_edge_ratio == 0.0
+
+
+class TestCycles:
+    def test_self_recursion_back_edge(self):
+        pcg = pcg_for(SELF_REC)
+        assert pcg.has_cycles
+        assert len(pcg.back_edges) == 1
+        (edge,) = pcg.back_edges
+        assert edge.caller == "f" and edge.callee == "f"
+
+    def test_self_recursion_is_fallback(self):
+        pcg = pcg_for(SELF_REC)
+        assert len(pcg.fallback_edges) == 1
+
+    def test_mutual_recursion(self):
+        pcg = pcg_for(MUTUAL)
+        assert pcg.has_cycles
+        assert len(pcg.back_edges) == 1  # DFS classifies one edge as back
+        # Operationally, only the b->a edge needs the FI fallback.
+        assert {(e.caller, e.callee) for e in pcg.fallback_edges} == {("b", "a")}
+
+    def test_back_edge_ratio(self):
+        pcg = pcg_for(SELF_REC)
+        assert pcg.back_edge_ratio == 0.5  # 1 back edge of 2 total
+
+    def test_sccs_group_cycle_members(self):
+        pcg = pcg_for(MUTUAL)
+        cycle = next(c for c in pcg.sccs if len(c) > 1)
+        assert set(cycle) == {"a", "b"}
+
+    def test_acyclic_sccs_singletons(self):
+        pcg = pcg_for(DIAMOND)
+        assert all(len(c) == 1 for c in pcg.sccs)
+
+
+class TestEntryHandling:
+    def test_alternate_entry(self):
+        pcg = pcg_for(CHAIN, entry="a")
+        assert set(pcg.nodes) == {"a", "b"}
+
+    def test_unknown_entry_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            pcg_for(CHAIN, entry="nope")
+
+    def test_str_rendering(self):
+        text = str(pcg_for(SELF_REC))
+        assert "main" in text and "[back]" in text

@@ -1,0 +1,89 @@
+"""Regression tests for aliasing corner cases found by property testing.
+
+The scenario (originally generator seed 3533): a caller passes a global as a
+by-reference argument, so inside the callee the formal aliases the global;
+a *call-assignment* whose target is the global (``g = p4();``) must then
+also invalidate the formal's known value — storing the result writes the
+shared cell.  The plain-assignment path handled this; the call-assignment
+path did not.
+"""
+
+from repro.core.jump_functions import JumpFunctionKind, jump_function_icp
+from repro.ir.lattice import BOTTOM, Const
+from repro.interp import run_program
+from repro.lang.parser import parse_program
+from tests.helpers import analyze, assert_sound
+
+SOURCE = """
+global g;
+proc main() { g = 1; call f(g); }
+proc f(a) {
+    g = mystery();
+    call sink(a);
+}
+proc mystery() { return 2; }
+proc sink(x) { print(x); }
+"""
+
+
+class TestCallAssignAliasKill:
+    def test_fs_does_not_claim_stale_alias(self):
+        result = analyze(SOURCE)
+        # a aliases g; `g = mystery()` may change a; a is unknown at sink.
+        assert result.fs.entry_formal("sink", "x") == BOTTOM
+
+    def test_sound_end_to_end(self):
+        assert_sound(SOURCE)
+
+    def test_runtime_confirms_write_through(self):
+        outputs = run_program(parse_program(SOURCE)).outputs
+        assert outputs == [2]  # the store through g reached a's cell
+
+    def test_simple_engine_also_safe(self):
+        result = analyze(SOURCE, engine="simple")
+        assert result.fs.entry_formal("sink", "x") == BOTTOM
+
+    def test_jump_functions_also_safe(self):
+        result = analyze(SOURCE)
+        for kind in (JumpFunctionKind.PASS_THROUGH, JumpFunctionKind.POLYNOMIAL):
+            solution = jump_function_icp(
+                result.program, result.symbols, result.pcg, kind,
+                result.modref.callsite_mod,
+                assign_aliases=result.aliases.partners,
+            )
+            assert solution.formal_value("sink", "x") == BOTTOM
+
+    def test_plain_assignment_variant(self):
+        # The originally-working path, kept as a guard.
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 1; call f(g); }
+            proc f(a) { g = 2; call sink(a); }
+            proc sink(x) { print(x); }
+            """
+        )
+        assert result.fs.entry_formal("sink", "x") == BOTTOM
+
+    def test_unaliased_variant_still_precise(self):
+        # Without the alias, the formal's constant must survive the store.
+        result = analyze(
+            """
+            global g;
+            proc main() { v = 1; call f(v); }
+            proc f(a) { g = mystery(); call sink(a); }
+            proc mystery() { return 2; }
+            proc sink(x) { print(x); }
+            """
+        )
+        assert result.fs.entry_formal("sink", "x") == Const(1)
+
+    def test_seed_3533_transform_preserves_semantics(self):
+        from repro.bench.generator import generate_program
+        from repro.core.optimize import optimize_program
+
+        program = generate_program(3533)
+        optimized = optimize_program(program)
+        before = run_program(program, max_steps=400_000).outputs
+        after = run_program(optimized.program, max_steps=400_000).outputs
+        assert before == after

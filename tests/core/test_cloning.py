@@ -1,0 +1,140 @@
+"""Procedure cloning tests (Metzger–Stroud style, paper Figure 2 step 6)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import generate_program
+from repro.core.cloning import clone_for_constants
+from repro.interp import run_program
+from repro.ir.lattice import BOTTOM, Const
+from repro.lang.validate import validate_program
+from tests.helpers import analyze
+
+VARYING = """
+proc main() { call f(1); call f(2); }
+proc f(a) { print(a * 10); }
+"""
+
+
+class TestBasicCloning:
+    def test_clone_created_for_disagreeing_sites(self):
+        result = analyze(VARYING)
+        cloned = clone_for_constants(result)
+        assert cloned.total_clones == 1
+        assert cloned.clones == {"f": ["f__c1"]}
+        validate_program(cloned.program)
+
+    def test_one_site_retargeted(self):
+        result = analyze(VARYING)
+        cloned = clone_for_constants(result)
+        assert len(cloned.retargeted_sites) == 1
+        ((caller, _), callee) = next(iter(cloned.retargeted_sites.items()))
+        assert caller == "main" and callee == "f__c1"
+
+    def test_semantics_preserved(self):
+        result = analyze(VARYING)
+        cloned = clone_for_constants(result)
+        assert run_program(cloned.program).outputs == run_program(
+            result.program
+        ).outputs
+
+    def test_reanalysis_finds_per_clone_constants(self):
+        result = analyze(VARYING)
+        cloned = clone_for_constants(result)
+        assert result.fs.entry_formal("f", "a") == BOTTOM
+        after = analyze(cloned.program)
+        values = {
+            after.fs.entry_formal("f", "a"),
+            after.fs.entry_formal("f__c1", "a"),
+        }
+        assert values == {Const(1), Const(2)}
+
+    def test_agreeing_sites_not_cloned(self):
+        result = analyze("proc main() { call f(3); call f(3); } proc f(a) { print(a); }")
+        cloned = clone_for_constants(result)
+        assert cloned.total_clones == 0
+
+    def test_no_constants_no_clone(self):
+        result = analyze(
+            """
+            proc main() { i = 2; while (i) { call f(i); call f(i + i); i = i - 1; } }
+            proc f(a) { print(a); }
+            """
+        )
+        cloned = clone_for_constants(result)
+        assert cloned.total_clones == 0
+
+
+class TestCloningLimits:
+    def test_max_clones_respected(self):
+        source = "proc main() { %s }\nproc f(a) { print(a); }" % " ".join(
+            f"call f({k});" for k in range(6)
+        )
+        result = analyze(source)
+        cloned = clone_for_constants(result, max_clones_per_proc=2)
+        assert cloned.total_clones == 2
+
+    def test_recursive_procs_not_cloned(self):
+        result = analyze(
+            """
+            proc main() { call f(1, 3); call f(2, 3); }
+            proc f(a, n) { if (n) { call f(a, n - 1); } print(a); }
+            """
+        )
+        cloned = clone_for_constants(result)
+        assert cloned.total_clones == 0
+
+    def test_entry_never_cloned(self):
+        result = analyze(VARYING)
+        cloned = clone_for_constants(result)
+        assert "main" not in cloned.clones
+
+    def test_dead_sites_ignored(self):
+        result = analyze(
+            """
+            proc main() { call f(1); if (0) { call f(2); } }
+            proc f(a) { print(a); }
+            """
+        )
+        cloned = clone_for_constants(result)
+        # Only one live signature: no clone needed.
+        assert cloned.total_clones == 0
+
+
+class TestCloningGain:
+    def test_partial_signatures(self):
+        # Two groups: (1, ⊥) and (2, ⊥); cloning recovers the first formal.
+        result = analyze(
+            """
+            proc main() {
+                i = 2;
+                while (i > 0) { call f(1, i); call f(2, i); i = i - 1; }
+            }
+            proc f(a, b) { print(a + b); }
+            """
+        )
+        cloned = clone_for_constants(result)
+        assert cloned.total_clones == 1
+        after = analyze(cloned.program)
+        constants = {
+            key for key, value in after.fs.entry_formals.items() if value.is_const
+        }
+        assert ("f", "a") in constants or ("f__c1", "a") in constants
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=8000))
+    def test_generated_programs_preserved_and_never_worse(self, seed):
+        program = generate_program(seed)
+        result = analyze(program)
+        cloned = clone_for_constants(result)
+        validate_program(cloned.program)
+        try:
+            before = run_program(program, max_steps=200_000).outputs
+        except Exception:
+            return
+        after = run_program(cloned.program, max_steps=200_000).outputs
+        assert before == after
+        # Cloning never loses constants.
+        re_analyzed = analyze(cloned.program)
+        before_count = len(result.fs.constant_formals())
+        after_count = len(re_analyzed.fs.constant_formals())
+        assert after_count >= before_count

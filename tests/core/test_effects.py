@@ -1,0 +1,62 @@
+"""SummaryEffects adapter tests."""
+
+from repro.core.effects import SummaryEffects
+from repro.ir.lattice import BOTTOM, Const
+from tests.helpers import analyze
+
+SOURCE = """
+global g, h;
+proc main() { g = 1; x = 0; call f(x); }
+proc f(a) { a = 2; print(g); }
+"""
+
+
+def setup():
+    result = analyze(SOURCE)
+    return result, result.symbols["main"].call_sites[0]
+
+
+class TestSummaryEffects:
+    def test_modified_vars_binds_formals(self):
+        result, site = setup()
+        effects = SummaryEffects(result.modref, result.aliases)
+        assert "x" in effects.modified_vars(site)
+        assert "g" not in effects.modified_vars(site)
+
+    def test_recorded_globals_is_callee_ref(self):
+        result, site = setup()
+        effects = SummaryEffects(result.modref, result.aliases)
+        assert effects.recorded_globals(site) == {"g"}
+
+    def test_caching_returns_same_result(self):
+        result, site = setup()
+        effects = SummaryEffects(result.modref, result.aliases)
+        assert effects.modified_vars(site) is effects.modified_vars(site)
+
+    def test_default_return_value(self):
+        result, site = setup()
+        effects = SummaryEffects(result.modref, result.aliases)
+        assert effects.return_value(site) == BOTTOM
+
+    def test_custom_return_provider(self):
+        result, site = setup()
+        effects = SummaryEffects(
+            result.modref, result.aliases, lambda s: Const(9)
+        )
+        assert effects.return_value(site) == Const(9)
+
+    def test_assign_extra_defs_from_aliases(self):
+        source = """
+        global g;
+        proc main() { g = 1; call f(g); }
+        proc f(a) { a = 2; }
+        """
+        result = analyze(source)
+        effects = SummaryEffects(result.modref, result.aliases)
+        assert effects.assign_extra_defs("f", "a") == {"g"}
+        assert effects.assign_extra_defs("main", "g") == set()
+
+    def test_no_aliases_no_extra_defs(self):
+        result, _ = setup()
+        effects = SummaryEffects(result.modref, None)
+        assert effects.assign_extra_defs("f", "a") == set()

@@ -1,0 +1,199 @@
+"""Exit-value extension tests (the full Section 3.2: "returned constant
+parameters and globals")."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import generate_program
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+from repro.interp import run_program
+from repro.ir.lattice import BOTTOM, Const
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+
+CONFIG = ICPConfig(propagate_returns=True, propagate_exit_values=True)
+
+
+def analyze_ext(source, run_transform=False):
+    program = parse_program(source) if isinstance(source, str) else source
+    return analyze_program(program, CONFIG, run_transform=run_transform)
+
+
+class TestExitValueComputation:
+    def test_global_exit_value(self):
+        result = analyze_ext(
+            """
+            global g;
+            proc main() { call setup(); print(g); }
+            proc setup() { g = 7; }
+            """
+        )
+        assert result.returns.exit_value("setup", "g") == Const(7)
+
+    def test_out_parameter_exit_value(self):
+        result = analyze_ext(
+            """
+            proc main() { call produce(x); print(x); }
+            proc produce(o) { o = 42; }
+            """
+        )
+        assert result.returns.exit_value("produce", "o") == Const(42)
+
+    def test_conditionally_modified_same_value(self):
+        result = analyze_ext(
+            """
+            global g;
+            proc main() { g = 5; call maybe(1); print(g); }
+            proc maybe(c) { if (c) { g = 5; } }
+            """
+        )
+        # Modified or not, g is 5 at exit (entry value is also 5).
+        assert result.returns.exit_value("maybe", "g") == Const(5)
+
+    def test_conditionally_modified_known_condition_is_exact(self):
+        # c is interprocedurally 1, so the store always executes: the exit
+        # value is exactly 6 (the flow-sensitive engine at work).
+        result = analyze_ext(
+            """
+            global g;
+            proc main() { g = 5; call maybe(1); print(g); }
+            proc maybe(c) { if (c) { g = 6; } }
+            """
+        )
+        assert result.returns.exit_value("maybe", "g") == Const(6)
+
+    def test_conditionally_modified_unknown_condition(self):
+        result = analyze_ext(
+            """
+            global g;
+            proc main() { g = 5; call maybe(0); call maybe(1); print(g); }
+            proc maybe(c) { if (c) { g = 6; } }
+            """
+        )
+        # Entry g varies (5, then unknown) and c varies: exit unknown.
+        assert result.returns.exit_value("maybe", "g") == BOTTOM
+
+    def test_varying_exit_value(self):
+        result = analyze_ext(
+            """
+            global g;
+            proc main() { call setup(1); call setup(2); print(g); }
+            proc setup(v) { g = v; }
+            """
+        )
+        assert result.returns.exit_value("setup", "g") == BOTTOM
+
+    def test_transitive_exit_value(self):
+        # outer's exit value of g comes from inner's exit table.
+        result = analyze_ext(
+            """
+            global g;
+            proc main() { call outer(); print(g); }
+            proc outer() { call inner(); }
+            proc inner() { g = 3; }
+            """
+        )
+        assert result.returns.exit_value("inner", "g") == Const(3)
+        assert result.returns.exit_value("outer", "g") == Const(3)
+
+    def test_recursive_procs_excluded(self):
+        result = analyze_ext(
+            """
+            global g;
+            proc main() { call f(3); print(g); }
+            proc f(n) { g = 1; if (n) { call f(n - 1); } }
+            """
+        )
+        assert result.returns.exit_value("f", "g") == BOTTOM
+
+
+class TestExitValuesInTransform:
+    def test_global_constant_after_call_substituted(self):
+        result = analyze_ext(
+            """
+            global g;
+            proc main() { call setup(); print(g + 1); }
+            proc setup() { g = 7; }
+            """,
+            run_transform=True,
+        )
+        assert "print(8);" in pretty_program(result.transform.program)
+
+    def test_out_parameter_substituted(self):
+        result = analyze_ext(
+            """
+            proc main() { call produce(x); print(x * 2); }
+            proc produce(o) { o = 21; }
+            """,
+            run_transform=True,
+        )
+        assert "print(42);" in pretty_program(result.transform.program)
+
+    def test_without_extension_not_substituted(self):
+        result = analyze_program(
+            """
+            global g;
+            proc main() { call setup(); print(g + 1); }
+            proc setup() { g = 7; }
+            """,
+            ICPConfig(),
+            run_transform=True,
+        )
+        assert "print(g + 1);" in pretty_program(result.transform.program)
+
+    def test_aliased_variable_not_substituted(self):
+        # x aliases g inside f; writing g writes x: exit binding must not
+        # claim a stale constant for an alias-entangled variable.
+        source = """
+        global g;
+        proc main() { g = 1; call f(g); print(g); }
+        proc f(a) { g = 9; }
+        """
+        result = analyze_ext(source, run_transform=True)
+        before = run_program(parse_program(source)).outputs
+        after = run_program(result.transform.program).outputs
+        assert before == after == [9]
+
+    def test_transform_preserves_semantics(self):
+        source = """
+        global mode;
+        proc main() {
+            call init_mode();
+            if (mode == 2) { print(100); } else { print(200); }
+        }
+        proc init_mode() { mode = 2; }
+        """
+        result = analyze_ext(source, run_transform=True)
+        text = pretty_program(result.transform.program)
+        assert "print(100);" in text and "print(200);" not in text
+        assert run_program(result.transform.program).outputs == [100]
+
+
+class TestSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50_000))
+    def test_transform_with_exit_values_preserves_semantics(self, seed):
+        program = generate_program(seed)
+        result = analyze_program(program, CONFIG, run_transform=True)
+        try:
+            before = run_program(program, max_steps=200_000).outputs
+        except Exception:
+            return
+        after = run_program(result.transform.program, max_steps=400_000).outputs
+        assert before == after
+        assert all(type(x) is type(y) for x, y in zip(before, after))
+
+    def test_float_filter_applies(self):
+        result = analyze_program(
+            """
+            global g;
+            proc main() { call setup(); print(g); }
+            proc setup() { g = 2.5; }
+            """,
+            ICPConfig(
+                propagate_returns=True,
+                propagate_exit_values=True,
+                propagate_floats=False,
+            ),
+        )
+        assert result.returns.exit_value("setup", "g") == BOTTOM

@@ -1,0 +1,142 @@
+"""Differential test: Figure 3's one-pass-plus-worklist vs defining equations.
+
+Two reference solvers bound the algorithm:
+
+- the **optimistic fixpoint** lets a pass-through argument contribute its
+  source formal's value as-is (TOP contributes TOP) and iterates to the
+  greatest fixpoint;
+- the **pessimistic fixpoint** treats a not-yet-constant source as BOTTOM
+  (no optimism across unresolved formals).
+
+Figure 3's single forward pass with the ``fp_bind`` lowering worklist sits
+between the two: it records a pass-through only when the source is
+"currently marked as constant", so an unlucky traversal order inside a
+cycle may lose a constant the optimistic fixpoint keeps — but it may never
+claim more.  On an acyclic PCG every source is final when read, so the
+algorithm equals the optimistic fixpoint exactly.
+"""
+
+from typing import Dict, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.ir.lattice import BOTTOM, TOP, Const, LatticeValue, meet
+from repro.lang import ast
+from tests.helpers import analyze
+
+seeds = st.integers(min_value=0, max_value=50_000)
+
+Key = Tuple[str, str]
+
+
+def reference_fi_formals(result, optimistic: bool) -> Dict[Key, LatticeValue]:
+    """Direct fixpoint of the Figure 3 equations (two optimism flavours)."""
+    pcg = result.pcg
+    symbols = result.symbols
+    modref = result.modref
+    config = result.config
+    global_constants = result.fi.global_constants
+
+    values: Dict[Key, LatticeValue] = {}
+    for proc in pcg.nodes:
+        for formal in symbols[proc].formals:
+            values[(proc, formal)] = TOP
+
+    def arg_status(caller, arg):
+        literal = ast.literal_value(arg)
+        if literal is not None:
+            return Const(literal) if config.admit_value(literal) else BOTTOM
+        if isinstance(arg, ast.Var):
+            name = arg.name
+            if name in global_constants:
+                return Const(global_constants[name])
+            key = (caller, name)
+            if key in values and not modref.formal_modified(caller, name):
+                source = values[key]
+                if optimistic and source.is_top:
+                    return TOP
+                if source.is_const:
+                    return source
+        return BOTTOM
+
+    changed = True
+    while changed:
+        changed = False
+        for proc in pcg.nodes:
+            for formal_index, formal in enumerate(symbols[proc].formals):
+                incoming = TOP
+                for edge in pcg.edges_into(proc):
+                    incoming = meet(
+                        incoming,
+                        arg_status(edge.caller, edge.site.args[formal_index]),
+                    )
+                if incoming != values[(proc, formal)]:
+                    values[(proc, formal)] = incoming
+                    changed = True
+    return values
+
+
+def constant_claims(values: Dict[Key, LatticeValue]) -> Dict[Key, LatticeValue]:
+    return {k: v for k, v in values.items() if v.is_const}
+
+
+def check(program):
+    result = analyze(program)
+    actual = constant_claims(result.fi.formal_values)
+    optimistic = constant_claims(reference_fi_formals(result, optimistic=True))
+    pessimistic = constant_claims(reference_fi_formals(result, optimistic=False))
+
+    # pessimistic <= actual <= optimistic, with agreeing values.
+    for key, value in pessimistic.items():
+        assert actual.get(key) == value, ("pessimistic", key, value, actual.get(key))
+    for key, value in actual.items():
+        assert optimistic.get(key) == value, ("optimistic", key, value)
+
+    if not result.pcg.fallback_edges:
+        assert actual == optimistic
+
+
+class TestFigure3AgainstReferenceSolvers:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds)
+    def test_acyclic(self, seed):
+        check(generate_program(seed))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_recursive(self, seed):
+        check(generate_program(seed, GeneratorConfig(allow_recursion=True)))
+
+    def test_paper_programs(self):
+        from repro.bench.programs import (
+            figure1_program,
+            mutual_recursion_program,
+            recursion_program,
+        )
+
+        for program in (
+            figure1_program(),
+            recursion_program(),
+            mutual_recursion_program(),
+        ):
+            check(program)
+
+    def test_suite(self):
+        from repro.bench.suite import SUITE, build_benchmark
+
+        for name in ("039.wave5", "094.fpppp", "034.mdljdp2"):
+            check(build_benchmark(SUITE[name]))
+
+    def test_recursive_passthrough_reaches_optimistic_fixpoint(self):
+        # The forward order sees the external constant before the cycle
+        # edges, so the single pass keeps the recursive pass-through.
+        result = analyze(
+            """
+            proc main() { call a(3, 2); }
+            proc a(x, n) { if (n) { call b(x, n - 1); } }
+            proc b(x, n) { if (n) { call a(x, n - 1); } }
+            """
+        )
+        assert result.fi.formal_value("a", "x") == Const(3)
+        assert result.fi.formal_value("b", "x") == Const(3)

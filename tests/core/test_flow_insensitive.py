@@ -1,0 +1,235 @@
+"""Figure 3 (flow-insensitive ICP) tests."""
+
+from repro.ir.lattice import BOTTOM, Const
+from tests.helpers import analyze, fi_formal_names
+
+
+class TestImmediateConstants:
+    def test_literal_argument(self):
+        result = analyze("proc main() { call f(5); } proc f(a) { print(a); }")
+        assert result.fi.formal_value("f", "a") == Const(5)
+
+    def test_negative_literal(self):
+        result = analyze("proc main() { call f(-5); } proc f(a) { print(a); }")
+        assert result.fi.formal_value("f", "a") == Const(-5)
+
+    def test_agreeing_sites(self):
+        result = analyze(
+            "proc main() { call f(5); call f(5); } proc f(a) { print(a); }"
+        )
+        assert result.fi.formal_value("f", "a") == Const(5)
+
+    def test_disagreeing_sites(self):
+        result = analyze(
+            "proc main() { call f(5); call f(6); } proc f(a) { print(a); }"
+        )
+        assert result.fi.formal_value("f", "a") == BOTTOM
+
+    def test_int_float_disagree(self):
+        result = analyze(
+            "proc main() { call f(1); call f(1.0); } proc f(a) { print(a); }"
+        )
+        assert result.fi.formal_value("f", "a") == BOTTOM
+
+    def test_computed_argument_unknown(self):
+        # 2 + 3 is constant, but the FI method has no expression evaluation.
+        result = analyze("proc main() { call f(2 + 3); } proc f(a) { print(a); }")
+        assert result.fi.formal_value("f", "a") == BOTTOM
+
+    def test_local_variable_unknown(self):
+        result = analyze(
+            "proc main() { x = 5; call f(x); } proc f(a) { print(a); }"
+        )
+        assert result.fi.formal_value("f", "a") == BOTTOM
+
+
+class TestPassThrough:
+    SOURCE = """
+    proc main() { call mid(7); }
+    proc mid(m) { call leaf(m); }
+    proc leaf(x) { print(x); }
+    """
+
+    def test_unmodified_formal_passes_through(self):
+        result = analyze(self.SOURCE)
+        assert result.fi.formal_value("mid", "m") == Const(7)
+        assert result.fi.formal_value("leaf", "x") == Const(7)
+
+    def test_fp_bind_recorded(self):
+        result = analyze(self.SOURCE)
+        assert ("leaf", "x") in result.fi.fp_bind.get(("mid", "m"), set())
+
+    def test_modified_formal_blocks_pass_through(self):
+        result = analyze(
+            """
+            proc main() { call mid(7); }
+            proc mid(m) { m = m + 1; call leaf(m); }
+            proc leaf(x) { print(x); }
+            """
+        )
+        assert result.fi.formal_value("mid", "m") == Const(7)
+        assert result.fi.formal_value("leaf", "x") == BOTTOM
+
+    def test_indirectly_modified_formal_blocks(self):
+        result = analyze(
+            """
+            proc main() { call mid(7); }
+            proc mid(m) { call bump(m); call leaf(m); }
+            proc bump(b) { b = b + 1; }
+            proc leaf(x) { print(x); }
+            """
+        )
+        assert result.fi.formal_value("leaf", "x") == BOTTOM
+
+    def test_worklist_lowers_dependents(self):
+        # mid is constant from one caller, but a second caller disagrees
+        # AFTER the pass-through was recorded: the fp_bind worklist must
+        # re-lower leaf.x.
+        result = analyze(
+            """
+            proc main() { call mid(7); call late(); }
+            proc mid(m) { call leaf(m); }
+            proc leaf(x) { print(x); }
+            proc late() { call mid(8); }
+            """
+        )
+        assert result.fi.formal_value("mid", "m") == BOTTOM
+        assert result.fi.formal_value("leaf", "x") == BOTTOM
+
+    def test_chained_worklist_lowering(self):
+        result = analyze(
+            """
+            proc main() { call a(1); call late(); }
+            proc a(p) { call b(p); }
+            proc b(q) { call c(q); }
+            proc c(r) { print(r); }
+            proc late() { call a(2); }
+            """
+        )
+        assert result.fi.formal_value("c", "r") == BOTTOM
+
+
+class TestGlobals:
+    def test_block_data_constant(self):
+        result = analyze(
+            "global g; init { g = 4; } proc main() { print(g); }"
+        )
+        assert result.fi.global_constants == {"g": 4}
+
+    def test_modified_candidate_killed(self):
+        result = analyze(
+            "global g; init { g = 4; } proc main() { g = 5; print(g); }"
+        )
+        assert result.fi.global_constants == {}
+        assert result.fi.global_candidates == {"g": 4}
+
+    def test_modified_in_callee_killed(self):
+        result = analyze(
+            """
+            global g;
+            init { g = 4; }
+            proc main() { call w(); print(g); }
+            proc w() { g = 5; }
+            """
+        )
+        assert result.fi.global_constants == {}
+
+    def test_modified_via_byref_killed(self):
+        result = analyze(
+            """
+            global g;
+            init { g = 4; }
+            proc main() { call w(g); print(g); }
+            proc w(a) { a = 5; }
+            """
+        )
+        assert result.fi.global_constants == {}
+
+    def test_modification_in_unreachable_proc_ignored(self):
+        result = analyze(
+            """
+            global g;
+            init { g = 4; }
+            proc main() { print(g); }
+            proc never() { g = 5; }
+            """
+        )
+        assert result.fi.global_constants == {"g": 4}
+
+    def test_global_constant_as_argument(self):
+        result = analyze(
+            """
+            global g;
+            init { g = 4; }
+            proc main() { call f(g); }
+            proc f(a) { print(a); }
+            """
+        )
+        assert result.fi.formal_value("f", "a") == Const(4)
+
+    def test_uninitialized_global_not_constant(self):
+        result = analyze(
+            "global g; proc main() { g = 1; call f(g); } proc f(a) { print(a); }"
+        )
+        assert result.fi.global_constants == {}
+        assert result.fi.formal_value("f", "a") == BOTTOM
+
+
+class TestFloatFilter:
+    def test_float_literal_demoted(self):
+        result = analyze(
+            "proc main() { call f(2.5); } proc f(a) { print(a); }",
+            propagate_floats=False,
+        )
+        assert result.fi.formal_value("f", "a") == BOTTOM
+
+    def test_float_global_demoted(self):
+        result = analyze(
+            "global g; init { g = 2.5; } proc main() { print(g); }",
+            propagate_floats=False,
+        )
+        assert result.fi.global_constants == {}
+        assert result.fi.global_candidates == {}
+
+    def test_int_unaffected(self):
+        result = analyze(
+            "proc main() { call f(2); } proc f(a) { print(a); }",
+            propagate_floats=False,
+        )
+        assert result.fi.formal_value("f", "a") == Const(2)
+
+
+class TestArgValues:
+    def test_final_arg_values_consistent_with_formals(self):
+        from repro.ir.lattice import meet_all
+
+        result = analyze(
+            """
+            proc main() { call f(3); call g(); }
+            proc g() { call f(3); }
+            proc f(a) { print(a); }
+            """
+        )
+        contributions = [
+            result.fi.arg_value(edge.site, 0)
+            for edge in result.pcg.edges_into("f")
+        ]
+        assert meet_all(contributions) == result.fi.formal_value("f", "a")
+
+    def test_recursion_conservative(self):
+        result = analyze(
+            """
+            proc main() { call f(3, 9); }
+            proc f(n, k) { if (n) { call f(n - 1, k); } print(k); }
+            """
+        )
+        # n varies; k is a pass-through of a constant formal, and the FI
+        # method keeps it because f never modifies k.
+        assert result.fi.formal_value("f", "n") == BOTTOM
+        assert result.fi.formal_value("f", "k") == Const(9)
+
+    def test_figure1_fi(self):
+        from repro.bench.programs import figure1_program
+
+        result = analyze(figure1_program())
+        assert fi_formal_names(result) == {"sub1.f1", "sub2.f3", "sub2.f4"}

@@ -1,0 +1,288 @@
+"""Figure 4 (flow-sensitive ICP) tests."""
+
+from repro.ir.lattice import BOTTOM, Const
+from tests.helpers import analyze, fi_formal_names, fs_formal_names
+
+
+class TestEntryConstants:
+    def test_computed_constant_argument(self):
+        # Unlike FI, the flow-sensitive method evaluates expressions.
+        result = analyze("proc main() { call f(2 + 3); } proc f(a) { print(a); }")
+        assert result.fs.entry_formal("f", "a") == Const(5)
+
+    def test_local_constant_argument(self):
+        result = analyze(
+            "proc main() { x = 5; call f(x); } proc f(a) { print(a); }"
+        )
+        assert result.fs.entry_formal("f", "a") == Const(5)
+
+    def test_meet_over_sites(self):
+        result = analyze(
+            "proc main() { call f(5); x = 5; call f(x); } proc f(a) { print(a); }"
+        )
+        assert result.fs.entry_formal("f", "a") == Const(5)
+
+    def test_disagreeing_sites(self):
+        result = analyze(
+            "proc main() { call f(5); call f(6); } proc f(a) { print(a); }"
+        )
+        assert result.fs.entry_formal("f", "a") == BOTTOM
+
+    def test_constant_chained_through_analysis(self):
+        result = analyze(
+            """
+            proc main() { call mid(4); }
+            proc mid(m) { y = m * m; call leaf(y); }
+            proc leaf(x) { print(x); }
+            """
+        )
+        assert result.fs.entry_formal("leaf", "x") == Const(16)
+
+
+class TestUnreachableCode:
+    def test_dead_call_site_contributes_nothing(self):
+        result = analyze(
+            """
+            proc main() { if (0) { call f(1); } call f(2); }
+            proc f(a) { print(a); }
+            """
+        )
+        # The f(1) site is unreachable, so a is the constant 2.
+        assert result.fs.entry_formal("f", "a") == Const(2)
+
+    def test_dead_procedure_flagged(self):
+        result = analyze(
+            """
+            proc main() { if (0) { call dead(1); } print(0); }
+            proc dead(a) { print(a); }
+            """
+        )
+        assert "dead" not in result.fs.fs_reachable
+        assert "main" in result.fs.fs_reachable
+
+    def test_transitively_dead_procedure(self):
+        result = analyze(
+            """
+            proc main() { if (0) { call dead(); } print(0); }
+            proc dead() { call deader(3); }
+            proc deader(a) { print(a); }
+            """
+        )
+        assert "deader" not in result.fs.fs_reachable
+
+    def test_figure1(self):
+        from repro.bench.programs import figure1_program
+
+        result = analyze(figure1_program())
+        assert fs_formal_names(result) == {
+            "sub1.f1", "sub2.f2", "sub2.f3", "sub2.f4", "sub2.f5",
+        }
+        assert result.fs.entry_formal("sub2", "f2") == Const(0)
+        assert result.fs.entry_formal("sub2", "f5") == Const(1)
+
+
+class TestGlobalsAtEntry:
+    def test_main_gets_block_data(self):
+        result = analyze("global g; init { g = 3; } proc main() { print(g); }")
+        assert result.fs.entry_global("main", "g") == Const(3)
+
+    def test_global_constant_at_callee_entry(self):
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 7; call f(); }
+            proc f() { print(g); }
+            """
+        )
+        assert result.fs.entry_global("f", "g") == Const(7)
+
+    def test_global_modified_between_sites(self):
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 7; call f(); g = 8; call f(); }
+            proc f() { print(g); }
+            """
+        )
+        assert result.fs.entry_global("f", "g") == BOTTOM
+
+    def test_global_not_in_ref_not_tracked(self):
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 7; call f(); }
+            proc f() { print(1); }
+            """
+        )
+        assert result.fs.entry_global("f", "g") == BOTTOM
+
+    def test_global_through_oblivious_middle(self):
+        # The middle procedure never mentions g, but g is in the REF closure
+        # of its callee, so the constant is threaded through.
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 6; call mid(); }
+            proc mid() { call leaf(); }
+            proc leaf() { print(g); }
+            """
+        )
+        assert result.fs.entry_global("mid", "g") == Const(6)
+        assert result.fs.entry_global("leaf", "g") == Const(6)
+
+    def test_callee_modification_kills_later_site(self):
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 1; call toucher(); call f(); }
+            proc toucher() { g = 2; }
+            proc f() { print(g); }
+            """
+        )
+        # After toucher, main's view of g is unknown (MOD-based kill).
+        assert result.fs.entry_global("f", "g") == BOTTOM
+
+
+class TestRecursionFallback:
+    def test_self_recursion_uses_fi_for_back_edge(self):
+        result = analyze(
+            """
+            proc main() { call walk(8, 2); }
+            proc walk(n, step) { if (n > 0) { call walk(n - step, step); } }
+            """
+        )
+        assert result.fs.entry_formal("walk", "step") == Const(2)
+        assert result.fs.entry_formal("walk", "n") == BOTTOM
+        assert len(result.fs.fallback_edges) == 1
+
+    def test_fallback_ratio(self):
+        result = analyze(
+            """
+            proc main() { call walk(8, 2); }
+            proc walk(n, step) { if (n > 0) { call walk(n - step, step); } }
+            """
+        )
+        assert result.fs.fallback_ratio(result.pcg) == 0.5
+
+    def test_recursion_with_modified_passthrough(self):
+        # step is modified inside walk: the FI fallback must lower it.
+        result = analyze(
+            """
+            proc main() { call walk(8, 2); }
+            proc walk(n, step) {
+                if (n > 10) { step = 1; }
+                if (n > 0) { call walk(n - step, step); }
+            }
+            """
+        )
+        assert result.fs.entry_formal("walk", "step") == BOTTOM
+
+    def test_mutual_recursion(self):
+        result = analyze(
+            """
+            proc main() { call even(6, 5); }
+            proc even(n, base) { if (n == 0) { print(base); } else { call odd(n - 1, base); } }
+            proc odd(n, base) { if (n == 0) { print(base); } else { call even(n - 1, base); } }
+            """
+        )
+        assert result.fs.entry_formal("even", "base") == Const(5)
+        assert result.fs.entry_formal("odd", "base") == Const(5)
+
+    def test_acyclic_no_fi_needed(self):
+        result = analyze("proc main() { call f(1); } proc f(a) { print(a); }")
+        assert result.fs.fallback_edges == []
+
+    def test_global_fi_fallback_in_cycle(self):
+        # g is an FI program constant; the recursive edge uses the FI value.
+        result = analyze(
+            """
+            global g;
+            init { g = 3; }
+            proc main() { call f(2); }
+            proc f(n) { print(g); if (n) { call f(n - 1); } }
+            """
+        )
+        assert result.fs.entry_global("f", "g") == Const(3)
+
+    def test_modified_global_bottom_through_cycle(self):
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 3; call f(2); }
+            proc f(n) { print(g); g = g + 1; if (n) { call f(n - 1); } }
+            """
+        )
+        assert result.fs.entry_global("f", "g") == BOTTOM
+
+
+class TestPrecisionVsFI:
+    def test_fs_supersedes_fi_on_figure1(self):
+        from repro.bench.programs import figure1_program
+
+        result = analyze(figure1_program())
+        assert fi_formal_names(result) < fs_formal_names(result)
+
+    def test_engines_select(self):
+        simple = analyze(
+            "proc main() { c = 0; if (c) { x = 1; } else { x = 2; } call f(x); } proc f(a) { print(a); }",
+            engine="simple",
+        )
+        scc = analyze(
+            "proc main() { c = 0; if (c) { x = 1; } else { x = 2; } call f(x); } proc f(a) { print(a); }",
+            engine="scc",
+        )
+        # The dense engine cannot prune the constant branch; SCC can.
+        assert simple.fs.entry_formal("f", "a") == BOTTOM
+        assert scc.fs.entry_formal("f", "a") == Const(2)
+
+
+class TestFloatFilter:
+    def test_float_argument_demoted_at_boundary(self):
+        result = analyze(
+            "proc main() { x = 2.5; call f(x); } proc f(a) { print(a); }",
+            propagate_floats=False,
+        )
+        assert result.fs.entry_formal("f", "a") == BOTTOM
+
+    def test_float_global_demoted(self):
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 2.5; call f(); }
+            proc f() { print(g); }
+            """,
+            propagate_floats=False,
+        )
+        assert result.fs.entry_global("f", "g") == BOTTOM
+
+    def test_int_derived_from_float_ok(self):
+        result = analyze(
+            "proc main() { x = 2.5 * 2; y = 1; call f(y); } proc f(a) { print(a); }",
+            propagate_floats=False,
+        )
+        assert result.fs.entry_formal("f", "a") == Const(1)
+
+
+class TestAliasSafety:
+    def test_aliased_assignment_kills_partner(self):
+        # Inside f, `a` aliases g; assigning a must invalidate g's value.
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 1; call f(g); }
+            proc f(a) { a = 2; call sink(); }
+            proc sink() { print(g); }
+            """
+        )
+        assert result.fs.entry_global("sink", "g") == BOTTOM
+
+    def test_unaliased_global_unaffected(self):
+        result = analyze(
+            """
+            global g;
+            proc main() { g = 1; x = 0; call f(x); }
+            proc f(a) { a = 2; call sink(); }
+            proc sink() { print(g); }
+            """
+        )
+        assert result.fs.entry_global("sink", "g") == Const(1)

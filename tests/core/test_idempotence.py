@@ -1,0 +1,69 @@
+"""Idempotence and determinism properties of the transformations."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import generate_program
+from repro.core.optimize import optimize_program
+from repro.lang.pretty import pretty_program
+
+seeds = st.integers(min_value=0, max_value=20_000)
+
+
+class TestOptimizerConvergence:
+    """Repeated optimization reaches a fixed point quickly.
+
+    A single pass is *not* idempotent in general — pruning a branch can
+    delete a call that modified a global, making the global constant on the
+    next pass (classic phase ordering).  What must hold: the pass converges
+    within a few rounds, and at the fixed point it reports no work.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=seeds)
+    def test_converges_within_five_rounds(self, seed):
+        program = generate_program(seed)
+        previous_text = pretty_program(program)
+        final = None
+        for _ in range(5):
+            result = optimize_program(program)
+            text = pretty_program(result.program)
+            if text == previous_text:
+                final = result
+                break
+            previous_text = text
+            program = result.program
+        assert final is not None, "optimizer did not converge in 5 rounds"
+        assert final.substitutions == 0
+        assert final.branches_pruned == 0
+        assert final.dead_assignments_removed == 0
+
+    def test_figure1_fixed_point_after_two_passes(self):
+        from repro.bench.programs import figure1_program
+
+        first = optimize_program(figure1_program())
+        second = optimize_program(first.program)
+        third = optimize_program(second.program)
+        assert pretty_program(third.program) == pretty_program(second.program)
+
+
+class TestDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=seeds)
+    def test_optimizer_deterministic(self, seed):
+        program_a = generate_program(seed)
+        program_b = generate_program(seed)
+        a = optimize_program(program_a, clone=True, inline=True)
+        b = optimize_program(program_b, clone=True, inline=True)
+        assert pretty_program(a.program) == pretty_program(b.program)
+        assert a.summary() == b.summary()
+
+    def test_suite_build_and_analysis_deterministic(self):
+        from repro.bench.suite import SUITE, build_benchmark
+        from tests.helpers import analyze
+
+        profile = SUITE["094.fpppp"]
+        first = analyze(build_benchmark(profile))
+        second = analyze(build_benchmark(profile))
+        assert first.fs.entry_formals == second.fs.entry_formals
+        assert first.fs.entry_globals == second.fs.entry_globals
+        assert first.fi.formal_values == second.fi.formal_values

@@ -1,0 +1,129 @@
+"""Procedure inlining tests (paper Figure 2 step 6 / Section 5 trade-off)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import generate_program
+from repro.core.inlining import inline_calls, statement_count
+from repro.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.validate import validate_program
+
+
+def inline(source, **kwargs):
+    program = parse_program(source) if isinstance(source, str) else source
+    return inline_calls(program, **kwargs)
+
+
+class TestBasicInlining:
+    def test_simple_call_inlined(self):
+        result = inline(
+            "proc main() { call f(3); } proc f(a) { print(a * 2); }"
+        )
+        assert result.inlined_calls == 1
+        text = pretty_program(result.program)
+        assert "call f" not in text
+        assert run_program(result.program).outputs == [6]
+
+    def test_compound_arg_gets_temporary(self):
+        result = inline(
+            "proc main() { x = 1; call f(x + 1); print(x); } proc f(a) { a = 9; }"
+        )
+        # The temporary absorbs the store; x is untouched.
+        assert run_program(result.program).outputs == [1]
+
+    def test_bare_var_arg_aliases(self):
+        result = inline(
+            "proc main() { x = 1; call bump(x); print(x); } proc bump(a) { a = a + 10; }"
+        )
+        assert run_program(result.program).outputs == [11]
+
+    def test_local_capture_avoided(self):
+        # Caller's `t` and callee's local `t` must stay distinct.
+        result = inline(
+            """
+            proc main() { t = 5; call f(); print(t); }
+            proc f() { t = 99; print(t); }
+            """
+        )
+        assert run_program(result.program).outputs == [99, 5]
+
+    def test_validates_after_inlining(self):
+        result = inline(
+            "proc main() { call f(1); call f(2); } proc f(a) { print(a); }"
+        )
+        validate_program(result.program)
+
+
+class TestEligibility:
+    def test_value_calls_not_inlined(self):
+        result = inline(
+            "proc main() { x = f(); print(x); } proc f() { return 3; }"
+        )
+        assert result.inlined_calls == 0
+
+    def test_returning_procs_not_inlined(self):
+        result = inline(
+            """
+            proc main() { call f(1); }
+            proc f(a) { if (a) { return; } print(a); }
+            """
+        )
+        assert result.inlined_calls == 0
+
+    def test_recursive_procs_not_inlined(self):
+        result = inline(
+            """
+            proc main() { call f(3); }
+            proc f(n) { if (n > 0) { call f(n - 1); } }
+            """
+        )
+        assert result.inlined_calls == 0
+
+    def test_size_limit(self):
+        big_body = " ".join(f"x{i} = {i};" for i in range(20)) + " print(x0);"
+        source = f"proc main() {{ call f(); }} proc f() {{ {big_body} }}"
+        assert inline(source, max_body_stmts=5).inlined_calls == 0
+        assert inline(source, max_body_stmts=50).inlined_calls == 1
+
+
+class TestRounds:
+    SOURCE = """
+    proc main() { call a(2); }
+    proc a(x) { call b(x + 1); }
+    proc b(y) { print(y * 10); }
+    """
+
+    def test_single_round_leaves_chain(self):
+        result = inline(self.SOURCE, rounds=1)
+        assert result.inlined_calls >= 1
+        assert run_program(result.program).outputs == [30]
+
+    def test_multiple_rounds_flatten_chain(self):
+        result = inline(self.SOURCE, rounds=3)
+        text = pretty_program(result.program)
+        main_text = text.split("proc a")[0]
+        assert "call" not in main_text
+        assert run_program(result.program).outputs == [30]
+
+    def test_code_growth_measured(self):
+        program = parse_program(self.SOURCE)
+        before = statement_count(program)
+        result = inline(self.SOURCE, rounds=3)
+        assert result.statement_count() > before
+
+
+class TestSemanticPreservation:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_programs(self, seed):
+        program = generate_program(seed)
+        result = inline(program, rounds=2)
+        validate_program(result.program)
+        try:
+            before = run_program(program, max_steps=200_000).outputs
+        except Exception:
+            return
+        after = run_program(result.program, max_steps=400_000).outputs
+        assert before == after
+        assert all(type(x) is type(y) for x, y in zip(before, after))

@@ -1,0 +1,134 @@
+"""Iterative flow-sensitive baseline tests (the fixpoint of Section 3.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.core.iterative import iterative_flow_sensitive_icp
+from repro.interp.interpreter import MULTIPLE
+from repro.ir.lattice import BOTTOM, Const, values_equal
+from tests.helpers import analyze, run_recorded
+
+seeds = st.integers(min_value=0, max_value=50_000)
+
+
+def iterate(source_or_program, **config_kwargs):
+    result = analyze(source_or_program, **config_kwargs)
+    iterative = iterative_flow_sensitive_icp(
+        result.program, result.symbols, result.pcg, result.modref,
+        result.aliases, result.config,
+    )
+    return result, iterative
+
+
+class TestAcyclicEquivalence:
+    """With no back edges, one pass == the iterative fixpoint (paper §3.2)."""
+
+    def _check(self, program):
+        one_pass, iterative = iterate(program)
+        if one_pass.pcg.fallback_edges:
+            return
+        assert iterative.entry_formals == one_pass.fs.entry_formals
+        assert iterative.entry_globals == one_pass.fs.entry_globals
+
+    def test_figure1(self):
+        from repro.bench.programs import figure1_program
+
+        self._check(figure1_program())
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_generated(self, seed):
+        self._check(generate_program(seed))
+
+    def test_analysis_count_equals_procs_when_acyclic(self):
+        from repro.bench.programs import figure1_program
+
+        one_pass, iterative = iterate(figure1_program())
+        assert iterative.analyses_performed == len(one_pass.pcg.nodes)
+
+
+class TestCyclicPrecision:
+    RECURSIVE_CONSTANT = """
+    proc main() { call f(7, 3); }
+    proc f(p, n) { if (n > 0) { call f(p * 1, n - 1); } print(p); }
+    """
+
+    def test_iterative_beats_one_pass_on_computed_recursion(self):
+        # The recursive argument `p * 1` is compound: the FI fallback loses
+        # it, but the iterative fixpoint keeps p == 7 through the cycle.
+        one_pass, iterative = iterate(self.RECURSIVE_CONSTANT)
+        assert one_pass.fs.entry_formal("f", "p") == BOTTOM
+        assert iterative.entry_formal("f", "p") == Const(7)
+
+    def test_iterative_requires_reanalysis(self):
+        one_pass, iterative = iterate(self.RECURSIVE_CONSTANT)
+        assert iterative.analyses_performed > len(one_pass.pcg.nodes)
+
+    def test_varying_recursion_correctly_bottom(self):
+        _, iterative = iterate(
+            """
+            proc main() { call f(7, 3); }
+            proc f(p, n) { if (n > 0) { call f(p + 1, n - 1); } print(p); }
+            """
+        )
+        assert iterative.entry_formal("f", "p") == BOTTOM
+        assert iterative.entry_formal("f", "n") == BOTTOM
+
+    def test_mutual_recursion_constant(self):
+        _, iterative = iterate(
+            """
+            proc main() { call even(6, 5); }
+            proc even(n, b) { if (n == 0) { print(b); } else { call odd(n - 1, b * 1); } }
+            proc odd(n, b) { if (n == 0) { print(b); } else { call even(n - 1, b * 1); } }
+            """
+        )
+        assert iterative.entry_formal("even", "b") == Const(5)
+        assert iterative.entry_formal("odd", "b") == Const(5)
+
+
+class TestSubsumesOnePass:
+    """The iterative fixpoint is at least as precise as the one-pass method."""
+
+    def _check(self, program):
+        one_pass, iterative = iterate(program)
+        for key, value in one_pass.fs.entry_formals.items():
+            if value.is_const and key[0] in iterative.fs_reachable:
+                assert iterative.entry_formals.get(key) == value, key
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_recursive_generated(self, seed):
+        self._check(generate_program(seed, GeneratorConfig(allow_recursion=True)))
+
+
+class TestDeadCode:
+    def test_dead_caller_does_not_seed_constants(self):
+        _, iterative = iterate(
+            """
+            proc main() { if (0) { call dead(); } print(1); }
+            proc dead() { call f(5); }
+            proc f(a) { print(a); }
+            """
+        )
+        assert "dead" not in iterative.fs_reachable
+        assert "f" not in iterative.fs_reachable
+        assert iterative.entry_formal("f", "a") == BOTTOM
+
+
+class TestSoundness:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_claims_sound(self, seed):
+        program = generate_program(seed, GeneratorConfig(allow_recursion=True))
+        _, iterative = iterate(program)
+        recorder = run_recorded(program)
+        if recorder is None:
+            return
+        for (proc, var), value in iterative.entry_formals.items():
+            if not value.is_const:
+                continue
+            observed = recorder.entry_values.get((proc, var))
+            if observed is None:
+                continue
+            assert observed is not MULTIPLE
+            assert values_equal(observed, value.const_value), (proc, var)

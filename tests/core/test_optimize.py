@@ -1,0 +1,110 @@
+"""Full optimizer pipeline tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import generate_program
+from repro.core.optimize import optimize_program, remove_unreachable_procedures
+from repro.interp import run_program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.validate import validate_program
+
+SOURCE = """
+global debug;
+init { debug = 0; }
+proc main() { call work(3); }
+proc work(n) {
+    if (debug > 0) { call trace(n); }
+    x = n * 2;
+    print(x + 1);
+}
+proc trace(v) { print(v); }
+"""
+
+
+class TestPipeline:
+    def test_end_to_end(self):
+        result = optimize_program(SOURCE)
+        text = pretty_program(result.program)
+        assert result.branches_pruned >= 1
+        assert result.procedures_removed == 1  # trace became unreachable
+        assert "trace" not in text
+        assert "print(7);" in text
+
+    def test_behaviour_preserved(self):
+        result = optimize_program(SOURCE)
+        assert run_program(result.program).outputs == run_program(
+            parse_program(SOURCE)
+        ).outputs
+
+    def test_dead_stores_swept(self):
+        result = optimize_program(
+            "proc main() { x = 3; y = x + 1; print(y); }"
+        )
+        assert result.dead_assignments_removed == 2
+        assert pretty_program(result.program).count("=") == 0
+
+    def test_summary_renders(self):
+        result = optimize_program(SOURCE)
+        assert "substitutions" in result.summary()
+
+    def test_with_cloning(self):
+        result = optimize_program(
+            "proc main() { call f(1); call f(2); } proc f(a) { print(a + 1); }",
+            clone=True,
+        )
+        assert result.clones_created == 1
+        text = pretty_program(result.program)
+        assert "print(2);" in text and "print(3);" in text
+
+    def test_with_inlining(self):
+        result = optimize_program(
+            "proc main() { call f(4); } proc f(a) { print(a); }",
+            inline=True,
+        )
+        assert result.calls_inlined == 1
+        assert result.procedures_removed == 1
+        assert pretty_program(result.program).strip().count("proc") == 1
+
+    def test_sweep_disabled(self):
+        result = optimize_program(
+            "proc main() { x = 3; print(x); }", sweep=False
+        )
+        assert result.dead_assignments_removed == 0
+        assert "x = 3;" in pretty_program(result.program)
+
+
+class TestUnreachableRemoval:
+    def test_orphan_removed(self):
+        program = parse_program(
+            "proc main() { print(1); } proc orphan() { print(2); }"
+        )
+        trimmed, removed = remove_unreachable_procedures(program)
+        assert removed == 1
+        assert [p.name for p in trimmed.procedures] == ["main"]
+
+    def test_nothing_to_remove(self):
+        program = parse_program("proc main() { call f(); } proc f() { }")
+        same, removed = remove_unreachable_procedures(program)
+        assert removed == 0
+        assert same is program
+
+
+class TestSemanticPreservation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        clone=st.booleans(),
+        inline=st.booleans(),
+    )
+    def test_generated_programs(self, seed, clone, inline):
+        program = generate_program(seed)
+        result = optimize_program(program, clone=clone, inline=inline)
+        validate_program(result.program)
+        try:
+            before = run_program(program, max_steps=200_000).outputs
+        except Exception:
+            return
+        after = run_program(result.program, max_steps=400_000).outputs
+        assert before == after
+        assert all(type(x) is type(y) for x, y in zip(before, after))

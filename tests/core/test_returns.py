@@ -1,0 +1,132 @@
+"""Return-constant extension tests (paper Section 3.2)."""
+
+from repro.core.returns import compute_returns
+from repro.ir.lattice import BOTTOM, Const
+from tests.helpers import analyze
+
+
+def returns_for(source, **config_kwargs):
+    result = analyze(source, propagate_returns=True, **config_kwargs)
+    return result
+
+
+class TestBasicReturns:
+    def test_literal_return(self):
+        result = returns_for(
+            "proc main() { x = f(); print(x); } proc f() { return 7; }"
+        )
+        assert result.returns.fs_return("f") == Const(7)
+
+    def test_computed_return(self):
+        result = returns_for(
+            "proc main() { x = f(); print(x); } proc f() { t = 3 * 4; return t; }"
+        )
+        assert result.returns.fs_return("f") == Const(12)
+
+    def test_return_of_entry_constant(self):
+        # The FS entry constant (a = 5) flows into the return value.
+        result = returns_for(
+            "proc main() { x = f(5); print(x); } proc f(a) { return a + 1; }"
+        )
+        assert result.returns.fs_return("f") == Const(6)
+
+    def test_differing_returns_bottom(self):
+        result = returns_for(
+            """
+            proc main() { x = f(0); y = f(1); print(x + y); }
+            proc f(c) { if (c) { return 1; } return 2; }
+            """
+        )
+        assert result.returns.fs_return("f") == BOTTOM
+
+    def test_chained_returns(self):
+        # g's constant return feeds f's return (reverse traversal order).
+        result = returns_for(
+            """
+            proc main() { x = f(); print(x); }
+            proc f() { t = g(); return t + 1; }
+            proc g() { return 10; }
+            """
+        )
+        assert result.returns.fs_return("g") == Const(10)
+        assert result.returns.fs_return("f") == Const(11)
+
+    def test_no_value_return_bottom(self):
+        result = returns_for(
+            "proc main() { call f(); } proc f() { return; }"
+        )
+        assert result.returns.fs_return("f") == BOTTOM
+
+
+class TestRecursiveReturns:
+    def test_recursive_constant_return(self):
+        # Every path returns 4; the FI pre-solution resolves the cycle.
+        result = returns_for(
+            """
+            proc main() { x = f(3); print(x); }
+            proc f(n) { if (n > 0) { r = f(n - 1); return r; } return 4; }
+            """
+        )
+        assert result.returns.fs_return("f") == Const(4)
+
+    def test_recursive_varying_return(self):
+        result = returns_for(
+            """
+            proc main() { x = f(3); print(x); }
+            proc f(n) { if (n > 0) { r = f(n - 1); return r + 1; } return 0; }
+            """
+        )
+        assert result.returns.fs_return("f") == BOTTOM
+
+    def test_infinite_recursion_no_base(self):
+        # No base return: the optimistic fixpoint ends at TOP, reported BOTTOM.
+        result = analyze(
+            """
+            proc main() { if (0) { x = f(1); print(x); } }
+            proc f(n) { r = f(n); return r; }
+            """,
+            propagate_returns=True,
+        )
+        assert result.returns.fs_return("f") == BOTTOM
+
+
+class TestReturnsFeedTransform:
+    def test_substitution_uses_return_constant(self):
+        from repro.core.config import ICPConfig
+        from repro.core.driver import analyze_program
+        from repro.lang.pretty import pretty_program
+
+        source = """
+        proc main() { x = f(); print(x + 1); }
+        proc f() { return 9; }
+        """
+        with_returns = analyze_program(
+            source, ICPConfig(propagate_returns=True), run_transform=True
+        )
+        without = analyze_program(source, ICPConfig(), run_transform=True)
+        assert "print(10);" in pretty_program(with_returns.transform.program)
+        assert "print(x + 1);" in pretty_program(without.transform.program)
+
+    def test_float_filter_on_returns(self):
+        result = returns_for(
+            "proc main() { x = f(); print(x); } proc f() { return 2.5; }",
+            propagate_floats=False,
+        )
+        assert result.returns.fs_return("f") == BOTTOM
+
+
+class TestDirectAPI:
+    def test_compute_returns_requires_fi_for_cycles(self):
+        import pytest
+
+        result = analyze(
+            """
+            proc main() { x = f(3); print(x); }
+            proc f(n) { if (n) { r = f(n - 1); return r; } return 1; }
+            """
+        )
+        with pytest.raises(ValueError):
+            compute_returns(
+                result.program, result.symbols, result.pcg, result.modref,
+                result.fs, fi=None,
+            )

@@ -1,0 +1,117 @@
+"""Shared test utilities: analysis wrappers and the soundness oracle."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.config import ICPConfig
+from repro.core.driver import PipelineResult, analyze_program
+from repro.errors import InterpreterError, StepLimitExceeded
+from repro.interp import Recorder, run_program
+from repro.ir.lattice import values_equal
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+
+def analyze(source: Union[str, ast.Program], **config_kwargs) -> PipelineResult:
+    """Parse (if needed) and run the full pipeline."""
+    config = ICPConfig(**config_kwargs)
+    return analyze_program(source, config)
+
+
+def fs_formal_names(result: PipelineResult) -> Set[str]:
+    """FS constant formals as 'proc.formal' strings."""
+    return {f"{p}.{f}" for p, f in result.fs.constant_formals()}
+
+
+def fi_formal_names(result: PipelineResult) -> Set[str]:
+    return {f"{p}.{f}" for p, f in result.fi.constant_formals()}
+
+
+def run_recorded(
+    program: ast.Program, max_steps: int = 200_000
+) -> Optional[Recorder]:
+    """Execute under the recorder; None when the program errors or times out.
+
+    Generated programs are designed to run clean, but extreme arithmetic can
+    overflow floats; such runs are skipped rather than failed.
+    """
+    recorder = Recorder()
+    try:
+        run_program(program, max_steps=max_steps, recorder=recorder)
+    except (InterpreterError, StepLimitExceeded):
+        return None
+    return recorder
+
+
+def soundness_violations(
+    program: ast.Program, result: PipelineResult, recorder: Recorder
+) -> List[str]:
+    """Check every constant the analyses claim against observed values.
+
+    Returns human-readable violation strings (empty means sound).  A claim is
+    violated when the corresponding procedure entry / call site was observed
+    with a different value (or with multiple values).
+    """
+    from repro.interp.interpreter import MULTIPLE
+
+    violations: List[str] = []
+
+    def check_entry(kind: str, proc: str, var: str, claimed) -> None:
+        observed = recorder.entry_values.get((proc, var))
+        if observed is None:
+            return  # never executed (or never initialized there): vacuous
+        if observed is MULTIPLE or not values_equal(observed, claimed):
+            violations.append(
+                f"{kind}: {proc}.{var} claimed {claimed!r}, observed {observed!r}"
+            )
+
+    # Flow-sensitive entry claims.
+    for (proc, formal), value in result.fs.entry_formals.items():
+        if value.is_const:
+            check_entry("fs-formal", proc, formal, value.const_value)
+    for (proc, name), value in result.fs.entry_globals.items():
+        if value.is_const:
+            check_entry("fs-global", proc, name, value.const_value)
+
+    # Flow-insensitive claims (formals at entry; globals everywhere).
+    for (proc, formal), value in result.fi.formal_values.items():
+        if value.is_const:
+            check_entry("fi-formal", proc, formal, value.const_value)
+    for name, constant in result.fi.global_constants.items():
+        for proc in result.pcg.nodes:
+            check_entry("fi-global", proc, name, constant)
+
+    # Flow-sensitive argument claims at call sites.
+    for proc, intra in result.fs.intra.items():
+        if proc not in result.fs.fs_reachable:
+            continue
+        for (caller, site_index), site_values in intra.call_sites.items():
+            if not site_values.executable:
+                continue
+            for pos, value in enumerate(site_values.arg_values):
+                if not value.is_const:
+                    continue
+                observed = recorder.call_args.get((caller, site_index, pos))
+                if observed is None:
+                    continue
+                if observed is MULTIPLE or not values_equal(
+                    observed, value.const_value
+                ):
+                    violations.append(
+                        f"fs-arg: {caller}#{site_index} arg {pos} claimed "
+                        f"{value.const_value!r}, observed {observed!r}"
+                    )
+    return violations
+
+
+def assert_sound(source: Union[str, ast.Program], **config_kwargs) -> PipelineResult:
+    """Analyze, execute, and assert that every constant claim is sound."""
+    program = parse_program(source) if isinstance(source, str) else source
+    result = analyze(program, **config_kwargs)
+    recorder = run_recorded(program)
+    if recorder is None:
+        return result  # runtime error: claims are vacuous
+    violations = soundness_violations(program, result, recorder)
+    assert not violations, "\n".join(violations)
+    return result

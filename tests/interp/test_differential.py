@@ -1,0 +1,89 @@
+"""Differential semantics: interpreter vs abstract evaluator on constants.
+
+For any expression over known constants, the interpreter's result must
+coincide with the abstract evaluator's folded constant (same value, same
+type) — the property that makes constant substitution safe at all.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InterpreterError
+from repro.interp import run_program
+from repro.ir.eval import evaluate_expr
+from repro.ir.lattice import BOTTOM, Const, values_equal
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_expr
+
+_values = st.one_of(
+    st.integers(min_value=-20, max_value=20),
+    st.sampled_from([0.0, 0.5, 1.0, -2.5, 3.25]),
+)
+_arith_ops = st.sampled_from(["+", "-", "*", "/", "%"])
+_cmp_ops = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+_logic_ops = st.sampled_from(["and", "or"])
+
+
+def _literal(value) -> ast.Expr:
+    if isinstance(value, float):
+        return ast.FloatLit(value) if value >= 0 else ast.Unary("-", ast.FloatLit(-value))
+    return ast.IntLit(value) if value >= 0 else ast.Unary("-", ast.IntLit(-value))
+
+
+@st.composite
+def constant_expressions(draw, depth=3):
+    if depth == 0 or draw(st.booleans()):
+        return _literal(draw(_values))
+    shape = draw(st.integers(min_value=0, max_value=3))
+    if shape == 0:
+        op = draw(_arith_ops)
+    elif shape == 1:
+        op = draw(_cmp_ops)
+    elif shape == 2:
+        op = draw(_logic_ops)
+    else:
+        inner = draw(constant_expressions(depth=depth - 1))
+        op = draw(st.sampled_from(["-", "not"]))
+        return ast.Unary(op, inner)
+    left = draw(constant_expressions(depth=depth - 1))
+    right = draw(constant_expressions(depth=depth - 1))
+    return ast.Binary(op, left, right)
+
+
+class TestInterpreterMatchesAbstractEval:
+    @settings(max_examples=200, deadline=None)
+    @given(expr=constant_expressions())
+    def test_folding_agrees_with_execution(self, expr):
+        abstract = evaluate_expr(expr, lambda var: BOTTOM)
+        source = f"proc main() {{ print({pretty_expr(expr)}); }}"
+        try:
+            outputs = run_program(parse_program(source)).outputs
+        except InterpreterError:
+            # Runtime error (division by zero / overflow): the abstract
+            # evaluator must not have folded a value.
+            assert abstract == BOTTOM
+            return
+        (observed,) = outputs
+        assert abstract.is_const, (pretty_expr(expr), observed)
+        assert values_equal(abstract.const_value, observed)
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=_values, other=_values)
+    def test_variables_through_assignment(self, value, other):
+        source = (
+            "proc main() { "
+            f"a = {pretty_expr(_literal(value))}; "
+            f"b = {pretty_expr(_literal(other))}; "
+            "print(a * b + a); }"
+        )
+        try:
+            outputs = run_program(parse_program(source)).outputs
+        except InterpreterError:
+            return
+        env = {"a": Const(value), "b": Const(other)}
+        expr = ast.Binary(
+            "+", ast.Binary("*", ast.Var("a"), ast.Var("b")), ast.Var("a")
+        )
+        abstract = evaluate_expr(expr, env.__getitem__)
+        assert abstract.is_const
+        assert values_equal(abstract.const_value, outputs[0])

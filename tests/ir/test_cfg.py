@@ -1,0 +1,147 @@
+"""CFG construction tests: block shapes, edges, terminators, call sites."""
+
+from repro.ir.builder import build_cfg
+from repro.ir.cfg import (
+    AssignInstr,
+    Branch,
+    CallInstr,
+    Jump,
+    PrintInstr,
+    Ret,
+    reverse_postorder,
+)
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+def cfg_for(body: str, extra: str = ""):
+    program = parse_program(f"proc main() {{ {body} }} {extra}")
+    symbols = collect_symbols(program)
+    return build_cfg(program.procedure("main"), symbols["main"]).cfg
+
+
+class TestStraightLine:
+    def test_single_block(self):
+        cfg = cfg_for("x = 1; y = 2; print(y);")
+        reachable = cfg.reachable_ids()
+        assert reachable == [cfg.entry_id]
+        entry = cfg.entry
+        assert [type(i) for i in entry.instrs] == [AssignInstr, AssignInstr, PrintInstr]
+        assert isinstance(entry.terminator, Ret)
+
+    def test_implicit_return(self):
+        cfg = cfg_for("x = 1;")
+        assert isinstance(cfg.entry.terminator, Ret)
+        assert cfg.entry.terminator.expr is None
+
+    def test_explicit_return_value(self):
+        cfg = cfg_for("return 3;")
+        assert cfg.entry.terminator.expr is not None
+
+    def test_every_block_terminated(self):
+        cfg = cfg_for("if (1) { x = 1; } else { y = 2; } while (x) { x = x - 1; }")
+        for block in cfg.blocks:
+            assert block.terminator is not None
+
+
+class TestIf:
+    def test_if_else_shape(self):
+        cfg = cfg_for("if (c) { x = 1; } else { x = 2; } print(x);")
+        entry = cfg.entry
+        assert isinstance(entry.terminator, Branch)
+        then_id = entry.terminator.true_target
+        else_id = entry.terminator.false_target
+        assert then_id != else_id
+        join_targets = {
+            cfg.blocks[then_id].terminator.target,
+            cfg.blocks[else_id].terminator.target,
+        }
+        assert len(join_targets) == 1  # both arms jump to the same join
+
+    def test_if_without_else_false_edge_to_join(self):
+        cfg = cfg_for("if (c) { x = 1; } print(0);")
+        branch = cfg.entry.terminator
+        then_exit = cfg.blocks[branch.true_target].terminator
+        assert isinstance(then_exit, Jump)
+        assert then_exit.target == branch.false_target
+
+    def test_return_inside_both_arms(self):
+        cfg = cfg_for("if (c) { return 1; } else { return 2; }")
+        rets = [b for b in cfg.blocks if isinstance(b.terminator, Ret) and b.terminator.expr]
+        assert len(rets) == 2
+
+
+class TestWhile:
+    def test_loop_shape(self):
+        cfg = cfg_for("i = 3; while (i > 0) { i = i - 1; } print(i);")
+        entry = cfg.entry
+        assert isinstance(entry.terminator, Jump)
+        header = cfg.blocks[entry.terminator.target]
+        assert isinstance(header.terminator, Branch)
+        body = cfg.blocks[header.terminator.true_target]
+        assert isinstance(body.terminator, Jump)
+        assert body.terminator.target == header.id  # back edge
+
+    def test_loop_header_has_two_preds(self):
+        cfg = cfg_for("i = 3; while (i > 0) { i = i - 1; }")
+        header = cfg.blocks[cfg.entry.terminator.target]
+        assert len(header.preds) == 2
+
+
+class TestUnreachableCode:
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_for("return; x = 1;")
+        reachable = set(cfg.reachable_ids())
+        dead_blocks = [b for b in cfg.blocks if b.id not in reachable and b.instrs]
+        assert len(dead_blocks) == 1
+        assert isinstance(dead_blocks[0].instrs[0], AssignInstr)
+
+    def test_unreachable_block_has_no_preds(self):
+        cfg = cfg_for("return; x = 1;")
+        reachable = set(cfg.reachable_ids())
+        for block in cfg.blocks:
+            if block.id not in reachable:
+                assert block.preds == []
+
+
+class TestCalls:
+    def test_call_instruction_links_site(self):
+        cfg = cfg_for("call f(1); x = g(2); print(x);",
+                      extra="proc f(a) {} proc g(b) { return b; }")
+        calls = list(cfg.call_instrs())
+        assert [c.callee for c in calls] == ["f", "g"]
+        assert calls[0].target is None
+        assert calls[1].target == "x"
+        assert calls[0].site.index == 0
+        assert calls[1].site.index == 1
+
+    def test_stmt_back_map(self):
+        program = parse_program("proc main() { x = 1; if (x) { print(x); } }")
+        symbols = collect_symbols(program)
+        result = build_cfg(program.procedure("main"), symbols["main"])
+        body = program.procedure("main").body
+        assign = body.stmts[0]
+        if_stmt = body.stmts[1]
+        assert isinstance(result.instr_of_stmt[id(assign)], AssignInstr)
+        assert isinstance(result.instr_of_stmt[id(if_stmt)], Branch)
+
+
+class TestOrdering:
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = cfg_for("if (c) { x = 1; } else { x = 2; } print(x);")
+        rpo = reverse_postorder(cfg, cfg.entry_id)
+        assert rpo[0] == cfg.entry_id
+
+    def test_rpo_topological_for_acyclic(self):
+        cfg = cfg_for("if (c) { x = 1; } else { x = 2; } print(x);")
+        rpo = reverse_postorder(cfg, cfg.entry_id)
+        position = {b: i for i, b in enumerate(rpo)}
+        for pred, succ in cfg.edges():
+            if pred in position and succ in position:
+                assert position[pred] < position[succ]
+
+    def test_edges_listing(self):
+        cfg = cfg_for("i = 2; while (i) { i = i - 1; }")
+        edges = set(cfg.edges())
+        # entry -> header, header -> body, header -> exit, body -> header.
+        assert len(edges) == 4

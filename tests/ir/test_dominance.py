@@ -1,0 +1,129 @@
+"""Dominator tests: known shapes plus a naive-algorithm differential check."""
+
+from typing import Dict, Set
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import generate_program
+from repro.ir.builder import build_cfg
+from repro.ir.dominance import compute_dominators
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+def cfg_for(body: str, extra: str = ""):
+    program = parse_program(f"proc main() {{ {body} }} {extra}")
+    symbols = collect_symbols(program)
+    return build_cfg(program.procedure("main"), symbols["main"]).cfg
+
+
+def naive_dominators(cfg) -> Dict[int, Set[int]]:
+    """Textbook iterative all-dominators computation (the oracle)."""
+    rpo = cfg.reachable_ids()
+    reachable = set(rpo)
+    full = set(rpo)
+    dom = {b: (set([b]) if b == cfg.entry_id else set(full)) for b in rpo}
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo:
+            if b == cfg.entry_id:
+                continue
+            preds = [p for p in cfg.blocks[b].preds if p in reachable]
+            new = set(full)
+            for p in preds:
+                new &= dom[p]
+            new |= {b}
+            if new != dom[b]:
+                dom[b] = new
+                changed = True
+    return dom
+
+
+def dominators_from_idom(info, block_id: int) -> Set[int]:
+    result = {block_id}
+    node = block_id
+    while info.idom[node] != node:
+        node = info.idom[node]
+        result.add(node)
+    return result
+
+
+class TestKnownShapes:
+    def test_straight_line(self):
+        cfg = cfg_for("x = 1;")
+        info = compute_dominators(cfg)
+        assert info.idom[cfg.entry_id] == cfg.entry_id
+
+    def test_diamond(self):
+        cfg = cfg_for("if (c) { x = 1; } else { x = 2; } print(x);")
+        info = compute_dominators(cfg)
+        branch = cfg.entry.terminator
+        join = cfg.blocks[branch.true_target].terminator.target
+        # Entry dominates everything; the join's idom is the entry.
+        assert info.idom[join] == cfg.entry_id
+        assert info.idom[branch.true_target] == cfg.entry_id
+        assert info.idom[branch.false_target] == cfg.entry_id
+
+    def test_diamond_frontiers(self):
+        cfg = cfg_for("if (c) { x = 1; } else { x = 2; } print(x);")
+        info = compute_dominators(cfg)
+        branch = cfg.entry.terminator
+        join = cfg.blocks[branch.true_target].terminator.target
+        assert info.frontier[branch.true_target] == {join}
+        assert info.frontier[branch.false_target] == {join}
+        assert info.frontier[cfg.entry_id] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        cfg = cfg_for("i = 3; while (i > 0) { i = i - 1; } print(i);")
+        info = compute_dominators(cfg)
+        header = cfg.entry.terminator.target
+        body = cfg.blocks[header].terminator.true_target
+        assert header in info.frontier[body]
+        # The header dominates the body.
+        assert info.dominates(header, body)
+
+    def test_dominates_reflexive(self):
+        cfg = cfg_for("x = 1;")
+        info = compute_dominators(cfg)
+        assert info.dominates(cfg.entry_id, cfg.entry_id)
+
+    def test_dom_tree_children_partition(self):
+        cfg = cfg_for("if (c) { if (d) { x = 1; } } print(0);")
+        info = compute_dominators(cfg)
+        seen = set()
+        for parent, children in info.dom_tree.items():
+            for child in children:
+                assert child not in seen
+                seen.add(child)
+        assert seen == set(info.rpo) - {cfg.entry_id}
+
+
+class TestDifferential:
+    def _check(self, cfg):
+        info = compute_dominators(cfg)
+        oracle = naive_dominators(cfg)
+        for block_id in info.rpo:
+            assert dominators_from_idom(info, block_id) == oracle[block_id]
+
+    def test_nested_ifs(self):
+        self._check(cfg_for(
+            "if (a) { if (b) { x = 1; } else { x = 2; } } else { x = 3; } print(x);"
+        ))
+
+    def test_loop_with_branch(self):
+        self._check(cfg_for(
+            "i = 5; while (i > 0) { if (i % 2) { x = 1; } i = i - 1; } print(i);"
+        ))
+
+    def test_early_return(self):
+        self._check(cfg_for("if (a) { return 1; } x = 2; return x;"))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_generated_cfgs_match_naive(self, seed):
+        program = generate_program(seed)
+        symbols = collect_symbols(program)
+        for proc in program.procedures:
+            cfg = build_cfg(proc, symbols[proc.name]).cfg
+            self._check(cfg)

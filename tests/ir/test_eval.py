@@ -1,0 +1,167 @@
+"""Concrete and abstract evaluation tests, plus their agreement property."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.eval import (
+    EvalError,
+    abstract_binary,
+    abstract_unary,
+    apply_binary,
+    apply_unary,
+    evaluate_expr,
+    truthy,
+)
+from repro.ir.lattice import BOTTOM, TOP, Const, values_equal
+from repro.lang.parser import parse_expression
+
+
+class TestConcreteArithmetic:
+    def test_int_addition(self):
+        assert apply_binary("+", 2, 3) == 5
+
+    def test_mixed_promotes_float(self):
+        result = apply_binary("+", 2, 0.5)
+        assert isinstance(result, float) and result == 2.5
+
+    def test_int_division_truncates_toward_zero(self):
+        assert apply_binary("/", 7, 2) == 3
+        assert apply_binary("/", -7, 2) == -3
+        assert apply_binary("/", 7, -2) == -3
+        assert apply_binary("/", -7, -2) == 3
+
+    def test_int_remainder_sign_of_dividend(self):
+        assert apply_binary("%", 7, 3) == 1
+        assert apply_binary("%", -7, 3) == -1
+        assert apply_binary("%", 7, -3) == 1
+        assert apply_binary("%", -7, -3) == -1
+
+    def test_division_identity(self):
+        # a == (a/b)*b + a%b for truncating division.
+        for a in (-9, -1, 0, 5, 13):
+            for b in (-4, -1, 2, 7):
+                q = apply_binary("/", a, b)
+                r = apply_binary("%", a, b)
+                assert q * b + r == a
+
+    def test_float_division(self):
+        assert apply_binary("/", 7.0, 2) == 3.5
+
+    def test_float_remainder_is_fmod(self):
+        assert apply_binary("%", 7.5, 2.0) == math.fmod(7.5, 2.0)
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            apply_binary("/", 1, 0)
+        with pytest.raises(EvalError):
+            apply_binary("/", 1.0, 0.0)
+        with pytest.raises(EvalError):
+            apply_binary("%", 1, 0)
+
+    def test_float_overflow_rejected(self):
+        with pytest.raises(EvalError):
+            apply_binary("*", 1e308, 1e308)
+
+    def test_comparisons_yield_int(self):
+        assert apply_binary("<", 1, 2) == 1
+        assert apply_binary(">=", 1, 2) == 0
+        assert isinstance(apply_binary("==", 1, 1), int)
+
+    def test_logical_truthiness(self):
+        assert apply_binary("and", 2, 3) == 1
+        assert apply_binary("and", 0, 3) == 0
+        assert apply_binary("or", 0, 0) == 0
+        assert apply_binary("or", 0, 9) == 1
+
+    def test_unary(self):
+        assert apply_unary("-", 5) == -5
+        assert apply_unary("not", 0) == 1
+        assert apply_unary("not", 3) == 0
+
+    def test_truthy(self):
+        assert truthy(1) and truthy(-0.5)
+        assert not truthy(0) and not truthy(0.0)
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            apply_binary("**", 1, 2)
+
+
+class TestAbstractEvaluation:
+    def test_const_folding(self):
+        assert abstract_binary("+", Const(2), Const(3)) == Const(5)
+
+    def test_top_propagates(self):
+        assert abstract_binary("+", TOP, Const(1)) == TOP
+        assert abstract_binary("*", Const(2), TOP) == TOP
+
+    def test_bottom_propagates(self):
+        assert abstract_binary("+", BOTTOM, Const(1)) == BOTTOM
+
+    def test_division_by_zero_is_bottom(self):
+        assert abstract_binary("/", Const(1), Const(0)) == BOTTOM
+
+    def test_and_short_circuits_on_left_zero(self):
+        assert abstract_binary("and", Const(0), BOTTOM) == Const(0)
+        assert abstract_binary("and", Const(0), TOP) == Const(0)
+
+    def test_and_right_zero_not_folded(self):
+        # `error and 0` raises at runtime: the right operand must not fold.
+        assert abstract_binary("and", BOTTOM, Const(0)) == BOTTOM
+
+    def test_or_short_circuits_on_left_nonzero(self):
+        assert abstract_binary("or", Const(5), BOTTOM) == Const(1)
+
+    def test_or_right_nonzero_not_folded(self):
+        assert abstract_binary("or", TOP, Const(1)) == TOP
+        assert abstract_binary("or", BOTTOM, Const(1)) == BOTTOM
+
+    def test_and_without_zero_stays_unknown(self):
+        assert abstract_binary("and", Const(1), BOTTOM) == BOTTOM
+
+    def test_unary_abstract(self):
+        assert abstract_unary("-", Const(4)) == Const(-4)
+        assert abstract_unary("not", TOP) == TOP
+        assert abstract_unary("-", BOTTOM) == BOTTOM
+
+    def test_expression_evaluation(self):
+        expr = parse_expression("a * 2 + b")
+        env = {"a": Const(3), "b": Const(4)}
+        assert evaluate_expr(expr, env.__getitem__) == Const(10)
+
+    def test_expression_with_unknown(self):
+        expr = parse_expression("a * 0 + 1")
+        env = {"a": BOTTOM}
+        # 0 * unknown is NOT folded (float inf semantics); + then bottom.
+        assert evaluate_expr(expr, env.__getitem__) == BOTTOM
+
+
+_small_values = st.one_of(
+    st.integers(min_value=-30, max_value=30),
+    st.sampled_from([0.0, 1.0, -2.5, 0.5, 3.25]),
+)
+_ops = st.sampled_from(["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "and", "or"])
+
+
+class TestAgreement:
+    """abstract_binary(Const a, Const b) must mirror apply_binary exactly."""
+
+    @given(op=_ops, a=_small_values, b=_small_values)
+    def test_abstract_matches_concrete(self, op, a, b):
+        abstract = abstract_binary(op, Const(a), Const(b))
+        try:
+            concrete = apply_binary(op, a, b)
+        except EvalError:
+            assert abstract == BOTTOM
+            return
+        assert abstract.is_const
+        assert values_equal(abstract.const_value, concrete)
+
+    @given(op=st.sampled_from(["-", "not"]), a=_small_values)
+    def test_unary_matches(self, op, a):
+        abstract = abstract_unary(op, Const(a))
+        concrete = apply_unary(op, a)
+        assert abstract.is_const
+        assert values_equal(abstract.const_value, concrete)

@@ -1,0 +1,130 @@
+"""Constant lattice tests, including hypothesis algebraic properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir.lattice import (
+    BOTTOM,
+    TOP,
+    Const,
+    lattice_le,
+    meet,
+    meet_all,
+    values_equal,
+)
+
+lattice_values = st.one_of(
+    st.just(TOP),
+    st.just(BOTTOM),
+    st.integers(min_value=-50, max_value=50).map(Const),
+    st.sampled_from([Const(0.0), Const(1.0), Const(-2.5), Const(0.5)]),
+)
+
+
+class TestBasics:
+    def test_top_properties(self):
+        assert TOP.is_top and not TOP.is_const and not TOP.is_bottom
+
+    def test_bottom_properties(self):
+        assert BOTTOM.is_bottom and not BOTTOM.is_const
+
+    def test_const_properties(self):
+        c = Const(5)
+        assert c.is_const and c.const_value == 5
+
+    def test_const_value_raises_on_nonconst(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            _ = TOP.const_value
+
+    def test_const_rejects_bool(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            Const(True)
+
+    def test_float_const_flag(self):
+        assert Const(1.5).is_float_const
+        assert not Const(1).is_float_const
+
+
+class TestTypeSensitivity:
+    def test_int_float_distinct(self):
+        assert Const(1) != Const(1.0)
+        assert meet(Const(1), Const(1.0)) == BOTTOM
+
+    def test_values_equal_type_sensitive(self):
+        assert values_equal(1, 1)
+        assert not values_equal(1, 1.0)
+        assert values_equal(2.5, 2.5)
+
+    def test_nan_never_equal(self):
+        nan = float("nan")
+        assert not values_equal(nan, nan)
+        assert meet(Const(nan), Const(nan)) == BOTTOM
+
+    def test_hash_distinguishes_types(self):
+        assert hash(Const(1)) != hash(Const(1.0))
+
+    def test_equal_consts_hash_equal(self):
+        assert hash(Const(7)) == hash(Const(7))
+
+
+class TestMeet:
+    def test_meet_table(self):
+        c1, c2 = Const(1), Const(2)
+        assert meet(TOP, c1) == c1
+        assert meet(c1, TOP) == c1
+        assert meet(c1, c1) == c1
+        assert meet(c1, c2) == BOTTOM
+        assert meet(BOTTOM, c1) == BOTTOM
+        assert meet(TOP, TOP) == TOP
+        assert meet(BOTTOM, BOTTOM) == BOTTOM
+
+    def test_meet_all_empty_is_top(self):
+        assert meet_all([]) == TOP
+
+    def test_meet_all_mixed(self):
+        assert meet_all([TOP, Const(3), Const(3)]) == Const(3)
+        assert meet_all([Const(3), Const(4)]) == BOTTOM
+
+    @given(a=lattice_values, b=lattice_values)
+    def test_commutative(self, a, b):
+        assert meet(a, b) == meet(b, a)
+
+    @given(a=lattice_values, b=lattice_values, c=lattice_values)
+    def test_associative(self, a, b, c):
+        assert meet(meet(a, b), c) == meet(a, meet(b, c))
+
+    @given(a=lattice_values)
+    def test_idempotent(self, a):
+        assert meet(a, a) == a
+
+    @given(a=lattice_values, b=lattice_values)
+    def test_meet_is_lower_bound(self, a, b):
+        m = meet(a, b)
+        assert lattice_le(m, a)
+        assert lattice_le(m, b)
+
+    @given(a=lattice_values)
+    def test_top_identity_bottom_absorbing(self, a):
+        assert meet(TOP, a) == a
+        assert meet(BOTTOM, a) == BOTTOM
+
+
+class TestOrder:
+    @given(a=lattice_values)
+    def test_reflexive(self, a):
+        assert lattice_le(a, a)
+
+    @given(a=lattice_values, b=lattice_values, c=lattice_values)
+    def test_transitive(self, a, b, c):
+        if lattice_le(a, b) and lattice_le(b, c):
+            assert lattice_le(a, c)
+
+    def test_strict_chain(self):
+        assert lattice_le(BOTTOM, Const(1))
+        assert lattice_le(Const(1), TOP)
+        assert not lattice_le(TOP, Const(1))
+        assert not lattice_le(Const(1), BOTTOM)
+        assert not lattice_le(Const(1), Const(2))

@@ -1,0 +1,73 @@
+"""Regression tests for the logical-operator soundness bug.
+
+Found by ``tests/interp/test_differential.py``: the abstract evaluator used
+to fold ``X and 0`` to 0 even when evaluating ``X`` raises at runtime.  The
+fix makes the language short-circuit left-to-right and restricts the
+refinement to the left operand.
+"""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.interp import run_program
+from repro.ir.eval import abstract_binary, evaluate_expr
+from repro.ir.lattice import BOTTOM, Const
+from repro.lang.parser import parse_expression, parse_program
+
+
+class TestInterpreterShortCircuit:
+    def test_and_skips_erroring_right(self):
+        outputs = run_program(
+            parse_program("proc main() { z = 0; print(0 and 1 / z); }")
+        ).outputs
+        assert outputs == [0]
+
+    def test_or_skips_erroring_right(self):
+        outputs = run_program(
+            parse_program("proc main() { z = 0; print(1 or 1 / z); }")
+        ).outputs
+        assert outputs == [1]
+
+    def test_left_error_still_raises(self):
+        with pytest.raises(InterpreterError):
+            run_program(parse_program("proc main() { z = 0; print(1 / z and 0); }"))
+
+    def test_true_and_evaluates_right(self):
+        with pytest.raises(InterpreterError):
+            run_program(parse_program("proc main() { z = 0; print(1 and 1 / z); }"))
+
+
+class TestAbstractAgreement:
+    def test_original_falsifying_example(self):
+        # -( (0 + 0) and (0 % 0.0) ): runtime yields -0 via short-circuit.
+        expr = parse_expression("-((0 + 0) and (0 % 0.0))")
+        abstract = evaluate_expr(expr, lambda var: BOTTOM)
+        assert abstract == Const(0)
+        outputs = run_program(
+            parse_program("proc main() { print(-((0 + 0) and (0 % 0.0))); }")
+        ).outputs
+        assert outputs == [0]
+
+    def test_right_operand_refinement_removed(self):
+        # `error and 0`: must stay unknown (abstract) and raise (concrete).
+        assert abstract_binary("and", BOTTOM, Const(0)) == BOTTOM
+        with pytest.raises(InterpreterError):
+            run_program(
+                parse_program("proc main() { z = 0; print(1 % z and 0); }")
+            )
+
+    def test_folding_still_uses_left_refinement(self):
+        from repro.core.driver import analyze_program
+        from repro.lang.pretty import pretty_program
+
+        result = analyze_program(
+            """
+            proc main() { x = 0; call f(x and unknown); }
+            proc f(a) { print(a); }
+            proc helper() { return 1; }
+            """,
+            run_transform=True,
+        )
+        # `0 and unknown` folds to 0 even though `unknown` is uninitialized:
+        # the runtime never reads it.
+        assert result.fs.entry_formal("f", "a") == Const(0)

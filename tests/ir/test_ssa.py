@@ -1,0 +1,179 @@
+"""SSA construction tests: single assignment, phi placement, use/def maps."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import generate_program
+from repro.ir.builder import build_cfg
+from repro.ir.cfg import Branch, CallInstr
+from repro.ir.ssa import build_ssa, instr_use_vars
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+def ssa_for(body: str, extra: str = "", record_globals=None, proc="main"):
+    program = parse_program(f"proc main() {{ {body} }} {extra}")
+    symbols = collect_symbols(program)
+    cfg = build_cfg(program.procedure(proc), symbols[proc]).cfg
+    globs = set(program.global_names)
+    return build_ssa(
+        cfg,
+        call_defs=lambda instr: {
+            a.name
+            for a in instr.args
+            if hasattr(a, "name")
+        } | globs,
+        record_globals=record_globals or set(),
+    )
+
+
+def all_defined_names(ssa):
+    return list(ssa.all_names())
+
+
+class TestSingleAssignment:
+    def test_each_name_defined_once(self):
+        ssa = ssa_for("x = 1; x = 2; if (x) { x = 3; } print(x);")
+        names = all_defined_names(ssa)
+        assert len(names) == len(set(names))
+
+    def test_versions_increment(self):
+        ssa = ssa_for("x = 1; x = 2;")
+        entry = ssa.cfg.entry
+        assert entry.instrs[0].defs["x"].version == 1
+        assert entry.instrs[1].defs["x"].version == 2
+
+    def test_entry_defs_are_version_zero(self):
+        ssa = ssa_for("x = a + 1;", extra="", proc="main")
+        assert ssa.entry_defs["a"].version == 0
+
+
+class TestPhiPlacement:
+    def test_phi_at_if_join(self):
+        ssa = ssa_for("if (c) { x = 1; } else { x = 2; } print(x);")
+        phis = [p for block in ssa.phis.values() for p in block]
+        phi_vars = {p.var for p in phis}
+        assert "x" in phi_vars
+
+    def test_no_phi_without_join(self):
+        ssa = ssa_for("x = 1; y = x + 1; print(y);")
+        assert all(not phis for phis in ssa.phis.values())
+
+    def test_phi_args_cover_reachable_preds(self):
+        ssa = ssa_for("if (c) { x = 1; } else { x = 2; } print(x);")
+        for block_id, phis in ssa.phis.items():
+            preds = set(ssa.cfg.blocks[block_id].preds) & ssa.reachable
+            for phi in phis:
+                assert set(phi.args) == preds
+
+    def test_loop_phi(self):
+        ssa = ssa_for("i = 3; while (i > 0) { i = i - 1; } print(i);")
+        header = ssa.cfg.entry.terminator.target
+        header_phis = {p.var for p in ssa.phis[header]}
+        assert "i" in header_phis
+
+    def test_print_uses_join_phi(self):
+        ssa = ssa_for("if (c) { x = 1; } else { x = 2; } print(x);")
+        join_phi = next(p for block in ssa.phis.values() for p in block if p.var == "x")
+        print_instr = None
+        for block_id in ssa.reachable:
+            for instr in ssa.cfg.blocks[block_id].instrs:
+                if type(instr).__name__ == "PrintInstr":
+                    print_instr = instr
+        assert print_instr.uses["x"] == join_phi.target
+
+
+class TestCallHandling:
+    def test_call_defs_modified_globals(self):
+        ssa = ssa_for(
+            "g = 1; call f(); print(g);",
+            extra="global g; proc f() { g = 2; }",
+        )
+        call = next(iter(ssa.cfg.call_instrs()))
+        assert "g" in call.defs
+        # print must see the post-call version.
+        print_instr = ssa.cfg.entry.instrs[-1]
+        assert print_instr.uses["g"] == call.defs["g"]
+
+    def test_call_defs_byref_args(self):
+        ssa = ssa_for(
+            "x = 1; call f(x); print(x);",
+            extra="proc f(a) { a = 2; }",
+        )
+        call = next(iter(ssa.cfg.call_instrs()))
+        assert "x" in call.defs
+
+    def test_call_target_def(self):
+        ssa = ssa_for(
+            "x = f(1); print(x);",
+            extra="proc f(a) { return a; }",
+        )
+        call = next(iter(ssa.cfg.call_instrs()))
+        assert call.target == "x"
+        assert "x" in call.defs
+
+    def test_reaching_globals_recorded(self):
+        ssa = ssa_for(
+            "g = 5; call f(); call f();",
+            extra="global g; proc f() { print(g); g = g + 1; }",
+            record_globals={"g"},
+        )
+        calls = list(ssa.cfg.call_instrs())
+        first, second = calls
+        # Before the first call, g holds the assignment's version; before the
+        # second, the def produced by the first call.
+        assert first.reaching_globals["g"] == ssa.cfg.entry.instrs[0].defs["g"]
+        assert second.reaching_globals["g"] == first.defs["g"]
+
+
+class TestUseDefChains:
+    def test_uses_registered(self):
+        ssa = ssa_for("x = 1; y = x + x; print(y);")
+        x1 = ssa.cfg.entry.instrs[0].defs["x"]
+        refs = ssa.uses_of[x1]
+        assert len(refs) == 1  # one instruction uses x (twice, same map)
+
+    def test_branch_uses(self):
+        ssa = ssa_for("if (c) { x = 1; }")
+        term = ssa.cfg.entry.terminator
+        assert isinstance(term, Branch)
+        assert "c" in term.uses
+
+    def test_instr_use_vars(self):
+        program = parse_program("proc main() { call f(a + b, c); } proc f(x, y) {}")
+        symbols = collect_symbols(program)
+        cfg = build_cfg(program.procedure("main"), symbols["main"]).cfg
+        call = next(iter(cfg.call_instrs()))
+        assert instr_use_vars(call) == {"a", "b", "c"}
+
+
+class TestDominanceProperty:
+    """Every use is dominated by its definition (the core SSA invariant)."""
+
+    def _check(self, program):
+        symbols = collect_symbols(program)
+        globs = set(program.global_names)
+        for proc in program.procedures:
+            cfg = build_cfg(proc, symbols[proc.name]).cfg
+            ssa = build_ssa(cfg, call_defs=lambda instr: globs)
+            def_block = {}
+            for var, name in ssa.entry_defs.items():
+                def_block[name] = cfg.entry_id
+            for block_id in ssa.reachable:
+                for phi in ssa.phis[block_id]:
+                    def_block[phi.target] = block_id
+                for instr in cfg.blocks[block_id].instrs:
+                    for name in (instr.defs or {}).values():
+                        def_block[name] = block_id
+            for block_id in ssa.reachable:
+                for instr in cfg.blocks[block_id].instrs:
+                    for name in (instr.uses or {}).values():
+                        assert ssa.dom.dominates(def_block[name], block_id)
+                # Phi args must be defined in a dominator of the *pred*.
+                for phi in ssa.phis[block_id]:
+                    for pred_id, name in phi.args.items():
+                        assert ssa.dom.dominates(def_block[name], pred_id)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_generated_programs(self, seed):
+        self._check(generate_program(seed))

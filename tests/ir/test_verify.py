@@ -1,0 +1,99 @@
+"""IR verifier tests: valid IR passes; corrupted IR is caught."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.corpus import corpus
+from repro.bench.generator import generate_program
+from repro.ir.builder import build_cfg
+from repro.ir.cfg import Jump
+from repro.ir.ssa import SSAName, build_ssa
+from repro.ir.verify import VerificationError, cfg_to_dot, verify_cfg, verify_ssa
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+
+def ssa_for_program(program):
+    symbols = collect_symbols(program)
+    globs = set(program.global_names)
+    for proc in program.procedures:
+        cfg = build_cfg(proc, symbols[proc.name]).cfg
+        yield build_ssa(cfg, call_defs=lambda instr: set(globs))
+
+
+class TestValidIR:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_programs_verify(self, seed):
+        for ssa in ssa_for_program(generate_program(seed)):
+            verify_ssa(ssa)
+
+    def test_corpus_verifies(self):
+        for entry in corpus():
+            for ssa in ssa_for_program(entry.parse()):
+                verify_ssa(ssa)
+
+    def test_suite_verifies(self):
+        from repro.bench.suite import SUITE, build_benchmark
+
+        for ssa in ssa_for_program(build_benchmark(SUITE["094.fpppp"])):
+            verify_ssa(ssa)
+
+
+class TestCorruptionDetection:
+    def _one_ssa(self, source):
+        program = parse_program(source)
+        return next(iter(ssa_for_program(program)))
+
+    def test_missing_terminator(self):
+        ssa = self._one_ssa("proc main() { x = 1; }")
+        ssa.cfg.entry.terminator = None
+        with pytest.raises(VerificationError, match="no terminator"):
+            verify_cfg(ssa.cfg)
+
+    def test_bad_edge_lists(self):
+        ssa = self._one_ssa("proc main() { if (c) { x = 1; } print(0); }")
+        ssa.cfg.entry.succs.pop()
+        with pytest.raises(VerificationError):
+            verify_cfg(ssa.cfg)
+
+    def test_double_definition(self):
+        ssa = self._one_ssa("proc main() { x = 1; y = 2; }")
+        instrs = ssa.cfg.entry.instrs
+        instrs[1].defs = dict(instrs[0].defs)
+        with pytest.raises(VerificationError, match="defined twice"):
+            verify_ssa(ssa)
+
+    def test_undefined_use(self):
+        ssa = self._one_ssa("proc main() { x = 1; print(x); }")
+        print_instr = ssa.cfg.entry.instrs[1]
+        print_instr.uses = {"x": SSAName("x", 99)}
+        with pytest.raises(VerificationError, match="undefined"):
+            verify_ssa(ssa)
+
+    def test_bad_jump_target(self):
+        ssa = self._one_ssa("proc main() { i = 1; while (i) { i = 0; } }")
+        for block in ssa.cfg.blocks:
+            if isinstance(block.terminator, Jump):
+                block.terminator.target = 99
+                break
+        with pytest.raises(VerificationError):
+            verify_cfg(ssa.cfg)
+
+
+class TestDot:
+    def test_dot_renders(self):
+        program = parse_program(
+            "proc main() { if (c) { x = 1; } else { x = 2; } print(x); }"
+        )
+        symbols = collect_symbols(program)
+        cfg = build_cfg(program.procedures[0], symbols["main"]).cfg
+        dot = cfg_to_dot(cfg)
+        assert dot.startswith("digraph")
+        assert "B0" in dot and "->" in dot
+
+    def test_unreachable_blocks_dashed(self):
+        program = parse_program("proc main() { return; x = 1; }")
+        symbols = collect_symbols(program)
+        cfg = build_cfg(program.procedures[0], symbols["main"]).cfg
+        assert "style=dashed" in cfg_to_dot(cfg)

@@ -1,0 +1,248 @@
+"""Array support tests: parsing, semantics, and conservative analysis.
+
+Arrays reproduce the paper's stated limitation faithfully: "We only
+propagate scalar variables, although we have observed that at least one
+benchmark would benefit from the propagation of constant array values."
+Element reads are BOTTOM everywhere; element stores are may-definitions of
+the whole array; whole arrays pass by reference like any Fortran argument.
+"""
+
+import pytest
+
+from repro.errors import InterpreterError, ValidationError
+from repro.interp import run_program
+from repro.ir.lattice import BOTTOM, Const
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.validate import validate_program
+from tests.helpers import analyze, assert_sound
+
+
+def run(source, **kwargs):
+    return run_program(parse_program(source), **kwargs).outputs
+
+
+class TestParsing:
+    def test_element_read(self):
+        program = parse_program("proc main() { a[0] = 1; print(a[0]); }")
+        stmt = program.procedure("main").body.stmts[1]
+        assert stmt.expr == ast.Index("a", ast.IntLit(0))
+
+    def test_element_store(self):
+        program = parse_program("proc main() { a[i + 1] = 2; }")
+        stmt = program.procedure("main").body.stmts[0]
+        assert isinstance(stmt, ast.AssignIndex)
+        assert stmt.target == "a"
+
+    def test_nested_index_expressions(self):
+        program = parse_program("proc main() { a[0] = 1; b[a[0]] = a[a[0]]; }")
+        assert isinstance(program.procedure("main").body.stmts[1], ast.AssignIndex)
+
+    def test_pretty_round_trip(self):
+        source = (
+            "proc main()\n{\n    a[0] = 1;\n    b[a[0] + 1] = a[0] * 2;\n"
+            "    print(b[2]);\n}\n"
+        )
+        program = parse_program(source)
+        assert parse_program(pretty_program(program)) == program
+
+    def test_expr_variables_include_array_name(self):
+        expr = ast.Index("a", ast.Var("i"))
+        assert ast.expr_variables(expr) == {"a", "i"}
+
+
+class TestValidation:
+    def test_mixed_usage_rejected(self):
+        with pytest.raises(ValidationError, match="both as an array"):
+            validate_program(
+                parse_program("proc main() { a[0] = 1; a = 2; }")
+            )
+
+    def test_mixed_read_rejected(self):
+        with pytest.raises(ValidationError, match="both as an array"):
+            validate_program(
+                parse_program("proc main() { a[0] = 1; print(a + 1); }")
+            )
+
+    def test_bare_call_argument_exempt(self):
+        validate_program(
+            parse_program(
+                "proc main() { a[0] = 1; call f(a); } proc f(v) { print(v[0]); }"
+            )
+        )
+
+    def test_pure_array_usage_ok(self):
+        validate_program(
+            parse_program("proc main() { a[0] = 1; print(a[0]); }")
+        )
+
+
+class TestSemantics:
+    def test_store_and_load(self):
+        assert run("proc main() { a[3] = 7; print(a[3]); }") == [7]
+
+    def test_elements_independent(self):
+        assert run(
+            "proc main() { a[0] = 1; a[1] = 2; print(a[0] + a[1]); }"
+        ) == [3]
+
+    def test_negative_indices_allowed(self):
+        assert run("proc main() { a[-2] = 5; print(a[-2]); }") == [5]
+
+    def test_uninitialized_element(self):
+        with pytest.raises(InterpreterError, match="uninitialized element"):
+            run("proc main() { a[0] = 1; print(a[1]); }")
+
+    def test_float_index_rejected(self):
+        with pytest.raises(InterpreterError, match="integer"):
+            run("proc main() { a[1.5] = 1; }")
+
+    def test_array_in_scalar_context_rejected(self):
+        with pytest.raises(InterpreterError, match="scalar context"):
+            run(
+                "proc main() { a[0] = 1; call f(a); } proc f(v) { print(v + 1); }"
+            )
+
+    def test_scalar_indexed_rejected(self):
+        with pytest.raises(InterpreterError, match="used as an array"):
+            run(
+                "proc main() { x = 1; call f(x); } proc f(v) { print(v[0]); }"
+            )
+
+    def test_whole_array_by_reference(self):
+        assert run(
+            """
+            proc main() { call fill(a); print(a[0] + a[1]); }
+            proc fill(v) { v[0] = 10; v[1] = 20; }
+            """
+        ) == [30]
+
+    def test_global_array(self):
+        assert run(
+            """
+            global buf;
+            proc main() { call writer(); call reader(); }
+            proc writer() { buf[0] = 42; }
+            proc reader() { print(buf[0]); }
+            """
+        ) == [42]
+
+    def test_loop_over_array(self):
+        assert run(
+            """
+            proc main() {
+                i = 0;
+                while (i < 4) { a[i] = i * 10; i = i + 1; }
+                s = 0;
+                i = 0;
+                while (i < 4) { s = s + a[i]; i = i + 1; }
+                print(s);
+            }
+            """
+        ) == [60]
+
+
+class TestConservativeAnalysis:
+    def test_element_never_constant(self):
+        result = analyze(
+            """
+            proc main() { a[0] = 7; call f(a[0]); }
+            proc f(x) { print(x); }
+            """
+        )
+        # The element is 7, but the paper's method does not track it.
+        assert result.fs.entry_formal("f", "x") == BOTTOM
+
+    def test_index_can_be_constant(self):
+        result = analyze(
+            """
+            proc main() { k = 2; a[k] = 1; call f(k); }
+            proc f(x) { print(x); }
+            """
+        )
+        assert result.fs.entry_formal("f", "x") == Const(2)
+
+    def test_array_in_mod_summary(self):
+        result = analyze(
+            """
+            global buf;
+            proc main() { call writer(); print(buf[0]); }
+            proc writer() { buf[0] = 1; }
+            """
+        )
+        assert "buf" in result.modref.mod_of("writer")
+        assert "buf" in result.modref.mod_of("main")
+
+    def test_array_store_does_not_kill_constants(self):
+        # The scalar next to the array survives the store.
+        result = analyze(
+            """
+            proc main() { x = 5; a[0] = 9; call f(x); }
+            proc f(v) { print(v); }
+            """
+        )
+        assert result.fs.entry_formal("f", "v") == Const(5)
+
+    def test_byref_array_arg_modified(self):
+        result = analyze(
+            """
+            proc main() { a[0] = 1; call fill(a); print(a[0]); }
+            proc fill(v) { v[1] = 2; }
+            """
+        )
+        site = result.symbols["main"].call_sites[0]
+        assert "a" in result.modref.callsite_mod(site)
+
+    def test_soundness_end_to_end(self):
+        assert_sound(
+            """
+            global cfg;
+            proc main() {
+                cfg[0] = 3;
+                k = 2;
+                call use(k);
+                call use(cfg[0]);
+            }
+            proc use(v) { print(v); }
+            """
+        )
+
+
+class TestTransformWithArrays:
+    def test_index_substituted_element_kept(self):
+        from repro.core.driver import analyze_program
+
+        result = analyze_program(
+            """
+            proc main() { k = 1; a[k] = 5; print(a[k] + k); }
+            """,
+            run_transform=True,
+        )
+        text = pretty_program(result.transform.program)
+        assert "a[1] = 5;" in text
+        assert "a[1] + 1" in text  # index and scalar folded; element kept
+
+    def test_optimizer_preserves_array_semantics(self):
+        from repro.core.optimize import optimize_program
+
+        source = """
+        proc main() {
+            i = 0;
+            while (i < 3) { a[i] = i + 100; i = i + 1; }
+            print(a[0]);
+            print(a[2]);
+        }
+        """
+        result = optimize_program(parse_program(source))
+        assert run_program(result.program).outputs == [100, 102]
+
+    def test_dce_never_removes_array_stores(self):
+        from repro.analysis.dce import eliminate_dead_assignments
+
+        program = parse_program(
+            "proc main() { a[0] = 1; print(2); }"
+        )
+        result = eliminate_dead_assignments(program)
+        assert result.removed == 0
+        assert "a[0] = 1;" in pretty_program(result.program)

@@ -1,0 +1,76 @@
+"""AST cloning/renaming tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import generate_program
+from repro.lang import ast
+from repro.lang.clone import clone_expr, clone_procedure, clone_program, clone_stmt
+from repro.lang.parser import parse_expression, parse_program
+
+
+class TestCloneExpr:
+    def test_deep_copy_equal_not_identical(self):
+        expr = parse_expression("a + b * 2")
+        copy = clone_expr(expr)
+        assert copy == expr
+        assert copy is not expr
+        assert copy.left is not expr.left
+
+    def test_rename_variables(self):
+        expr = parse_expression("a + b * a")
+        renamed = clone_expr(expr, {"a": "x"})
+        assert renamed == parse_expression("x + b * x")
+
+    def test_partial_rename(self):
+        expr = parse_expression("a + b")
+        assert clone_expr(expr, {"a": "x"}) == parse_expression("x + b")
+
+
+class TestCloneStmt:
+    def stmt(self, body):
+        return parse_program(f"proc main() {{ {body} }}").procedure("main").body
+
+    def test_assign_target_renamed(self):
+        block = self.stmt("a = a + 1;")
+        renamed = clone_stmt(block, {"a": "z"})
+        assert renamed == self.stmt("z = z + 1;")
+
+    def test_nested_control_flow(self):
+        block = self.stmt("if (a) { while (b) { b = b - a; } } else { print(a); }")
+        renamed = clone_stmt(block, {"a": "x", "b": "y"})
+        assert renamed == self.stmt(
+            "if (x) { while (y) { y = y - x; } } else { print(x); }"
+        )
+
+    def test_call_renaming(self):
+        program = parse_program(
+            "proc main() { call f(a); x = f(b); print(x); } proc f(p) { return p; }"
+        )
+        block = program.procedure("main").body
+        renamed = clone_stmt(block, {"a": "q"}, {"f": "g"})
+        expected = parse_program(
+            "proc main() { call g(q); x = g(b); print(x); } proc g(p) { return p; }"
+        ).procedure("main").body
+        assert renamed == expected
+
+    def test_return_cloned(self):
+        block = self.stmt("return a + 1;")
+        assert clone_stmt(block, {"a": "b"}) == self.stmt("return b + 1;")
+
+
+class TestCloneProgram:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5000))
+    def test_clone_is_equal_and_detached(self, seed):
+        program = generate_program(seed)
+        copy = clone_program(program)
+        assert copy == program
+        for original, cloned in zip(program.procedures, copy.procedures):
+            assert original is not cloned
+            assert original.body is not cloned.body
+
+    def test_clone_procedure_renames(self):
+        program = parse_program("proc main() { } proc f(a) { print(a); }")
+        clone = clone_procedure(program.procedure("f"), new_name="f2")
+        assert clone.name == "f2"
+        assert clone.body == program.procedure("f").body

@@ -1,0 +1,82 @@
+"""Diagnostic quality: errors carry positions and actionable messages."""
+
+import pytest
+
+from repro.errors import (
+    FrontendError,
+    LexError,
+    ParseError,
+    ReproError,
+    SourcePos,
+    ValidationError,
+)
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+
+
+class TestHierarchy:
+    def test_all_frontend_errors_are_repro_errors(self):
+        assert issubclass(LexError, FrontendError)
+        assert issubclass(ParseError, FrontendError)
+        assert issubclass(ValidationError, FrontendError)
+        assert issubclass(FrontendError, ReproError)
+
+    def test_source_pos_renders(self):
+        assert str(SourcePos(3, 7)) == "3:7"
+
+    def test_message_includes_position(self):
+        try:
+            tokenize("a\n  $")
+        except LexError as error:
+            assert "2:3" in str(error)
+        else:
+            pytest.fail("expected LexError")
+
+
+class TestParseErrorPositions:
+    def pos_of(self, source):
+        try:
+            parse_program(source)
+        except ParseError as error:
+            assert error.pos is not None
+            return (error.pos.line, error.pos.column)
+        pytest.fail("expected ParseError")
+
+    def test_missing_semicolon_points_at_next_token(self):
+        line, _ = self.pos_of("proc main() {\n    x = 1\n}")
+        assert line == 3
+
+    def test_bad_top_level_points_at_token(self):
+        line, col = self.pos_of("\n\nx = 1;")
+        assert line == 3
+
+    def test_call_in_expression_points_at_callee(self):
+        line, _ = self.pos_of("proc main() {\n    x = 1 + f(2);\n}")
+        assert line == 2
+
+    def test_message_names_expectation(self):
+        with pytest.raises(ParseError, match="expected ';'"):
+            parse_program("proc main() { x = 1 }")
+
+    def test_message_for_unclosed_paren(self):
+        with pytest.raises(ParseError, match="close"):
+            parse_program("proc main() { x = (1 + 2; }")
+
+
+class TestValidationMessages:
+    def test_arity_message_counts(self):
+        with pytest.raises(ValidationError, match="passes 1 argument"):
+            validate_program(
+                parse_program("proc main() { call f(1); } proc f(a, b) { }")
+            )
+
+    def test_unknown_callee_names_caller(self):
+        with pytest.raises(ValidationError, match="in 'main'"):
+            validate_program(parse_program("proc main() { call ghost(); }"))
+
+    def test_shadow_message_names_both(self):
+        with pytest.raises(ValidationError, match="'g'"):
+            validate_program(
+                parse_program("global g; proc main() { } proc f(g) { }")
+            )

@@ -1,0 +1,102 @@
+"""Pretty-printer tests, including the parse/print round-trip property."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.lang import ast
+from repro.lang.parser import parse_expression, parse_program
+from repro.lang.pretty import pretty_expr, pretty_program, pretty_stmt
+
+
+class TestExprPrinting:
+    def test_simple_binary(self):
+        assert pretty_expr(parse_expression("1 + 2")) == "1 + 2"
+
+    def test_precedence_parens_kept(self):
+        assert pretty_expr(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_redundant_parens_dropped(self):
+        assert pretty_expr(parse_expression("(1 * 2) + 3")) == "1 * 2 + 3"
+
+    def test_right_nested_subtraction_parenthesized(self):
+        expr = ast.Binary("-", ast.IntLit(1), ast.Binary("-", ast.IntLit(2), ast.IntLit(3)))
+        assert pretty_expr(expr) == "1 - (2 - 3)"
+
+    def test_unary_minus(self):
+        assert pretty_expr(parse_expression("-x * y")) == "-x * y"
+
+    def test_not(self):
+        assert pretty_expr(parse_expression("not a and b")) == "not a and b"
+
+    def test_nested_comparison_parenthesized(self):
+        expr = ast.Binary("==", ast.Binary("==", ast.Var("a"), ast.Var("b")), ast.Var("c"))
+        assert pretty_expr(expr) == "(a == b) == c"
+
+    def test_float_renders_relexable(self):
+        assert pretty_expr(ast.FloatLit(2.0)) == "2.0"
+        assert pretty_expr(ast.FloatLit(1e30)) == "1e+30"
+
+
+class TestStmtPrinting:
+    def test_assign(self):
+        program = parse_program("proc main() { x = 1; }")
+        text = pretty_stmt(program.procedure("main").body)
+        assert "x = 1;" in text
+
+    def test_if_else(self):
+        program = parse_program("proc main() { if (1) { x = 1; } else { x = 2; } }")
+        text = pretty_stmt(program.procedure("main").body)
+        assert "if (1)" in text and "else" in text
+
+    def test_call(self):
+        program = parse_program("proc main() { call f(1, 2); } proc f(a, b) {}")
+        assert "call f(1, 2);" in pretty_program(program)
+
+
+class TestRoundTrip:
+    def _round_trip(self, program: ast.Program) -> None:
+        printed = pretty_program(program)
+        reparsed = parse_program(printed)
+        assert reparsed == program, printed
+
+    def test_manual_program(self):
+        source = """\
+global g1, g2;
+init { g1 = 3; g2 = -2.5; }
+proc main() {
+    x = 1;
+    while (x < 10) { x = x * 2; call helper(x, g1); }
+    print(x);
+}
+proc helper(a, b) {
+    if (a > b and not (a == 0)) { return; }
+    g2 = a % 3 - b / 2;
+    r = choose(a, -1);
+    print(r);
+}
+proc choose(p, q) {
+    if (p >= q or p != 0) { return p; }
+    return q;
+}
+"""
+        self._round_trip(parse_program(source))
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_programs_round_trip(self, seed):
+        program = generate_program(seed)
+        self._round_trip(program)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_generated_recursive_programs_round_trip(self, seed):
+        config = GeneratorConfig(allow_recursion=True)
+        self._round_trip(generate_program(seed, config))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_round_trip_is_idempotent(self, seed):
+        program = generate_program(seed)
+        once = pretty_program(program)
+        twice = pretty_program(parse_program(once))
+        assert once == twice

@@ -1,0 +1,98 @@
+"""Semantic validation tests."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+
+
+def check(source, **kwargs):
+    validate_program(parse_program(source), **kwargs)
+
+
+class TestValidPrograms:
+    def test_minimal(self):
+        check("proc main() { }")
+
+    def test_full_featured(self):
+        check(
+            """
+            global g;
+            init { g = 1; }
+            proc main() { call worker(1); x = fn(2); print(x); }
+            proc worker(a) { g = a; }
+            proc fn(b) { return b * 2; }
+            """
+        )
+
+    def test_no_main_allowed_when_not_required(self):
+        check("proc helper(a) { }", require_main=False)
+
+    def test_missing_callee_allowed_with_flag(self):
+        check(
+            "proc main() { call external(1); }",
+            allow_missing=True,
+        )
+
+
+class TestNameRules:
+    def test_duplicate_global(self):
+        with pytest.raises(ValidationError, match="duplicate global"):
+            check("global a, a; proc main() { }")
+
+    def test_duplicate_procedure(self):
+        with pytest.raises(ValidationError, match="duplicate procedure"):
+            check("proc main() { } proc f() { } proc f() { }")
+
+    def test_duplicate_formal(self):
+        with pytest.raises(ValidationError, match="duplicate formal"):
+            check("proc main() { } proc f(a, a) { }")
+
+    def test_formal_shadows_global(self):
+        with pytest.raises(ValidationError, match="shadows a global"):
+            check("global g; proc main() { } proc f(g) { }")
+
+    def test_procedure_shadows_global(self):
+        with pytest.raises(ValidationError, match="shadows a global"):
+            check("global f; proc main() { } proc f() { }")
+
+    def test_init_of_undeclared_global(self):
+        with pytest.raises(ValidationError, match="undeclared global"):
+            check("global a; init { b = 1; } proc main() { }")
+
+
+class TestCallRules:
+    def test_unknown_callee(self):
+        with pytest.raises(ValidationError, match="unknown procedure"):
+            check("proc main() { call nope(); }")
+
+    def test_arity_mismatch_too_few(self):
+        with pytest.raises(ValidationError, match="argument"):
+            check("proc main() { call f(1); } proc f(a, b) { }")
+
+    def test_arity_mismatch_too_many(self):
+        with pytest.raises(ValidationError, match="argument"):
+            check("proc main() { call f(1, 2); } proc f(a) { }")
+
+    def test_value_call_requires_value_return(self):
+        with pytest.raises(ValidationError, match="value position"):
+            check("proc main() { x = f(); print(x); } proc f() { return; }")
+
+    def test_value_call_ok_with_some_value_return(self):
+        check(
+            """
+            proc main() { x = f(1); print(x); }
+            proc f(a) { if (a) { return 1; } return 0; }
+            """
+        )
+
+
+class TestMainRules:
+    def test_missing_main(self):
+        with pytest.raises(ValidationError, match="no 'main'"):
+            check("proc helper() { }")
+
+    def test_main_with_params(self):
+        with pytest.raises(ValidationError, match="no parameters"):
+            check("proc main(x) { }")

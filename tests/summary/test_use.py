@@ -1,0 +1,116 @@
+"""Interprocedural USE (flow-sensitive upward-exposed uses) tests."""
+
+from repro.callgraph.pcg import build_pcg
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+from repro.summary.modref import compute_modref
+from repro.summary.use import compute_use
+
+
+def use_for(source):
+    program = parse_program(source)
+    symbols = collect_symbols(program)
+    pcg = build_pcg(program, symbols)
+    modref = compute_modref(program, symbols, pcg)
+    return compute_use(program, symbols, pcg, modref), program
+
+
+class TestIntraproceduralPart:
+    def test_read_before_write(self):
+        info, _ = use_for(
+            "global g; proc main() { print(g); g = 1; }"
+        )
+        assert "g" in info.use_of("main")
+
+    def test_write_before_read_excluded(self):
+        info, _ = use_for(
+            "global g; proc main() { g = 1; print(g); }"
+        )
+        assert "g" not in info.use_of("main")
+
+    def test_formal_use(self):
+        info, _ = use_for(
+            "proc main() { call f(1); } proc f(a) { print(a); }"
+        )
+        assert "a" in info.use_of("f")
+
+    def test_formal_killed_by_assignment(self):
+        info, _ = use_for(
+            "proc main() { call f(1); } proc f(a) { a = 2; print(a); }"
+        )
+        assert "a" not in info.use_of("f")
+
+
+class TestInterproceduralPart:
+    def test_callee_use_flows_up(self):
+        info, _ = use_for(
+            """
+            global g;
+            proc main() { call reader(); }
+            proc reader() { print(g); }
+            """
+        )
+        assert "g" in info.use_of("main")
+
+    def test_must_def_before_call_kills_flow(self):
+        # USE is flow-sensitive: main defines g before calling the reader.
+        info, _ = use_for(
+            """
+            global g;
+            proc main() { g = 1; call reader(); }
+            proc reader() { print(g); }
+            """
+        )
+        assert "g" not in info.use_of("main")
+
+    def test_use_vs_ref_precision(self):
+        # REF includes g for writer_then_reader (it references it), but USE
+        # excludes it: on every path the write precedes the read.
+        source = """
+        global g;
+        proc main() { call writer_then_reader(); }
+        proc writer_then_reader() { g = 1; print(g); }
+        """
+        program = parse_program(source)
+        symbols = collect_symbols(program)
+        pcg = build_pcg(program, symbols)
+        modref = compute_modref(program, symbols, pcg)
+        use = compute_use(program, symbols, pcg, modref)
+        assert "g" in modref.ref_of("writer_then_reader")
+        assert "g" not in use.use_of("writer_then_reader")
+        assert "g" not in use.use_of("main")
+
+    def test_bound_formal_use(self):
+        info, _ = use_for(
+            """
+            proc main() { x = 1; call outer(x); }
+            proc outer(p) { call leaf(p); }
+            proc leaf(q) { print(q); }
+            """
+        )
+        assert "p" in info.use_of("outer")
+
+    def test_recursion_falls_back_to_ref(self):
+        info, _ = use_for(
+            """
+            global g;
+            proc main() { call f(2); }
+            proc f(n) { if (n) { call f(n - 1); } print(g); }
+            """
+        )
+        assert "g" in info.use_of("f")
+        assert info.fallback_sites  # the recursive site used REF
+
+    def test_use_subset_of_ref(self):
+        source = """
+        global g1, g2;
+        proc main() { g1 = 1; call f(g1); print(g2); }
+        proc f(a) { print(a + g2); }
+        """
+        program = parse_program(source)
+        symbols = collect_symbols(program)
+        pcg = build_pcg(program, symbols)
+        modref = compute_modref(program, symbols, pcg)
+        use = compute_use(program, symbols, pcg, modref)
+        for proc in pcg.nodes:
+            assert use.use_of(proc) <= modref.ref_of(proc)

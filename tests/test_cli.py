@@ -1,0 +1,93 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import main
+
+FIG1 = """\
+proc main() { call sub1(0); }
+proc sub1(f1) {
+    x = 1;
+    if (f1 != 0) { y = 1; } else { y = 0; }
+    call sub2(y, 4, f1, x);
+}
+proc sub2(f2, f3, f4, f5) { t = f2 + f3 + f4 + f5; print(t); }
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "fig1.mf"
+    path.write_text(FIG1)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_reports_constants(self, source_file, capsys):
+        assert main(["analyze", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "FS constant formals" in out
+        assert "'f2'" in out
+
+    def test_timings_flag(self, source_file, capsys):
+        assert main(["analyze", source_file, "--timings"]) == 0
+        assert "icp_fs" in capsys.readouterr().out
+
+    def test_no_floats_flag(self, tmp_path, capsys):
+        path = tmp_path / "f.mf"
+        path.write_text(
+            "proc main() { call f(2.5); } proc f(a) { print(a); }"
+        )
+        assert main(["analyze", str(path), "--no-floats"]) == 0
+        out = capsys.readouterr().out
+        assert "('f', 'a')" not in out
+
+    def test_engine_flag(self, source_file, capsys):
+        assert main(["analyze", source_file, "--engine", "simple"]) == 0
+
+
+class TestOptimize:
+    def test_prints_transformed_program(self, source_file, capsys):
+        assert main(["optimize", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "print(5);" in out
+
+    def test_returns_flag(self, tmp_path, capsys):
+        path = tmp_path / "r.mf"
+        path.write_text(
+            "proc main() { x = f(); print(x); } proc f() { return 9; }"
+        )
+        assert main(["optimize", str(path), "--returns"]) == 0
+        assert "print(9);" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_executes_program(self, source_file, capsys):
+        assert main(["run", source_file]) == 0
+        assert capsys.readouterr().out.strip() == "5"
+
+    def test_runtime_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.mf"
+        path.write_text("proc main() { x = 0; print(1 / x); }")
+        assert main(["run", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestErrors:
+    def test_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent/prog.mf"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.mf"
+        path.write_text("proc main( {")
+        assert main(["analyze", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestTables:
+    def test_single_table(self, capsys):
+        assert main(["tables", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "Table 1" not in out

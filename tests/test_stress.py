@@ -1,0 +1,116 @@
+"""Stress tests: larger inputs through every pipeline stage."""
+
+import time
+
+import pytest
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.suite import SUITE, build_benchmark, build_benchmark_source
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+from repro.core.optimize import optimize_program
+from repro.interp import run_program
+from repro.lang.parser import parse_program
+
+
+class TestLargePrograms:
+    def test_hundred_procedure_program(self):
+        config = GeneratorConfig(n_procs=100, max_stmts=6, p_call=0.35)
+        program = generate_program(7, config)
+        started = time.perf_counter()
+        result = analyze_program(program)
+        elapsed = time.perf_counter() - started
+        assert len(result.pcg.nodes) > 50
+        assert elapsed < 30.0  # generous bound; typically well under 2s
+
+    def test_deep_call_chain(self):
+        depth = 120
+        lines = ["proc main() { call p0(1); }"]
+        for i in range(depth):
+            callee = f"p{i + 1}" if i + 1 < depth else None
+            body = f"call {callee}(x + 0);" if callee else "print(x);"
+            lines.append(f"proc p{i}(x) {{ {body} }}")
+        program = parse_program("\n".join(lines))
+        result = analyze_program(program)
+        # The constant survives the whole chain flow-sensitively.
+        from repro.ir.lattice import Const
+
+        assert result.fs.entry_formal(f"p{depth - 1}", "x") == Const(1)
+
+    def test_wide_fanout(self):
+        width = 150
+        lines = ["proc main() {"]
+        lines += [f"    call w{k}({k});" for k in range(width)]
+        lines.append("}")
+        lines += [f"proc w{k}(a) {{ print(a); }}" for k in range(width)]
+        result = analyze_program(parse_program("\n".join(lines)))
+        assert len(result.fs.constant_formals()) == width
+
+    def test_deeply_nested_control_flow(self):
+        depth = 30
+        open_ifs = " ".join(f"if (c > {i}) {{" for i in range(depth))
+        close = "}" * depth
+        source = f"proc main() {{ c = 40; {open_ifs} print(c); {close} }}"
+        result = analyze_program(parse_program(source), run_transform=True)
+        from repro.lang.pretty import pretty_program
+
+        # All guards are true at c = 40: everything folds to one print.
+        assert "print(40);" in pretty_program(result.transform.program)
+        assert result.transform.total_pruned == depth
+
+    def test_long_straightline_folding(self):
+        n = 400
+        body = " ".join(f"x{i} = x{i - 1} + 1;" for i in range(1, n))
+        source = f"proc main() {{ x0 = 0; {body} print(x{n - 1}); }}"
+        result = analyze_program(parse_program(source), run_transform=True)
+        from repro.lang.pretty import pretty_program
+
+        assert f"print({n - 1});" in pretty_program(result.transform.program)
+
+
+class TestSuiteStress:
+    def test_largest_benchmark_optimizes_cleanly(self):
+        program = build_benchmark(SUITE["013.spice2g6"])
+        result = optimize_program(program, clone=True, inline=True)
+        before = run_program(program, max_steps=1_000_000).outputs
+        after = run_program(result.program, max_steps=2_000_000).outputs
+        assert before == after
+
+    def test_suite_source_sizes(self):
+        # The synthetic suite is a real corpus, not a toy: thousands of
+        # source lines across the twelve programs.
+        total = sum(
+            build_benchmark_source(profile).count("\n")
+            for profile in SUITE.values()
+        )
+        assert total > 1500
+
+    @pytest.mark.parametrize("flag", ["clone", "inline"])
+    def test_transformations_scale(self, flag):
+        program = build_benchmark(SUITE["039.wave5"])
+        result = optimize_program(program, **{flag: True})
+        assert result.substitutions >= 0  # completes without blowup
+
+
+class TestInterpreterStress:
+    def test_million_step_budget(self):
+        source = """
+        proc main() {
+            i = 100000;
+            s = 0;
+            while (i > 0) { s = s + i; i = i - 1; }
+            print(s);
+        }
+        """
+        outputs = run_program(parse_program(source), max_steps=2_000_000).outputs
+        assert outputs == [5000050000]
+
+    def test_deep_recursion_within_limit(self):
+        source = """
+        proc main() { r = depth(150); print(r); }
+        proc depth(n) { if (n == 0) { return 0; } r = depth(n - 1); return r + 1; }
+        """
+        outputs = run_program(
+            parse_program(source), max_depth=200, max_steps=100_000
+        ).outputs
+        assert outputs == [150]
