@@ -65,10 +65,15 @@ them side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.lang import ast
 from repro.lang.parser import parse_program
+from repro.sched.cache import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports bench users)
+    from repro.core.config import ICPConfig
+    from repro.core.driver import PipelineResult
 
 
 @dataclass(frozen=True)
@@ -359,6 +364,69 @@ def build_benchmark_source(profile: BenchmarkProfile, scale: int = 1) -> str:
     for k in range(scale * profile.invisible_globals):
         emitter.invisible_global(k)
     return emitter.emit()
+
+
+# ----------------------------------------------------------------------
+# Batched suite analysis (shared scheduler pool + summary cache).
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SuiteRun:
+    """Outcome of one batched :func:`analyze_suite` invocation."""
+
+    #: Per-benchmark pipeline results, in request order.
+    results: "Dict[str, PipelineResult]"
+    #: Cumulative summary-cache counters across the whole batch
+    #: (``None`` when the configuration did not enable the cache).
+    cache_stats: Optional[CacheStats] = None
+
+    @property
+    def tasks_run(self) -> int:
+        return sum(
+            r.sched.tasks_run for r in self.results.values() if r.sched is not None
+        )
+
+    @property
+    def tasks_cached(self) -> int:
+        return sum(
+            r.sched.tasks_cached
+            for r in self.results.values()
+            if r.sched is not None
+        )
+
+
+def analyze_suite(
+    names: Optional[Iterable[str]] = None,
+    config: "Optional[ICPConfig]" = None,
+    scale: int = 1,
+) -> SuiteRun:
+    """Analyze suite benchmarks through one shared pipeline.
+
+    All requested benchmarks run through a single
+    :class:`~repro.core.driver.CompilationPipeline`: with ``config.workers``
+    above one, each program's wavefront levels dispatch to the worker pool,
+    and with ``config.cache`` set, the procedure-summary cache persists
+    across the whole batch — re-analyzing the suite on the same pipeline is
+    then almost entirely cache hits.
+    """
+    from repro.core.driver import CompilationPipeline
+
+    # Dedupe while keeping order: results are keyed by name, so a repeated
+    # request would silently overwrite (and skew the batch totals).
+    requested = list(dict.fromkeys(names)) if names is not None else list(SUITE)
+    unknown = sorted(set(requested) - set(SUITE))
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}; known: {sorted(SUITE)}")
+
+    pipeline = CompilationPipeline(config)
+    results: "Dict[str, PipelineResult]" = {}
+    for name in requested:
+        results[name] = pipeline.run(build_benchmark(SUITE[name], scale))
+    cache_stats = (
+        pipeline.cache.stats.snapshot() if pipeline.cache is not None else None
+    )
+    return SuiteRun(results=results, cache_stats=cache_stats)
 
 
 #: The twelve benchmarks of the paper's Tables 1 and 2, at roughly 1/8 scale.

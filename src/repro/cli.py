@@ -6,6 +6,11 @@ Subcommands::
     optimize FILE  print the transformed (constant-substituted) program
     run FILE       execute the program with the reference interpreter
     tables [N..]   regenerate the paper's tables over the synthetic suite
+    bench [NAME..] analyze the synthetic suite in one batched pipeline run
+
+Common analysis flags include ``--jobs N`` (wavefront-parallel analysis
+over N workers; 0 means all cores) and ``--cache-stats`` (enable the
+procedure-summary cache and print its hit/miss/invalidation counters).
 """
 
 from __future__ import annotations
@@ -37,12 +42,23 @@ def _load(path: str):
     return parse_program(text)
 
 
+def _job_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all cores), got {count}"
+        )
+    return count
+
+
 def _config_from(args: argparse.Namespace) -> ICPConfig:
     return ICPConfig(
         propagate_floats=not args.no_floats,
         propagate_returns=args.returns or args.exit_values,
         propagate_exit_values=args.exit_values,
         engine=args.engine,
+        workers=args.jobs,
+        cache=args.cache_stats,
     )
 
 
@@ -54,6 +70,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(full_report(result))
     else:
         print(result.summary())
+    if args.cache_stats and not args.report:
+        from repro.core.report import scheduling_report
+
+        print()
+        print(scheduling_report(result))
     if args.timings:
         print("\nphase timings (seconds):")
         for phase, seconds in result.timings.items():
@@ -121,6 +142,41 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.suite import SUITE, analyze_suite
+    from repro.core.metrics import scheduling_metrics
+
+    names = args.names or sorted(SUITE)
+    try:
+        run = analyze_suite(names, _config_from(args), scale=args.scale)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 1
+    print(
+        f"{'benchmark':<16} {'procs':>5} {'edges':>5} {'fs-formals':>10} "
+        f"{'run':>5} {'cached':>6}"
+    )
+    for name, result in run.results.items():
+        row = scheduling_metrics(name, result.sched)
+        print(
+            f"{name:<16} {len(result.pcg.nodes):>5} {len(result.pcg.edges):>5} "
+            f"{len(result.fs.constant_formals()):>10} "
+            f"{row.tasks_run:>5} {row.tasks_cached:>6}"
+        )
+    print(
+        f"{'total':<16} {'':>5} {'':>5} {'':>10} "
+        f"{run.tasks_run:>5} {run.tasks_cached:>6}"
+    )
+    if run.cache_stats is not None:
+        cache = run.cache_stats
+        print(
+            f"summary cache: {cache.hits} hits, {cache.misses} misses, "
+            f"{cache.invalidations} invalidations "
+            f"(hit rate {cache.hit_rate:.0%}, {cache.entries} entries)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-icp",
@@ -141,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "formals and globals (implies --returns)")
         p.add_argument("--engine", choices=("scc", "simple"), default="scc",
                        help="intraprocedural engine (default: scc)")
+        p.add_argument("--jobs", type=_job_count, default=1, metavar="N",
+                       help="worker pool size for wavefront-parallel "
+                            "analysis (default: 1 = serial; 0 = all cores)")
+        p.add_argument("--cache-stats", action="store_true",
+                       help="enable the procedure-summary cache and report "
+                            "its hit/miss/invalidation counters")
 
     analyze = sub.add_parser("analyze", help="report interprocedural constants")
     analyze.add_argument("file")
@@ -175,6 +237,16 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("numbers", nargs="*", type=int, choices=range(1, 6),
                         metavar="N", help="table numbers (default: all)")
     tables.set_defaults(func=_cmd_tables)
+
+    bench = sub.add_parser(
+        "bench", help="analyze the synthetic suite in one batched run"
+    )
+    bench.add_argument("names", nargs="*", metavar="NAME",
+                       help="benchmark names (default: the whole suite)")
+    bench.add_argument("--scale", type=int, default=1,
+                       help="pattern-count multiplier (default: 1)")
+    common(bench)
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

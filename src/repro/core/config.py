@@ -33,6 +33,14 @@ class ICPConfig:
         program (treated maximally conservatively), the paper's "missing
         procedures" provision.
     :param entry: name of the root procedure.
+    :param workers: worker count for the wavefront scheduler.  ``1`` (the
+        default) analyzes serially; ``0`` uses every CPU core; ``N > 1``
+        dispatches each PCG wavefront level to ``N`` workers.
+    :param executor: worker pool flavor, ``"thread"`` (default) or
+        ``"process"`` (opt-in, pays per-task pickling).
+    :param cache: memoize per-procedure intraprocedural results in a
+        content-addressed summary cache, so re-running the pipeline over an
+        unchanged procedure skips its re-analysis entirely.
     """
 
     propagate_floats: bool = True
@@ -43,6 +51,9 @@ class ICPConfig:
     insert_entry_assignments: bool = False
     allow_missing: bool = False
     entry: str = "main"
+    workers: int = 1
+    executor: str = "thread"
+    cache: bool = False
 
     def admit_value(self, value) -> bool:
         """May this concrete constant cross a procedure boundary?"""

@@ -39,6 +39,13 @@ from repro.core.flow_insensitive import FIResult, flow_insensitive_icp
 from repro.ir.lattice import BOTTOM, Const, LatticeValue, meet_all
 from repro.lang import ast
 from repro.lang.symbols import ProcedureSymbols
+from repro.sched.cache import (
+    config_fingerprint,
+    effects_fingerprint,
+    env_fingerprint,
+    procedure_fingerprint,
+)
+from repro.sched.scheduler import AnalysisTask, Scheduler
 from repro.summary.alias import AliasInfo
 from repro.summary.modref import ModRefInfo
 
@@ -110,12 +117,20 @@ def flow_sensitive_icp(
     config: Optional[ICPConfig] = None,
     engine: Optional[IntraEngine] = None,
     effects: Optional[CallEffects] = None,
+    scheduler: Optional[Scheduler] = None,
 ) -> FSResult:
     """Run the Figure 4 algorithm and return its solution.
 
     The flow-insensitive pre-pass is performed only when the PCG has fallback
     edges and no ``fi`` solution was supplied — exactly the paper's "only if
     there are cycles in the PCG".
+
+    With an engaged ``scheduler`` the forward traversal is executed as a
+    *wavefront*: procedures on the same dependency level are analyzed
+    concurrently (and memoized when the scheduler carries a summary cache).
+    The scheduled solution is identical to the serial one — only edges from
+    callers strictly earlier in RPO carry a dependency, and any edge between
+    same-level procedures is by construction a fallback edge.
     """
     config = config or ICPConfig()
     engine = engine or make_engine(config)
@@ -126,6 +141,13 @@ def flow_sensitive_icp(
     effects = effects or SummaryEffects(modref, aliases)
     proc_map = program.procedure_map()
     analyzed: Set[str] = set()
+
+    if scheduler is not None and scheduler.engaged:
+        _scheduled_forward(
+            program, symbols, pcg, modref, aliases, fi, config,
+            result, effects, proc_map, scheduler,
+        )
+        return result
 
     for position, proc_name in enumerate(pcg.rpo):
         proc = proc_map[proc_name]
@@ -140,6 +162,134 @@ def flow_sensitive_icp(
         result.intra[proc_name] = intra
         analyzed.add(proc_name)
     return result
+
+
+def _scheduled_forward(
+    program: ast.Program,
+    symbols: Dict[str, ProcedureSymbols],
+    pcg: PCG,
+    modref: ModRefInfo,
+    aliases: Optional[AliasInfo],
+    fi: Optional[FIResult],
+    config: ICPConfig,
+    result: FSResult,
+    effects: CallEffects,
+    proc_map: Dict[str, ast.Procedure],
+    scheduler: Scheduler,
+) -> None:
+    """One wavefront per dependency level, entry environments built between.
+
+    Entry environments are constructed on the coordinating thread (they
+    mutate the shared result tables); only the engine analyses — the
+    expensive part — are dispatched to workers.
+    """
+    wavefront = scheduler.wavefront(pcg)
+    analyzed: Set[str] = set()
+    config_fp = config_fingerprint(
+        config.engine, config.propagate_floats, program.global_names, "fs"
+    )
+    seconds_before = scheduler.stats.analysis_seconds
+
+    for level in wavefront.forward_levels:
+        tasks: List[AnalysisTask] = []
+        for proc_name in level:
+            proc_symbols = symbols[proc_name]
+            entry_env = _build_entry_env(
+                proc_name, pcg.rpo_position(proc_name), proc_symbols,
+                program, pcg, modref, fi, config, result, analyzed,
+            )
+            fingerprints: tuple = ()
+            if scheduler.cache is not None:
+                fingerprints = (
+                    procedure_fingerprint(proc_map[proc_name]),
+                    env_fingerprint(entry_env),
+                    fs_effects_fingerprint(proc_name, proc_symbols, effects, aliases),
+                    config_fp,
+                )
+            tasks.append(
+                AnalysisTask(
+                    proc_name=proc_name,
+                    proc=proc_map[proc_name],
+                    symbols=proc_symbols,
+                    entry_env=entry_env,
+                    effects=effects,
+                    engine=config.engine,
+                    pass_label="fs",
+                    fingerprints=fingerprints,
+                )
+            )
+        outcomes = scheduler.run_level(tasks)
+        for task in tasks:
+            result.intra[task.proc_name] = outcomes[task.proc_name]
+            analyzed.add(task.proc_name)
+
+    result.intra_seconds += scheduler.stats.analysis_seconds - seconds_before
+    # Tables were filled level-major; restore the serial traversal's orders
+    # (RPO, formals in declaration order, globals as serially enumerated) so
+    # scheduled and serial results are byte-identical, iteration included.
+    result.fallback_edges = [
+        edge
+        for proc_name in pcg.rpo
+        if proc_name != pcg.entry
+        for edge in pcg.edges_into(proc_name)
+        if edge in pcg.fallback_edges
+    ]
+    result.intra = {
+        proc_name: result.intra[proc_name]
+        for proc_name in pcg.rpo
+        if proc_name in result.intra
+    }
+    result.entry_formals = _reordered(
+        result.entry_formals,
+        (
+            (proc_name, formal)
+            for proc_name in pcg.rpo
+            for formal in symbols[proc_name].formals
+        ),
+    )
+    result.entry_globals = _reordered(
+        result.entry_globals,
+        (
+            (proc_name, global_name)
+            for proc_name in pcg.rpo
+            for global_name in (
+                list(program.initial_globals())
+                if proc_name == pcg.entry
+                else sorted(modref.ref_globals(proc_name))
+            )
+        ),
+    )
+
+
+def _reordered(table: Dict, key_order) -> Dict:
+    ordered = {key: table[key] for key in key_order if key in table}
+    ordered.update((key, value) for key, value in table.items() if key not in ordered)
+    return ordered
+
+
+def fs_effects_fingerprint(
+    proc_name: str,
+    proc_symbols: ProcedureSymbols,
+    effects: CallEffects,
+    aliases: Optional[AliasInfo],
+    site_extra: Optional[Dict[int, str]] = None,
+) -> str:
+    """Content fingerprint of the effects visible inside one procedure.
+
+    ``site_extra`` lets the returns extension mix each call site's callee
+    return/exit summary into the fingerprint.
+    """
+    sites = [
+        (
+            site.callee,
+            effects.modified_vars(site),
+            effects.recorded_globals(site),
+            site_extra.get(site.index, "") if site_extra else "",
+        )
+        for site in proc_symbols.call_sites
+    ]
+    pairs = aliases.pairs_of(proc_name) if aliases is not None else ()
+    return effects_fingerprint(sites, pairs)
 
 
 def _build_entry_env(

@@ -25,6 +25,7 @@ from repro.core.flow_insensitive import FIResult
 from repro.core.flow_sensitive import FSResult
 from repro.lang import ast
 from repro.lang.symbols import ProcedureSymbols
+from repro.sched.scheduler import SchedulerStats
 from repro.summary.modref import ModRefInfo
 
 
@@ -73,6 +74,69 @@ class PropagatedConstants:
     @property
     def fs_pct(self) -> float:
         return _pct(self.fs_formals, self.total_formals)
+
+
+@dataclass
+class SchedulingMetrics:
+    """Wavefront/cache counters of one pipeline run (``--cache-stats``).
+
+    ``parallel_fraction`` is the share of forward-level slots that could run
+    concurrently — 0.0 when every wavefront level holds a single procedure
+    (a pure call chain), approaching 1.0 for wide, flat call graphs.
+    """
+
+    name: str
+    workers: int = 1
+    executor: str = "thread"
+    forward_levels: int = 0
+    reverse_levels: int = 0
+    max_level_width: int = 0
+    tasks_run: int = 0
+    tasks_cached: int = 0
+    analysis_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    cache_entries: int = 0
+
+    @property
+    def tasks_total(self) -> int:
+        return self.tasks_run + self.tasks_cached
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def parallel_fraction(self) -> float:
+        if not self.tasks_total or not self.forward_levels:
+            return 0.0
+        extra = self.tasks_total - self.forward_levels
+        return max(0.0, extra / self.tasks_total)
+
+
+def scheduling_metrics(
+    name: str, sched: Optional[SchedulerStats]
+) -> SchedulingMetrics:
+    """Flatten one run's :class:`SchedulerStats` into a metrics row."""
+    row = SchedulingMetrics(name=name)
+    if sched is None:
+        return row
+    row.workers = sched.workers
+    row.executor = sched.executor
+    row.forward_levels = sched.forward_levels
+    row.reverse_levels = sched.reverse_levels
+    row.max_level_width = sched.max_level_width
+    row.tasks_run = sched.tasks_run
+    row.tasks_cached = sched.tasks_cached
+    row.analysis_seconds = sched.analysis_seconds
+    if sched.cache is not None:
+        row.cache_hits = sched.cache.hits
+        row.cache_misses = sched.cache.misses
+        row.cache_invalidations = sched.cache.invalidations
+        row.cache_entries = sched.cache.entries
+    return row
 
 
 def _pct(part: int, whole: int) -> float:

@@ -78,6 +78,29 @@ def procedure_report(result: PipelineResult, proc: str) -> str:
     return "\n".join(lines)
 
 
+def scheduling_report(result: PipelineResult) -> str:
+    """Scheduler and summary-cache counters for one run."""
+    sched = result.sched
+    if sched is None:
+        return "scheduling: (not recorded)"
+    lines = [
+        "scheduling:",
+        f"  workers: {sched.workers} ({sched.executor} executor)",
+        f"  wavefront levels: {sched.forward_levels} forward, "
+        f"{sched.reverse_levels} reverse (max width {sched.max_level_width})",
+        f"  analyses: {sched.tasks_run} run, {sched.tasks_cached} cached "
+        f"({sched.analysis_seconds:.6f}s engine time)",
+    ]
+    if sched.cache is not None:
+        cache = sched.cache
+        lines.append(
+            f"  summary cache: {cache.hits} hits, {cache.misses} misses, "
+            f"{cache.invalidations} invalidations "
+            f"(hit rate {cache.hit_rate:.0%}, {cache.entries} entries)"
+        )
+    return "\n".join(lines)
+
+
 def full_report(result: PipelineResult) -> str:
     """Report every reachable procedure, in call-graph order."""
     parts: List[str] = [
@@ -100,6 +123,10 @@ def full_report(result: PipelineResult) -> str:
             for proc, table in sorted(exits.items()):
                 rendered = {var: _fmt(v) for var, v in table.items()}
                 parts.append(f"  {proc}: {rendered}")
+    if result.sched is not None and (
+        result.sched.workers > 1 or result.sched.cache is not None
+    ):
+        parts.append(scheduling_report(result))
     return "\n".join(parts)
 
 

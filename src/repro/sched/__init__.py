@@ -1,0 +1,33 @@
+"""Parallel wavefront scheduling and summary caching for the ICP pipeline.
+
+The paper's central cost claim — one intraprocedural analysis per procedure —
+has a scheduling corollary: within one topological traversal of the PCG,
+procedures whose analyses have no pending inputs are *independent* and can be
+analyzed concurrently.  This package turns that observation into machinery:
+
+- :mod:`repro.sched.wavefront` groups procedures into dependency levels for
+  the forward (flow-sensitive ICP) and reverse (USE / returns) traversals;
+- :mod:`repro.sched.pool` dispatches one level's analyses to a
+  ``concurrent.futures`` worker pool (threads by default, processes opt-in);
+- :mod:`repro.sched.cache` memoizes per-procedure intraprocedural results
+  under a content-addressed key, so unchanged procedures are never
+  re-analyzed across pipeline runs;
+- :mod:`repro.sched.scheduler` ties the three together behind the
+  :class:`Scheduler` facade the pipeline phases consume.
+"""
+
+from repro.sched.cache import CacheStats, SummaryCache
+from repro.sched.pool import TaskPool, resolve_workers
+from repro.sched.scheduler import AnalysisTask, Scheduler, SchedulerStats
+from repro.sched.wavefront import WavefrontSchedule
+
+__all__ = [
+    "AnalysisTask",
+    "CacheStats",
+    "Scheduler",
+    "SchedulerStats",
+    "SummaryCache",
+    "TaskPool",
+    "WavefrontSchedule",
+    "resolve_workers",
+]

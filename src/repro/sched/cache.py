@@ -1,0 +1,166 @@
+"""Content-addressed cache of per-procedure intraprocedural results.
+
+A flow-sensitive intraprocedural analysis is a pure function of
+
+- the procedure's source (its AST, rendered back to canonical MiniF text),
+- the entry environment it is seeded with,
+- the call effects visible at its call sites (MOD/REF sets, alias pairs,
+  and — in the returns extension — callee return/exit summaries), and
+- the analysis configuration (engine choice, float admission, globals).
+
+Hashing those four components yields a key under which the
+:class:`IntraResult` can be memoized: a procedure whose source and entry
+environment are unchanged is never re-analyzed, and editing one procedure
+invalidates exactly the analyses whose inputs actually changed — itself,
+plus any PCG-dependent procedure whose entry environment or effect
+summaries shifted as a consequence.  No explicit dependency tracking is
+needed; content addressing subsumes it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.analysis.base import IntraResult
+from repro.ir.lattice import LatticeValue
+from repro.lang import ast
+from repro.lang.pretty import pretty_stmt
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters of one :class:`SummaryCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    #: Slots (pass, procedure) whose key changed since the previous run —
+    #: re-analyses forced by an actual input change.
+    invalidations: int = 0
+    entries: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.invalidations, self.entries)
+
+
+class SummaryCache:
+    """Memoized per-procedure analyses keyed by content fingerprints.
+
+    A *slot* is a ``(pass label, procedure name)`` pair; the cache remembers
+    the last key seen per slot so it can count invalidations — lookups where
+    the slot was populated but its inputs changed.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, IntraResult] = {}
+        self._slot_keys: Dict[Tuple[str, str], str] = {}
+        self.stats = CacheStats()
+
+    def lookup(self, slot: Tuple[str, str], key: str) -> Optional[IntraResult]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            previous = self._slot_keys.get(slot)
+            if previous is not None and previous != key:
+                self.stats.invalidations += 1
+        self._slot_keys[slot] = key
+        return entry
+
+    def store(self, slot: Tuple[str, str], key: str, value: IntraResult) -> None:
+        if key not in self._entries:
+            self.stats.entries += 1
+        self._entries[key] = value
+        self._slot_keys[slot] = key
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._slot_keys.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# Fingerprint helpers.
+# ----------------------------------------------------------------------
+
+
+def _digest(*parts: str) -> str:
+    hasher = hashlib.sha256()
+    for part in parts:
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def procedure_fingerprint(proc: ast.Procedure) -> str:
+    """Hash of the procedure's canonical source rendering."""
+    header = f"proc {proc.name}({', '.join(proc.formals)})"
+    return _digest(header, pretty_stmt(proc.body))
+
+
+def value_token(value: LatticeValue) -> str:
+    # Constants are type-sensitive (Const(2) != Const(2.0)); bake the payload
+    # type into the token so int/float twins never collide.
+    if value.is_const:
+        return f"C:{type(value.const_value).__name__}:{value.const_value!r}"
+    return "T" if value.is_top else "B"
+
+
+def env_fingerprint(env: Mapping[str, LatticeValue]) -> str:
+    """Hash of an entry environment (order-insensitive)."""
+    return _digest(
+        *(f"{name}={value_token(env[name])}" for name in sorted(env))
+    )
+
+
+def effects_fingerprint(
+    sites: Iterable[Tuple[str, Iterable[str], Iterable[str], str]],
+    alias_pairs: Iterable[Tuple[str, str]] = (),
+) -> str:
+    """Hash of the call effects visible inside one procedure.
+
+    ``sites`` yields, per call site in order, ``(callee, modified vars,
+    recorded globals, extra)`` where ``extra`` encodes any pass-specific
+    summary consulted at the site (callee return value, exit-value table).
+    """
+    parts = []
+    for callee, modified, recorded, extra in sites:
+        parts.append(
+            f"{callee}|{','.join(sorted(modified))}"
+            f"|{','.join(sorted(recorded))}|{extra}"
+        )
+    parts.append("aliases:" + ";".join(f"{a}~{b}" for a, b in sorted(alias_pairs)))
+    return _digest(*parts)
+
+
+def config_fingerprint(
+    engine: str,
+    propagate_floats: bool,
+    global_names: Iterable[str],
+    pass_label: str,
+) -> str:
+    """Hash of the configuration facets an intraprocedural run observes."""
+    return _digest(
+        f"engine={engine}",
+        f"floats={propagate_floats}",
+        "globals=" + ",".join(global_names),
+        f"pass={pass_label}",
+    )
+
+
+def combine_key(*fingerprints: str) -> str:
+    return _digest(*fingerprints)

@@ -1,0 +1,107 @@
+"""Worker-pool dispatch for per-procedure analyses.
+
+Threads are the default executor: intraprocedural analyses share read-only
+program structures, and thread dispatch needs no serialization.  A process
+pool is available opt-in (``executor="process"``) for workloads where the
+interpreter lock dominates; every task payload it receives is picklable by
+construction (ASTs, symbols, lattice values, and summary effects are plain
+dataclasses).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.analysis.base import IntraEngine
+from repro.analysis.scc import SCCEngine
+from repro.analysis.simple import SimpleEngine
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+_EXECUTOR_KINDS = ("thread", "process")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count knob: ``0``/``None`` means all CPU cores."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def _make_intra_engine(name: str) -> IntraEngine:
+    # Mirrors core.flow_sensitive.make_engine without importing repro.core
+    # (sched sits below core in the layering).
+    if name == "scc":
+        return SCCEngine()
+    if name == "simple":
+        return SimpleEngine()
+    raise ValueError(f"unknown intraprocedural engine {name!r}")
+
+
+def run_analysis_task(task):
+    """Execute one :class:`~repro.sched.scheduler.AnalysisTask`.
+
+    Module-level so a process pool can pickle it.  Returns the
+    :class:`IntraResult` plus the seconds spent in the engine, which the
+    scheduler accumulates into the pipeline's intra-analysis time.
+    """
+    engine = _make_intra_engine(task.engine)
+    record = set(task.record_exit_vars) if task.record_exit_vars is not None else None
+    started = time.perf_counter()
+    intra = engine.analyze(
+        task.proc, task.symbols, dict(task.entry_env), task.effects,
+        record_exit_vars=record,
+    )
+    return intra, time.perf_counter() - started
+
+
+class TaskPool:
+    """A lazily created ``concurrent.futures`` pool with a serial fast path.
+
+    With one worker (or one task) everything runs inline on the calling
+    thread, so a scheduler configured for ``workers=1`` adds no dispatch
+    overhead and no nondeterminism.
+    """
+
+    def __init__(self, workers: int = 1, kind: str = "thread"):
+        if kind not in _EXECUTOR_KINDS:
+            raise ValueError(
+                f"unknown executor {kind!r}; expected one of {_EXECUTOR_KINDS}"
+            )
+        self.workers = resolve_workers(workers)
+        self.kind = kind
+        self._executor: Optional[Executor] = None
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.kind == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-sched",
+                )
+        return self._executor
+
+    def map(self, fn: Callable[[_T], _R], items: Sequence[_T]) -> List[_R]:
+        """Apply ``fn`` to every item, preserving input order."""
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        return list(self._ensure_executor().map(fn, items))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "TaskPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

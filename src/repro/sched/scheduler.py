@@ -1,0 +1,182 @@
+"""The scheduler facade consumed by the pipeline phases.
+
+A :class:`Scheduler` owns a worker pool and (optionally) a
+:class:`~repro.sched.cache.SummaryCache`, and executes *levels* of
+:class:`AnalysisTask` — one level at a time, tasks within a level
+concurrently.  The pipeline phases keep their serial code paths for the
+default configuration (one worker, no cache); the scheduler engages only
+when parallelism or caching is requested, and is constructed so that the
+scheduled result is observationally identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.analysis.base import CallEffects, IntraResult
+from repro.ir.lattice import LatticeValue
+from repro.lang import ast
+from repro.lang.symbols import ProcedureSymbols
+from repro.sched.cache import CacheStats, SummaryCache, combine_key
+from repro.sched.pool import TaskPool, resolve_workers, run_analysis_task
+from repro.sched.wavefront import WavefrontSchedule
+
+
+@dataclass(frozen=True)
+class AnalysisTask:
+    """One per-procedure intraprocedural analysis, ready to dispatch.
+
+    ``fingerprints`` carries the content-address components (procedure
+    source, entry environment, effects, configuration) the cache combines
+    into the task's key; an empty tuple marks the task uncacheable.
+    """
+
+    proc_name: str
+    proc: ast.Procedure
+    symbols: ProcedureSymbols
+    entry_env: Dict[str, LatticeValue]
+    effects: CallEffects
+    engine: str
+    pass_label: str = "fs"
+    record_exit_vars: Optional[FrozenSet[str]] = None
+    fingerprints: Tuple[str, ...] = ()
+
+    @property
+    def cacheable(self) -> bool:
+        return bool(self.fingerprints)
+
+    @property
+    def slot(self) -> Tuple[str, str]:
+        return (self.pass_label, self.proc_name)
+
+
+@dataclass
+class SchedulerStats:
+    """What the scheduler did during one pipeline run."""
+
+    workers: int = 1
+    executor: str = "thread"
+    forward_levels: int = 0
+    reverse_levels: int = 0
+    max_level_width: int = 0
+    #: Analyses actually executed by an engine.
+    tasks_run: int = 0
+    #: Analyses skipped because the cache already held their result.
+    tasks_cached: int = 0
+    #: Summed engine seconds across workers (CPU time, not wall clock).
+    analysis_seconds: float = 0.0
+    cache: Optional[CacheStats] = None
+
+    @property
+    def tasks_total(self) -> int:
+        return self.tasks_run + self.tasks_cached
+
+
+class Scheduler:
+    """Wavefront dispatch plus summary caching for one pipeline run."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        executor: str = "thread",
+        cache: Optional[SummaryCache] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self._pool = TaskPool(self.workers, executor)
+        self.stats = SchedulerStats(workers=self.workers, executor=executor)
+        self._wavefronts: Dict[int, WavefrontSchedule] = {}
+        # Baseline for per-run cache deltas: one scheduler spans one pipeline
+        # run, while the cache (and its counters) outlives it.
+        self._cache_baseline = cache.stats.snapshot() if cache is not None else None
+
+    @classmethod
+    def from_config(
+        cls, config, cache: Optional[SummaryCache] = None
+    ) -> "Scheduler":
+        """Build a scheduler from an :class:`ICPConfig`-shaped object."""
+        return cls(
+            workers=getattr(config, "workers", 1),
+            executor=getattr(config, "executor", "thread"),
+            cache=cache,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def engaged(self) -> bool:
+        """True when scheduling changes anything over the serial path."""
+        return self.workers > 1 or self.cache is not None
+
+    @property
+    def parallel(self) -> bool:
+        return self.workers > 1
+
+    def wavefront(self, pcg) -> WavefrontSchedule:
+        """The (memoized) wavefront schedule of ``pcg``."""
+        schedule = self._wavefronts.get(id(pcg))
+        if schedule is None:
+            schedule = WavefrontSchedule(pcg)
+            self._wavefronts[id(pcg)] = schedule
+            self.stats.forward_levels = len(schedule.forward_levels)
+            self.stats.reverse_levels = len(schedule.reverse_levels)
+            self.stats.max_level_width = max(
+                self.stats.max_level_width, schedule.max_width
+            )
+        return schedule
+
+    def run_level(self, tasks: Sequence[AnalysisTask]) -> Dict[str, IntraResult]:
+        """Execute one wavefront level, consulting the cache first."""
+        results: Dict[str, IntraResult] = {}
+        pending: List[Tuple[AnalysisTask, Optional[str]]] = []
+        for task in tasks:
+            key = None
+            if self.cache is not None and task.cacheable:
+                key = combine_key(*task.fingerprints)
+                cached = self.cache.lookup(task.slot, key)
+                if cached is not None:
+                    results[task.proc_name] = cached
+                    self.stats.tasks_cached += 1
+                    continue
+            pending.append((task, key))
+
+        outcomes = self._pool.map(
+            run_analysis_task, [task for task, _ in pending]
+        )
+        for (task, key), (intra, seconds) in zip(pending, outcomes):
+            if key is not None and self.cache is not None:
+                self.cache.store(task.slot, key, intra)
+            results[task.proc_name] = intra
+            self.stats.tasks_run += 1
+            self.stats.analysis_seconds += seconds
+        return results
+
+    def map(self, fn, payloads: Sequence) -> List:
+        """Plain (uncached) parallel map for non-engine level work."""
+        return self._pool.map(fn, payloads)
+
+    # ------------------------------------------------------------------
+
+    def finish(self) -> SchedulerStats:
+        """Snapshot stats (attaching this run's cache deltas), release the pool."""
+        if self.cache is not None:
+            current = self.cache.stats
+            base = self._cache_baseline
+            self.stats.cache = CacheStats(
+                hits=current.hits - base.hits,
+                misses=current.misses - base.misses,
+                invalidations=current.invalidations - base.invalidations,
+                entries=current.entries,
+            )
+        self.close()
+        return self.stats
+
+    def close(self) -> None:
+        self._pool.close()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

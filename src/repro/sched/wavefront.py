@@ -1,0 +1,94 @@
+"""Wavefront levels over the Program Call Graph.
+
+The flow-sensitive ICP analyzes procedures in reverse postorder; a
+procedure's entry environment reads the intraprocedural results of its
+*non-fallback* callers only (fallback edges substitute the precomputed
+flow-insensitive solution and carry no scheduling dependency).  Because a
+non-fallback edge strictly increases the RPO index, the dependency relation
+is acyclic even when the PCG is not, and admits a level assignment::
+
+    level(p) = 1 + max(level(caller) | non-fallback edge caller -> p)
+
+All procedures on one level are mutually independent: any PCG edge between
+two same-level procedures is a fallback edge.  Analyzing level by level —
+each level's procedures in any order, or concurrently — is therefore
+observationally identical to the serial RPO traversal.
+
+The reverse traversals (USE and the Section 3.2 returns extension) mirror
+this: a procedure there depends on the callees *later* in RPO (earlier in
+the reverse traversal), and calls to callees at the same or a smaller RPO
+index fall back to REF / FI-return summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.callgraph.pcg import CallEdge, PCG
+
+
+class WavefrontSchedule:
+    """Forward and reverse dependency levels of one PCG.
+
+    ``forward_levels`` / ``reverse_levels`` partition ``pcg.nodes``; each
+    level lists its procedures in RPO order, so iterating levels in order and
+    procedures within a level reproduces a deterministic schedule.
+    """
+
+    def __init__(self, pcg: PCG):
+        self.pcg = pcg
+        self._index = {name: pcg.rpo_position(name) for name in pcg.nodes}
+        self.forward_levels: List[List[str]] = self._forward()
+        self.reverse_levels: List[List[str]] = self._reverse()
+
+    # ------------------------------------------------------------------
+
+    def _forward(self) -> List[List[str]]:
+        levels: Dict[str, int] = {}
+        for proc in self.pcg.rpo:
+            level = 0
+            for edge in self.pcg.edges_into(proc):
+                if self._index[edge.caller] < self._index[proc]:
+                    level = max(level, levels[edge.caller] + 1)
+            levels[proc] = level
+        return self._group(levels)
+
+    def _reverse(self) -> List[List[str]]:
+        levels: Dict[str, int] = {}
+        for proc in reversed(self.pcg.rpo):
+            level = 0
+            for edge in self.pcg.edges_out_of(proc):
+                if self._index[edge.callee] > self._index[proc]:
+                    level = max(level, levels[edge.callee] + 1)
+            levels[proc] = level
+        return self._group(levels)
+
+    def _group(self, levels: Dict[str, int]) -> List[List[str]]:
+        if not levels:
+            return []
+        grouped: List[List[str]] = [[] for _ in range(max(levels.values()) + 1)]
+        for proc in self.pcg.rpo:  # RPO order within each level
+            grouped[levels[proc]].append(proc)
+        return grouped
+
+    # ------------------------------------------------------------------
+
+    def forward_dependency(self, edge: CallEdge) -> bool:
+        """True when the forward traversal needs the caller analyzed first."""
+        return self._index[edge.caller] < self._index[edge.callee]
+
+    def reverse_dependency(self, edge: CallEdge) -> bool:
+        """True when the reverse traversal needs the callee analyzed first."""
+        return self._index[edge.callee] > self._index[edge.caller]
+
+    @property
+    def depth(self) -> Tuple[int, int]:
+        """(forward levels, reverse levels)."""
+        return len(self.forward_levels), len(self.reverse_levels)
+
+    @property
+    def max_width(self) -> int:
+        """Largest level size — the available parallelism bound."""
+        widths = [len(level) for level in self.forward_levels]
+        widths += [len(level) for level in self.reverse_levels]
+        return max(widths, default=0)

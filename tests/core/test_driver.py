@@ -77,6 +77,16 @@ class TestPipeline:
         with pytest.raises(ValueError):
             result.entry_env("f", "nope")
 
+    def test_entry_env_unknown_procedure(self):
+        result = analyze_program(SOURCE)
+        with pytest.raises(ValueError) as excinfo:
+            result.entry_env("missing")
+        message = str(excinfo.value)
+        # The error names the offender and lists what would have worked.
+        assert "missing" in message
+        assert "known procedures" in message
+        assert "main" in message and "f" in message
+
 
 class TestConfig:
     def test_admit_value(self):

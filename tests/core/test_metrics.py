@@ -174,3 +174,25 @@ class TestFloatAblation:
         assert t2.fi_globals == 0
         assert t1.fs_args == 1
         assert t2.fs_globals == 1  # gi at g's entry
+
+
+class TestSchedulingMetrics:
+    def test_flattens_scheduler_stats(self):
+        from repro.core.metrics import scheduling_metrics
+
+        result = analyze("proc main() { call f(1); } proc f(a) { print(a); }",
+                         workers=2, cache=True)
+        row = scheduling_metrics("demo", result.sched)
+        assert row.workers == 2
+        assert row.tasks_run == 2 and row.tasks_cached == 0
+        assert row.cache_misses == 2 and row.cache_hits == 0
+        assert row.tasks_total == 2
+        assert row.cache_hit_rate == 0.0
+
+    def test_missing_stats_yield_empty_row(self):
+        from repro.core.metrics import scheduling_metrics
+
+        row = scheduling_metrics("none", None)
+        assert row.tasks_total == 0
+        assert row.cache_hit_rate == 0.0
+        assert row.parallel_fraction == 0.0

@@ -87,3 +87,20 @@ class TestCLIIntegration:
         path.write_text("proc main() { call f(3); } proc f(a) { print(a); }")
         assert main(["graph", str(path)]) == 0
         assert "digraph" in capsys.readouterr().out
+
+
+class TestSchedulingReport:
+    def test_counters_rendered(self):
+        from repro.core.report import scheduling_report
+
+        result = analyze(figure1_program(), workers=2, cache=True)
+        text = scheduling_report(result)
+        assert "workers: 2" in text
+        assert "wavefront levels" in text
+        assert "summary cache:" in text
+
+    def test_full_report_gains_section_when_engaged(self):
+        result = analyze(figure1_program(), workers=2)
+        assert "scheduling:" in full_report(result)
+        serial = analyze(figure1_program())
+        assert "scheduling:" not in full_report(serial)

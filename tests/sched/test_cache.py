@@ -1,0 +1,154 @@
+"""Summary-cache behavior: warm hits, targeted invalidation, disabled mode.
+
+Invalidation is implicit — keys are content fingerprints — so the tests
+phrase expectations in terms of *which procedures get re-analyzed* after an
+edit: exactly the edited procedure when its interface (MOD/REF, entry
+values) is unchanged, and the dependent cone when it is not.
+"""
+
+from repro.core.config import ICPConfig
+from repro.core.driver import CompilationPipeline
+from repro.ir.lattice import Const
+from repro.sched.cache import (
+    SummaryCache,
+    env_fingerprint,
+    procedure_fingerprint,
+)
+from repro.lang.parser import parse_program
+
+CHAIN = """
+global g;
+init { g = 5; }
+proc main() { call mid(1); }
+proc mid(a) { call leaf(a + 1); }
+proc leaf(b) { print(b + %s); }
+"""
+
+
+def pipeline(**kwargs):
+    return CompilationPipeline(ICPConfig(cache=True, **kwargs))
+
+
+class TestWarmRuns:
+    def test_unchanged_program_is_all_hits(self):
+        pipe = pipeline()
+        source = CHAIN % "1"
+        cold = pipe.run(source)
+        warm = pipe.run(source)
+        assert cold.sched.tasks_run == 3 and cold.sched.tasks_cached == 0
+        assert cold.sched.cache.misses == 3 and cold.sched.cache.hits == 0
+        assert warm.sched.tasks_run == 0 and warm.sched.tasks_cached == 3
+        assert warm.sched.cache.hits == 3 and warm.sched.cache.misses == 0
+        assert warm.sched.cache.hit_rate == 1.0
+        assert warm.summary() == cold.summary()
+
+    def test_warm_run_covers_returns_passes_too(self):
+        pipe = pipeline(propagate_returns=True, propagate_exit_values=True)
+        source = CHAIN % "1"
+        cold = pipe.run(source)
+        warm = pipe.run(source)
+        # fs + returns + returns-exit analyses all replay from the cache.
+        assert cold.sched.tasks_run > 3
+        assert warm.sched.tasks_run == 0
+        assert warm.sched.tasks_cached == cold.sched.tasks_run
+        assert warm.sched.cache.hit_rate == 1.0
+        assert warm.summary() == cold.summary()
+
+    def test_warm_run_parallel(self):
+        pipe = pipeline(workers=3)
+        source = CHAIN % "1"
+        pipe.run(source)
+        warm = pipe.run(source)
+        assert warm.sched.tasks_run == 0
+        assert warm.sched.cache.hit_rate == 1.0
+
+
+class TestInvalidation:
+    def test_interface_preserving_leaf_edit_reanalyzes_only_leaf(self):
+        pipe = pipeline()
+        pipe.run(CHAIN % "1")
+        edited = pipe.run(CHAIN % "2")  # leaf body changes; MOD/REF do not
+        assert edited.sched.tasks_run == 1
+        assert edited.sched.tasks_cached == 2
+        assert edited.sched.cache.misses == 1
+        assert edited.sched.cache.invalidations == 1
+
+    def test_entry_changing_edit_invalidates_dependent_cone(self):
+        pipe = pipeline()
+        pipe.run(CHAIN % "1")
+        # Changing main's argument shifts mid's and leaf's entry envs: every
+        # procedure's key changes even though mid/leaf sources are identical.
+        edited = pipe.run(
+            (CHAIN % "1").replace("call mid(1);", "call mid(7);")
+        )
+        assert edited.sched.tasks_run == 3
+        assert edited.sched.cache.invalidations == 3
+
+    def test_callee_modref_change_invalidates_callers(self):
+        before = """
+global g;
+proc main() { call leaf(); print(g); }
+proc leaf() { print(1); }
+"""
+        after = """
+global g;
+proc main() { call leaf(); print(g); }
+proc leaf() { g = 2; print(1); }
+"""
+        pipe = pipeline()
+        pipe.run(before)
+        edited = pipe.run(after)
+        # leaf's MOD set changed, so main's effects fingerprint changed too.
+        assert edited.sched.tasks_run == 2
+        assert edited.sched.cache.invalidations == 2
+
+    def test_cache_persists_entries_across_edits(self):
+        pipe = pipeline()
+        pipe.run(CHAIN % "1")
+        pipe.run(CHAIN % "2")
+        reverted = pipe.run(CHAIN % "1")  # old entries still resident
+        assert reverted.sched.tasks_run == 0
+        assert reverted.sched.cache.hit_rate == 1.0
+
+
+class TestDisabledCache:
+    def test_disabled_cache_matches_seed_behavior(self):
+        source = CHAIN % "1"
+        plain = CompilationPipeline(ICPConfig())
+        assert plain.cache is None
+        first = plain.run(source)
+        second = plain.run(source)
+        # Nothing is memoized or scheduled: the serial seed path runs as-is.
+        assert first.sched.tasks_run == 0 and first.sched.cache is None
+        assert second.sched.tasks_run == 0
+        cached = pipeline().run(source)
+        assert cached.summary() == first.summary()
+        assert cached.fs.constant_formals() == first.fs.constant_formals()
+        assert cached.fs.fallback_edges == first.fs.fallback_edges
+
+
+class TestCachePrimitives:
+    def test_lookup_store_counters(self):
+        cache = SummaryCache()
+        slot = ("fs", "p")
+        assert cache.lookup(slot, "k1") is None
+        cache.store(slot, "k1", "result-1")
+        assert cache.lookup(slot, "k1") == "result-1"
+        assert cache.lookup(slot, "k2") is None  # changed key: invalidation
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.invalidations) == (1, 2, 1)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.lookups == 0
+
+    def test_env_fingerprint_is_type_sensitive(self):
+        int_env = {"a": Const(2)}
+        float_env = {"a": Const(2.0)}
+        assert env_fingerprint(int_env) != env_fingerprint(float_env)
+
+    def test_procedure_fingerprint_tracks_source(self):
+        p1 = parse_program("proc main() { print(1); }").procedures[0]
+        p2 = parse_program("proc main() { print(2); }").procedures[0]
+        p1_again = parse_program("proc main() { print(1); }").procedures[0]
+        assert procedure_fingerprint(p1) != procedure_fingerprint(p2)
+        assert procedure_fingerprint(p1) == procedure_fingerprint(p1_again)

@@ -1,0 +1,76 @@
+"""Worker-pool mechanics: sizing, serial fast path, executors, stats."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.sched.pool import TaskPool, resolve_workers
+from repro.sched.scheduler import Scheduler
+
+
+def _square(x):
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_explicit_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestTaskPool:
+    def test_serial_fast_path_preserves_order(self):
+        with TaskPool(1, "thread") as pool:
+            assert pool.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_thread_pool_preserves_order(self):
+        with TaskPool(3, "thread") as pool:
+            assert pool.map(_square, list(range(10))) == [
+                x * x for x in range(10)
+            ]
+
+    def test_process_pool_preserves_order(self):
+        with TaskPool(2, "process") as pool:
+            assert pool.map(_square, [5, 6]) == [25, 36]
+
+    def test_single_item_runs_inline(self):
+        pool = TaskPool(4, "thread")
+        assert pool.map(_square, [7]) == [49]
+        pool.close()
+
+
+class TestSchedulerStats:
+    def test_wavefront_stats_recorded(self):
+        from repro.callgraph.pcg import build_pcg
+        from repro.lang.symbols import collect_symbols
+
+        program = parse_program(
+            "proc main() { call a(); call b(); }\n"
+            "proc a() { print(1); }\n"
+            "proc b() { print(2); }\n"
+        )
+        symbols = collect_symbols(program)
+        pcg = build_pcg(program, symbols, "main")
+        with Scheduler(workers=2) as scheduler:
+            schedule = scheduler.wavefront(pcg)
+            again = scheduler.wavefront(pcg)
+        assert schedule is again  # memoized per PCG
+        assert scheduler.stats.forward_levels == 2
+        assert scheduler.stats.reverse_levels == 2
+        assert scheduler.stats.max_level_width == 2
+
+    def test_engagement_rules(self):
+        from repro.sched.cache import SummaryCache
+
+        assert not Scheduler(workers=1).engaged
+        assert Scheduler(workers=2).engaged
+        assert Scheduler(workers=2).parallel
+        cached = Scheduler(workers=1, cache=SummaryCache())
+        assert cached.engaged and not cached.parallel

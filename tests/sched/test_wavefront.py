@@ -1,0 +1,112 @@
+"""Wavefront level invariants over call graphs, including cyclic ones."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.callgraph.pcg import build_pcg
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+from repro.sched.wavefront import WavefrontSchedule
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+def schedule_for(program):
+    symbols = collect_symbols(program)
+    pcg = build_pcg(program, symbols, "main")
+    return pcg, WavefrontSchedule(pcg)
+
+
+def assert_invariants(pcg, schedule):
+    # Both level sequences partition the reachable nodes exactly.
+    for levels in (schedule.forward_levels, schedule.reverse_levels):
+        flat = [proc for level in levels for proc in level]
+        assert sorted(flat) == sorted(pcg.nodes)
+        assert len(flat) == len(set(flat))
+
+    forward_level = {
+        proc: i
+        for i, level in enumerate(schedule.forward_levels)
+        for proc in level
+    }
+    reverse_level = {
+        proc: i
+        for i, level in enumerate(schedule.reverse_levels)
+        for proc in level
+    }
+    for edge in pcg.edges:
+        if edge.caller not in forward_level or edge.callee not in forward_level:
+            continue
+        if schedule.forward_dependency(edge):
+            # A forward dependency must be fully resolved before its level.
+            assert forward_level[edge.caller] < forward_level[edge.callee]
+        if schedule.reverse_dependency(edge):
+            assert reverse_level[edge.callee] < reverse_level[edge.caller]
+
+    # Any same-level pair is independent: the edge between them (if any) is a
+    # fallback edge, exactly the edges the serial traversal resolves via FI.
+    for edge in pcg.edges:
+        if edge.caller not in forward_level or edge.callee not in forward_level:
+            continue
+        if forward_level[edge.caller] == forward_level[edge.callee]:
+            assert not schedule.forward_dependency(edge)
+            assert edge in pcg.fallback_edges
+
+
+class TestWavefrontBasics:
+    def test_entry_alone_in_first_level(self):
+        program = parse_program(
+            "proc main() { call a(); call b(); }\n"
+            "proc a() { call c(); }\n"
+            "proc b() { call c(); }\n"
+            "proc c() { print(1); }\n"
+        )
+        pcg, schedule = schedule_for(program)
+        assert schedule.forward_levels[0] == ["main"]
+        assert sorted(schedule.forward_levels[1]) == ["a", "b"]
+        assert schedule.forward_levels[2] == ["c"]
+        # Reverse wavefront mirrors: leaves first, entry last.
+        assert schedule.reverse_levels[0] == ["c"]
+        assert schedule.reverse_levels[-1] == ["main"]
+        assert schedule.depth == (3, 3)
+        assert schedule.max_width == 2
+        assert_invariants(pcg, schedule)
+
+    def test_call_chain_is_one_wide(self):
+        program = parse_program(
+            "proc main() { call a(); }\n"
+            "proc a() { call b(); }\n"
+            "proc b() { print(1); }\n"
+        )
+        pcg, schedule = schedule_for(program)
+        assert all(len(level) == 1 for level in schedule.forward_levels)
+        assert schedule.max_width == 1
+        assert_invariants(pcg, schedule)
+
+    def test_recursive_cycle_members_share_no_dependency(self):
+        # rec_a <-> rec_b: one direction is a back (fallback) edge, so the
+        # wavefront still linearizes and every level is well-defined.
+        program = parse_program(
+            "proc main() { call rec_a(3); }\n"
+            "proc rec_a(n) { if (n > 0) { call rec_b(n - 1); } }\n"
+            "proc rec_b(n) { if (n > 0) { call rec_a(n - 1); } }\n"
+        )
+        pcg, schedule = schedule_for(program)
+        assert_invariants(pcg, schedule)
+        levels = schedule.forward_levels
+        assert len([proc for level in levels for proc in level]) == 3
+
+
+class TestWavefrontGenerated:
+    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds)
+    def test_acyclic_invariants(self, seed):
+        pcg, schedule = schedule_for(generate_program(seed))
+        assert_invariants(pcg, schedule)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds)
+    def test_recursive_invariants(self, seed):
+        program = generate_program(seed, GeneratorConfig(allow_recursion=True))
+        pcg, schedule = schedule_for(program)
+        assert_invariants(pcg, schedule)

@@ -91,3 +91,44 @@ class TestTables:
         out = capsys.readouterr().out
         assert "Table 5" in out
         assert "Table 1" not in out
+
+
+class TestScheduling:
+    def test_jobs_flag_matches_serial(self, source_file, capsys):
+        assert main(["analyze", source_file]) == 0
+        serial = capsys.readouterr().out
+        assert main(["analyze", source_file, "--jobs", "3"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_cache_stats_flag(self, source_file, capsys):
+        assert main(["analyze", source_file, "--cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "summary cache:" in out
+        assert "misses" in out
+
+    def test_report_includes_scheduling_section(self, source_file, capsys):
+        assert main(
+            ["analyze", source_file, "--report", "--jobs", "2", "--cache-stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scheduling:" in out
+        assert "wavefront levels" in out
+
+
+class TestBench:
+    def test_batched_suite_run(self, capsys):
+        assert main(
+            ["bench", "048.ora", "078.swm256", "--jobs", "2", "--cache-stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "048.ora" in out and "078.swm256" in out
+        assert "summary cache:" in out
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        assert main(["bench", "no.such.bench"]) == 1
+        assert "unknown benchmarks" in capsys.readouterr().err
+
+    def test_negative_jobs_rejected(self, source_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", source_file, "--jobs", "-1"])
+        assert "must be >= 0" in capsys.readouterr().err
