@@ -16,7 +16,7 @@ this is exactly the mechanism that finds ``f2`` in the paper's Figure 1.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.base import (
@@ -47,9 +47,17 @@ class SCCDetail:
     values: Dict[SSAName, LatticeValue]
     reached_blocks: Set[int]
     executable_edges: Set[Edge]
+    #: Worklist visit counters of the solver run (flow edges processed,
+    #: SSA names revisited, ...) — consumed by the observability layer.
+    visits: Dict[str, int] = field(default_factory=dict)
 
     def value_of(self, name: SSAName) -> LatticeValue:
         return self.values.get(name, TOP)
+
+    @property
+    def ssa_size(self) -> int:
+        """Number of SSA names the solver assigned a lattice cell."""
+        return len(self.values)
 
 
 class SCCEngine(IntraEngine):
@@ -92,6 +100,12 @@ class SCCEngine(IntraEngine):
             values=solver.values,
             reached_blocks=solver.reached_blocks,
             executable_edges=solver.executable_edges,
+            visits={
+                "flow_edges": solver.flow_edge_visits,
+                "ssa_names": solver.ssa_name_visits,
+                "blocks_reached": len(solver.reached_blocks),
+                "lattice_cells": len(solver.values),
+            },
         )
         exit_values = None
         if record_exit_vars is not None:
@@ -124,6 +138,8 @@ class _Solver:
         }
         self.executable_edges: Set[Edge] = set()
         self.reached_blocks: Set[int] = set()
+        self.flow_edge_visits = 0
+        self.ssa_name_visits = 0
         self._flow: Deque[Edge] = deque()
         self._ssa_work: Deque[SSAName] = deque()
 
@@ -138,6 +154,7 @@ class _Solver:
                 self._process_ssa_name(self._ssa_work.popleft())
 
     def _process_flow_edge(self, edge: Edge) -> None:
+        self.flow_edge_visits += 1
         if edge in self.executable_edges:
             return
         self.executable_edges.add(edge)
@@ -153,6 +170,7 @@ class _Solver:
         self._visit_terminator(dest)
 
     def _process_ssa_name(self, name: SSAName) -> None:
+        self.ssa_name_visits += 1
         for kind, block_id, node in self._ssa.uses_of.get(name, ()):
             if block_id not in self.reached_blocks:
                 continue

@@ -64,11 +64,13 @@ them side by side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple
 
 from repro.lang import ast
 from repro.lang.parser import parse_program
+from repro.obs import Observability
 from repro.sched.cache import CacheStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports bench users)
@@ -380,6 +382,8 @@ class SuiteRun:
     #: Cumulative summary-cache counters across the whole batch
     #: (``None`` when the configuration did not enable the cache).
     cache_stats: Optional[CacheStats] = None
+    #: End-to-end wall seconds per benchmark (build + full pipeline).
+    wall_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def tasks_run(self) -> int:
@@ -400,6 +404,7 @@ def analyze_suite(
     names: Optional[Iterable[str]] = None,
     config: "Optional[ICPConfig]" = None,
     scale: int = 1,
+    obs: Optional[Observability] = None,
 ) -> SuiteRun:
     """Analyze suite benchmarks through one shared pipeline.
 
@@ -419,14 +424,24 @@ def analyze_suite(
     if unknown:
         raise KeyError(f"unknown benchmarks: {unknown}; known: {sorted(SUITE)}")
 
-    pipeline = CompilationPipeline(config)
+    pipeline = CompilationPipeline(config, obs=obs)
+    tracer = obs.tracer if obs is not None else None
     results: "Dict[str, PipelineResult]" = {}
+    wall_seconds: Dict[str, float] = {}
     for name in requested:
-        results[name] = pipeline.run(build_benchmark(SUITE[name], scale))
+        started = time.perf_counter()
+        if tracer is not None and tracer.enabled:
+            with tracer.span("benchmark", cat="bench", benchmark=name, scale=scale):
+                results[name] = pipeline.run(build_benchmark(SUITE[name], scale))
+        else:
+            results[name] = pipeline.run(build_benchmark(SUITE[name], scale))
+        wall_seconds[name] = time.perf_counter() - started
     cache_stats = (
         pipeline.cache.stats.snapshot() if pipeline.cache is not None else None
     )
-    return SuiteRun(results=results, cache_stats=cache_stats)
+    return SuiteRun(
+        results=results, cache_stats=cache_stats, wall_seconds=wall_seconds
+    )
 
 
 #: The twelve benchmarks of the paper's Tables 1 and 2, at roughly 1/8 scale.

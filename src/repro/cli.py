@@ -8,9 +8,17 @@ Subcommands::
     tables [N..]   regenerate the paper's tables over the synthetic suite
     bench [NAME..] analyze the synthetic suite in one batched pipeline run
 
+A bare ``repro-icp FILE`` (no subcommand) is shorthand for
+``repro-icp analyze FILE``.
+
 Common analysis flags include ``--jobs N`` (wavefront-parallel analysis
 over N workers; 0 means all cores) and ``--cache-stats`` (enable the
 procedure-summary cache and print its hit/miss/invalidation counters).
+Observability flags: ``--trace OUT.json`` exports a Chrome
+``trace_event`` file (open in ``chrome://tracing`` or Perfetto),
+``--metrics-json OUT.json`` snapshots the unified metrics registry, and
+``--profile`` prints per-phase wall/CPU timings plus the hot-procedure
+table.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from repro.errors import ReproError
 from repro.interp import run_program
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
+from repro.obs import Observability
 
 
 def _read(path: str) -> str:
@@ -62,8 +71,48 @@ def _config_from(args: argparse.Namespace) -> ICPConfig:
     )
 
 
+def _obs_from(args: argparse.Namespace) -> Optional[Observability]:
+    """Build the observability context the flags request (None when off)."""
+    if not (args.trace or args.metrics_json or args.profile):
+        return None
+    return Observability.create(
+        trace=bool(args.trace),
+        metrics=bool(args.metrics_json),
+        profile=args.profile,
+    )
+
+
+def _emit_observability(
+    args: argparse.Namespace,
+    obs: Observability,
+    results,
+    print_profile: bool = True,
+) -> None:
+    """Write --trace/--metrics-json artifacts; print the --profile report."""
+    if args.profile and print_profile:
+        print()
+        print(obs.profiler.phase_report())
+        print()
+        print(obs.profiler.hot_report())
+    if args.metrics_json:
+        from repro.core.metrics import absorb_pipeline_metrics
+
+        for result in results:
+            absorb_pipeline_metrics(obs.metrics, result)
+        obs.metrics.write(args.metrics_json)
+        print(f"metrics snapshot written to {args.metrics_json}", file=sys.stderr)
+    if args.trace:
+        obs.tracer.write(args.trace)
+        print(
+            f"chrome trace written to {args.trace} "
+            f"({len(obs.tracer.events())} events)",
+            file=sys.stderr,
+        )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    result = analyze_program(_load(args.file), _config_from(args))
+    obs = _obs_from(args)
+    result = analyze_program(_load(args.file), _config_from(args), obs=obs)
     if args.report:
         from repro.core.report import full_report
 
@@ -79,6 +128,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("\nphase timings (seconds):")
         for phase, seconds in result.timings.items():
             print(f"  {phase:<10} {seconds:.6f}")
+    if obs is not None:
+        # --report already embeds the observability section.
+        _emit_observability(args, obs, [result], print_profile=not args.report)
     return 0
 
 
@@ -146,26 +198,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.suite import SUITE, analyze_suite
     from repro.core.metrics import scheduling_metrics
 
+    obs = _obs_from(args)
     names = args.names or sorted(SUITE)
     try:
-        run = analyze_suite(names, _config_from(args), scale=args.scale)
+        run = analyze_suite(names, _config_from(args), scale=args.scale, obs=obs)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 1
     print(
         f"{'benchmark':<16} {'procs':>5} {'edges':>5} {'fs-formals':>10} "
-        f"{'run':>5} {'cached':>6}"
+        f"{'run':>5} {'cached':>6} {'wall(s)':>9}"
     )
     for name, result in run.results.items():
         row = scheduling_metrics(name, result.sched)
         print(
             f"{name:<16} {len(result.pcg.nodes):>5} {len(result.pcg.edges):>5} "
             f"{len(result.fs.constant_formals()):>10} "
-            f"{row.tasks_run:>5} {row.tasks_cached:>6}"
+            f"{row.tasks_run:>5} {row.tasks_cached:>6} "
+            f"{run.wall_seconds.get(name, 0.0):>9.4f}"
         )
+    total_wall = sum(run.wall_seconds.values())
     print(
         f"{'total':<16} {'':>5} {'':>5} {'':>10} "
-        f"{run.tasks_run:>5} {run.tasks_cached:>6}"
+        f"{run.tasks_run:>5} {run.tasks_cached:>6} {total_wall:>9.4f}"
     )
     if run.cache_stats is not None:
         cache = run.cache_stats
@@ -174,7 +229,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{cache.invalidations} invalidations "
             f"(hit rate {cache.hit_rate:.0%}, {cache.entries} entries)"
         )
+    if args.json:
+        _write_bench_json(args.json, args, run)
+        print(f"bench results written to {args.json}", file=sys.stderr)
+    if obs is not None:
+        _emit_observability(args, obs, run.results.values())
     return 0
+
+
+def _write_bench_json(path: str, args: argparse.Namespace, run) -> None:
+    """Machine-readable bench results (the per-PR perf trajectory record)."""
+    import json
+
+    from repro.core.metrics import scheduling_metrics
+
+    programs = {}
+    for name, result in run.results.items():
+        row = scheduling_metrics(name, result.sched)
+        programs[name] = {
+            "wall_seconds": run.wall_seconds.get(name),
+            "procedures": len(result.pcg.nodes),
+            "call_edges": len(result.pcg.edges),
+            "fs_constant_formals": len(result.fs.constant_formals()),
+            "tasks_run": row.tasks_run,
+            "tasks_cached": row.tasks_cached,
+            "cache_hit_rate": row.cache_hit_rate,
+            "engine_seconds": row.analysis_seconds,
+        }
+    payload = {
+        "schema": "repro-icp/bench/v1",
+        "workers": args.jobs,
+        "executor": "thread",
+        "cache": bool(args.cache_stats),
+        "scale": args.scale,
+        "engine": args.engine,
+        "totals": {
+            "wall_seconds": sum(run.wall_seconds.values()),
+            "tasks_run": run.tasks_run,
+            "tasks_cached": run.tasks_cached,
+            "cache_hit_rate": (
+                run.cache_stats.hit_rate if run.cache_stats is not None else 0.0
+            ),
+        },
+        "programs": programs,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -204,12 +305,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable the procedure-summary cache and report "
                             "its hit/miss/invalidation counters")
 
+    def obs_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", metavar="OUT.json",
+                       help="export a Chrome trace_event file of the run "
+                            "(open in chrome://tracing or Perfetto)")
+        p.add_argument("--metrics-json", metavar="OUT.json", dest="metrics_json",
+                       help="write a JSON snapshot of the unified metrics "
+                            "registry (scheduler, cache, SCC counters)")
+        p.add_argument("--profile", action="store_true",
+                       help="collect per-phase wall/CPU timings and print "
+                            "the hot-procedure report")
+
     analyze = sub.add_parser("analyze", help="report interprocedural constants")
     analyze.add_argument("file")
     analyze.add_argument("--timings", action="store_true")
     analyze.add_argument("--report", action="store_true",
                          help="detailed per-procedure report")
     common(analyze)
+    obs_flags(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     graph = sub.add_parser("graph", help="print the PCG as Graphviz DOT")
@@ -245,12 +358,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="benchmark names (default: the whole suite)")
     bench.add_argument("--scale", type=int, default=1,
                        help="pattern-count multiplier (default: 1)")
+    bench.add_argument("--json", metavar="OUT.json",
+                       help="write machine-readable bench results "
+                            "(e.g. BENCH_icp.json) for cross-PR tracking")
     common(bench)
+    obs_flags(bench)
     bench.set_defaults(func=_cmd_bench)
     return parser
 
 
+#: Subcommand names; a leading argument that is none of these (and not a
+#: flag) is treated as a file to analyze.
+_SUBCOMMANDS = ("analyze", "graph", "optimize", "run", "tables", "bench")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] not in _SUBCOMMANDS and not argv[0].startswith("-"):
+        argv.insert(0, "analyze")
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

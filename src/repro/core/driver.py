@@ -31,6 +31,7 @@ from repro.lang import ast
 from repro.lang.parser import parse_program
 from repro.lang.symbols import ProcedureSymbols, collect_symbols
 from repro.lang.validate import validate_program
+from repro.obs import NULL_OBS, Observability
 from repro.sched.cache import SummaryCache
 from repro.sched.scheduler import Scheduler, SchedulerStats
 from repro.summary.alias import AliasInfo, compute_aliases
@@ -56,6 +57,9 @@ class PipelineResult:
     config: ICPConfig = field(default_factory=ICPConfig)
     #: What the wavefront scheduler did (worker/level/cache counters).
     sched: Optional[SchedulerStats] = None
+    #: The observability context the run recorded into (``None`` when the
+    #: run was not instrumented — the default).
+    obs: Optional[Observability] = field(default=None, repr=False)
 
     # -- convenience queries ----------------------------------------------
 
@@ -115,8 +119,13 @@ class CompilationPipeline:
     hit rate on an unchanged program and skips every re-analysis.
     """
 
-    def __init__(self, config: Optional[ICPConfig] = None):
+    def __init__(
+        self,
+        config: Optional[ICPConfig] = None,
+        obs: Optional[Observability] = None,
+    ):
         self.config = config or ICPConfig()
+        self.obs = obs or NULL_OBS
         self.cache: Optional[SummaryCache] = (
             SummaryCache() if self.config.cache else None
         )
@@ -127,15 +136,43 @@ class CompilationPipeline:
         run_transform: bool = False,
     ) -> PipelineResult:
         """Execute the pipeline over MiniF ``source`` (text or parsed AST)."""
-        config = self.config
-        timings: Dict[str, float] = {}
-        scheduler = Scheduler.from_config(config, cache=self.cache)
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return self._run_phases(source, run_transform)
+        with tracer.span(
+            "pipeline",
+            cat="pipeline",
+            entry=self.config.entry,
+            engine=self.config.engine,
+            workers=self.config.workers,
+            executor=self.config.executor,
+            cache=self.config.cache,
+        ):
+            return self._run_phases(source, run_transform)
 
-        def timed(name: str, thunk):
-            started = time.perf_counter()
-            value = thunk()
-            timings[name] = time.perf_counter() - started
-            return value
+    def _run_phases(
+        self,
+        source: Union[str, ast.Program],
+        run_transform: bool,
+    ) -> PipelineResult:
+        config = self.config
+        obs = self.obs
+        timings: Dict[str, float] = {}
+        scheduler = Scheduler.from_config(config, cache=self.cache, obs=obs)
+
+        if obs.enabled:
+            def timed(name: str, thunk):
+                started = time.perf_counter()
+                with obs.tracer.span(name, cat="phase"), obs.profiler.phase(name):
+                    value = thunk()
+                timings[name] = time.perf_counter() - started
+                return value
+        else:
+            def timed(name: str, thunk):
+                started = time.perf_counter()
+                value = thunk()
+                timings[name] = time.perf_counter() - started
+                return value
 
         # 1. Collect IPA inputs.
         if isinstance(source, str):
@@ -225,6 +262,7 @@ class CompilationPipeline:
             timings=timings,
             config=self.config,
             sched=sched_stats,
+            obs=self.obs if self.obs.enabled else None,
         )
 
     def _run_transform(
@@ -270,6 +308,9 @@ def analyze_program(
     source: Union[str, ast.Program],
     config: Optional[ICPConfig] = None,
     run_transform: bool = False,
+    obs: Optional[Observability] = None,
 ) -> PipelineResult:
     """One-call convenience wrapper around :class:`CompilationPipeline`."""
-    return CompilationPipeline(config).run(source, run_transform=run_transform)
+    return CompilationPipeline(config, obs=obs).run(
+        source, run_transform=run_transform
+    )

@@ -39,6 +39,7 @@ from repro.core.flow_insensitive import FIResult, flow_insensitive_icp
 from repro.ir.lattice import BOTTOM, Const, LatticeValue, meet_all
 from repro.lang import ast
 from repro.lang.symbols import ProcedureSymbols
+from repro.obs import NULL_OBS
 from repro.sched.cache import (
     config_fingerprint,
     effects_fingerprint,
@@ -149,6 +150,8 @@ def flow_sensitive_icp(
         )
         return result
 
+    obs = scheduler.obs if scheduler is not None else NULL_OBS
+    tracer = obs.tracer
     for position, proc_name in enumerate(pcg.rpo):
         proc = proc_map[proc_name]
         proc_symbols = symbols[proc_name]
@@ -157,11 +160,37 @@ def flow_sensitive_icp(
             fi, config, result, analyzed,
         )
         started = time.perf_counter()
-        intra = engine.analyze(proc, proc_symbols, entry_env, effects)
-        result.intra_seconds += time.perf_counter() - started
+        if tracer.enabled:
+            with tracer.span(
+                "engine", cat="engine", proc=proc_name,
+                pass_label="fs", engine=engine.name,
+            ):
+                intra = engine.analyze(proc, proc_symbols, entry_env, effects)
+        else:
+            intra = engine.analyze(proc, proc_symbols, entry_env, effects)
+        elapsed = time.perf_counter() - started
+        result.intra_seconds += elapsed
         result.intra[proc_name] = intra
         analyzed.add(proc_name)
+        if obs.enabled:
+            _observe_serial_run(obs, proc_name, intra, elapsed)
     return result
+
+
+def _observe_serial_run(obs, proc_name: str, intra, seconds: float) -> None:
+    """Feed one serial engine run to the observability context."""
+    detail = intra.detail
+    visits = getattr(detail, "visits", None)
+    obs.profiler.record_procedure(
+        proc_name, seconds,
+        ssa_size=getattr(detail, "ssa_size", None), visits=visits,
+    )
+    metrics = obs.metrics
+    if metrics.enabled:
+        metrics.histogram("engine.task_seconds").observe(seconds)
+        if visits:
+            for key, value in visits.items():
+                metrics.counter(f"scc.{key}").inc(value)
 
 
 def _scheduled_forward(

@@ -140,7 +140,59 @@ def scheduling_metrics(
 
 
 def _pct(part: int, whole: int) -> float:
-    return 100.0 * part / whole if whole else 0.0
+    """Percentage with a consistent zero-denominator guard.
+
+    Every ``*_pct`` property funnels through here: an empty denominator
+    (0 or None — e.g. a benchmark with no call-site arguments or no formal
+    parameters) yields 0.0 rather than raising ``ZeroDivisionError``.
+    """
+    if not whole:
+        return 0.0
+    return 100.0 * part / whole
+
+
+def absorb_pipeline_metrics(registry, result) -> None:
+    """Fold one run's scattered counters into a unified metrics registry.
+
+    The scheduler and the flow-sensitive pass record *live* counters
+    (``cache.hits``, ``sched.tasks_run``, ``engine.task_seconds``,
+    ``scc.*`` visit totals) while the pipeline runs; this absorbs the
+    remaining after-the-fact state — :class:`SchedulingMetrics`-shaped
+    scheduler/cache summaries, PCG shape, phase timings — so one registry
+    snapshot covers everything ``--cache-stats`` and ``--timings`` used to
+    print piecemeal.
+    """
+    sched = result.sched
+    if sched is not None:
+        registry.gauge("sched.workers").set(sched.workers)
+        registry.gauge("sched.executor").set(sched.executor)
+        registry.gauge("sched.forward_levels").set(sched.forward_levels)
+        registry.gauge("sched.reverse_levels").set(sched.reverse_levels)
+        registry.gauge("sched.max_level_width").max(sched.max_level_width)
+        registry.gauge("sched.tasks_total").set(sched.tasks_total)
+        registry.gauge("sched.analysis_seconds").set(sched.analysis_seconds)
+        if sched.cache is not None:
+            registry.gauge("cache.hit_rate").set(sched.cache.hit_rate)
+            registry.gauge("cache.invalidations").set(sched.cache.invalidations)
+            registry.gauge("cache.entries").set(sched.cache.entries)
+    registry.gauge("pcg.procedures").set(len(result.pcg.nodes))
+    registry.gauge("pcg.edges").set(len(result.pcg.edges))
+    registry.gauge("pcg.back_edges").set(len(result.pcg.back_edges))
+    registry.gauge("fs.intra_seconds").set(result.fs.intra_seconds)
+    registry.gauge("fs.fallback_edges").set(len(result.fs.fallback_edges))
+    for phase, seconds in result.timings.items():
+        registry.gauge(f"phase.{phase}.seconds").set(seconds)
+    # Serial runs with the metrics registry off during analysis still get
+    # SCC visit totals: sum them from the per-procedure engine details.
+    if not registry.snapshot()["counters"]:
+        totals: Dict[str, int] = {}
+        for intra in result.fs.intra.values():
+            visits = getattr(intra.detail, "visits", None)
+            if visits:
+                for key, value in visits.items():
+                    totals[key] = totals.get(key, 0) + value
+        for key, value in totals.items():
+            registry.counter(f"scc.{key}").inc(value)
 
 
 def call_site_candidates(

@@ -101,6 +101,28 @@ def scheduling_report(result: PipelineResult) -> str:
     return "\n".join(lines)
 
 
+def observability_report(result: PipelineResult, top: int = 10) -> str:
+    """Phase timings and the hot-procedure ranking of an instrumented run.
+
+    Requires a run executed with an :class:`~repro.obs.Observability`
+    context whose profiler was live (CLI ``--profile``); otherwise reports
+    that nothing was recorded.
+    """
+    obs = result.obs
+    if obs is None or not obs.profiler.enabled:
+        return "observability: (profiling not enabled for this run)"
+    lines = ["observability:"]
+    profiler = obs.profiler
+    if profiler.phases:
+        lines.append(_indent(profiler.phase_report()))
+    lines.append(_indent(profiler.hot_report(top)))
+    return "\n".join(lines)
+
+
+def _indent(text: str, by: str = "  ") -> str:
+    return "\n".join(by + line for line in text.splitlines())
+
+
 def full_report(result: PipelineResult) -> str:
     """Report every reachable procedure, in call-graph order."""
     parts: List[str] = [
@@ -127,6 +149,8 @@ def full_report(result: PipelineResult) -> str:
         result.sched.workers > 1 or result.sched.cache is not None
     ):
         parts.append(scheduling_report(result))
+    if result.obs is not None and result.obs.profiler.enabled:
+        parts.append(observability_report(result))
     return "\n".join(parts)
 
 

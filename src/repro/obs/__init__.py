@@ -1,0 +1,75 @@
+"""Analysis-pipeline observability: tracing, metrics, and profiling.
+
+The three instruments are bundled into one :class:`Observability` context
+that the pipeline threads through its phases:
+
+- :mod:`repro.obs.trace` — span-based tracer with Chrome ``trace_event``
+  export (``--trace OUT.json``) and a human-readable tree;
+- :mod:`repro.obs.metrics` — unified registry of counters, gauges, and
+  histograms, snapshottable to JSON (``--metrics-json OUT.json``);
+- :mod:`repro.obs.profile` — per-phase wall/CPU timings and the
+  hot-procedure report (``--profile``).
+
+Everything is disabled by default: :data:`NULL_OBS` carries the no-op
+singleton of each instrument, so the instrumented hot paths cost a
+truthiness check and nothing else when observability is off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.profile import NULL_PROFILER, Profiler
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    validate_chrome_trace,
+    validate_trace_file,
+)
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "MetricsRegistry",
+    "Profiler",
+    "validate_chrome_trace",
+    "validate_trace_file",
+]
+
+
+@dataclass(frozen=True)
+class Observability:
+    """One run's observability context (tracer + metrics + profiler)."""
+
+    tracer: Tracer = NULL_TRACER
+    metrics: MetricsRegistry = NULL_REGISTRY
+    profiler: Profiler = NULL_PROFILER
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one instrument records anything."""
+        return (
+            self.tracer.enabled
+            or self.metrics.enabled
+            or self.profiler.enabled
+        )
+
+    @classmethod
+    def create(
+        cls,
+        trace: bool = False,
+        metrics: bool = False,
+        profile: bool = False,
+    ) -> "Observability":
+        """An observability context with the requested instruments live."""
+        return cls(
+            tracer=Tracer() if trace else NULL_TRACER,
+            metrics=MetricsRegistry() if metrics else NULL_REGISTRY,
+            profiler=Profiler() if profile else NULL_PROFILER,
+        )
+
+
+#: The shared all-off context (safe to use unconditionally).
+NULL_OBS = Observability()

@@ -1,0 +1,285 @@
+"""Unified metrics registry for the analysis pipeline.
+
+One API absorbs what used to be scattered ad-hoc counters — the
+scheduler's :class:`~repro.sched.scheduler.SchedulerStats`, the summary
+cache's hit/miss/invalidation counts, the SCC engine's visit counts —
+behind three instrument kinds:
+
+- :class:`Counter` — monotonically increasing event counts;
+- :class:`Gauge` — last-write-wins values (pool width, cache entries);
+- :class:`Histogram` — observation distributions (per-procedure engine
+  seconds) with count/sum/min/max and exponential buckets, plus a
+  monotonic-clock :meth:`Histogram.time` timer.
+
+A registry snapshot is a plain nested dict, serializable to JSON for the
+``--metrics-json`` CLI flag.  The disabled registry hands out shared
+no-op instruments, so instrumented code paths cost an attribute check and
+nothing else when metrics are off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value: float = 0
+        self._lock = threading.Lock()
+
+    def set(self, value) -> None:
+        with self._lock:
+            self._value = value
+
+    def max(self, value) -> None:
+        """Keep the maximum of all reported values."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self):
+        return self._value
+
+
+#: Default histogram bucket bounds (seconds-flavored, exponential).
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+class _Timer:
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: "Histogram"):
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+class Histogram:
+    """An observation distribution with fixed exponential buckets."""
+
+    __slots__ = ("name", "buckets", "_counts", "_count", "_sum", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets = tuple(buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # +1 overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[index] += 1
+                    break
+            else:
+                self._counts[-1] += 1
+
+    def time(self) -> _Timer:
+        """A monotonic-clock context manager feeding this histogram."""
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count if self._count else 0.0,
+                "min": self._min,
+                "max": self._max,
+                "buckets": {
+                    **{
+                        f"le_{bound:g}": count
+                        for bound, count in zip(self.buckets, self._counts)
+                        if count
+                    },
+                    **({"overflow": self._counts[-1]} if self._counts[-1] else {}),
+                },
+            }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("null")
+
+    def inc(self, amount: int = 1) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("null")
+
+    def set(self, value) -> None:
+        return None
+
+    def max(self, value) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__("null", buckets=())
+
+    def observe(self, value: float) -> None:
+        return None
+
+    def time(self) -> _NullTimer:  # type: ignore[override]
+        return _NULL_TIMER
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments.
+
+    Names are dotted paths (``cache.hits``, ``engine.task_seconds``); the
+    snapshot groups instruments by kind and sorts by name, so serialized
+    output is deterministic.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, buckets)
+            return metric
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable view of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counters[name].value for name in sorted(counters)
+            },
+            "gauges": {name: gauges[name].value for name in sorted(gauges)},
+            "histograms": {
+                name: histograms[name].summary() for name in sorted(histograms)
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+#: Shared disabled registry (hands out no-op instruments).
+NULL_REGISTRY = MetricsRegistry(enabled=False)

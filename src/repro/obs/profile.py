@@ -1,0 +1,213 @@
+"""Profiling hooks: phase timings and the hot-procedure report.
+
+A :class:`Profiler` collects
+
+- per-phase wall *and* CPU time (``time.perf_counter`` /
+  ``time.process_time``) for every Figure 2 pipeline phase,
+- per-procedure engine time: every intraprocedural analysis reports its
+  duration (and, for the SCC engine, its SSA size and visit counts), which
+  accumulate into per-procedure totals and a global histogram, and
+- an opt-in **hot procedure** report ranking procedures by total engine
+  time alongside their run counts and SSA sizes — the "where does the
+  analysis spend its time" table that scaling work starts from.
+
+Like the tracer and registry, a disabled profiler is a shared no-op: the
+hot paths check ``profiler.enabled`` (one attribute load) and skip all
+recording.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Histogram
+
+
+@dataclass
+class PhaseTiming:
+    """Accumulated wall/CPU seconds of one pipeline phase."""
+
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    count: int = 0
+
+
+@dataclass
+class ProcedureProfile:
+    """Accumulated engine work for one procedure."""
+
+    name: str
+    engine_seconds: float = 0.0
+    runs: int = 0
+    #: SSA names created by the last engine run (SCC engine only).
+    ssa_size: Optional[int] = None
+    #: Summed engine visit counters (flow edges, SSA revisits, ...).
+    visits: Dict[str, int] = field(default_factory=dict)
+
+
+class _PhaseSpan:
+    __slots__ = ("_profiler", "_name", "_wall", "_cpu")
+
+    def __init__(self, profiler: "Profiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._wall = 0.0
+        self._cpu = 0.0
+
+    def __enter__(self) -> "_PhaseSpan":
+        self._wall = time.perf_counter()
+        self._cpu = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler._record_phase(
+            self._name,
+            time.perf_counter() - self._wall,
+            time.process_time() - self._cpu,
+        )
+
+
+class _NullPhaseSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhaseSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_PHASE = _NullPhaseSpan()
+
+
+class Profiler:
+    """Collects phase and per-procedure timing for one or more runs."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self.phases: Dict[str, PhaseTiming] = {}
+        self.procedures: Dict[str, ProcedureProfile] = {}
+        #: Distribution of individual engine-run durations (seconds).
+        self.task_seconds = Histogram("profile.task_seconds")
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    def phase(self, name: str):
+        """Context manager timing one pipeline phase (wall + CPU)."""
+        if not self.enabled:
+            return _NULL_PHASE
+        return _PhaseSpan(self, name)
+
+    def _record_phase(self, name: str, wall: float, cpu: float) -> None:
+        with self._lock:
+            timing = self.phases.get(name)
+            if timing is None:
+                timing = self.phases[name] = PhaseTiming()
+            timing.wall_seconds += wall
+            timing.cpu_seconds += cpu
+            timing.count += 1
+
+    def record_procedure(
+        self,
+        name: str,
+        seconds: float,
+        ssa_size: Optional[int] = None,
+        visits: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Accumulate one engine run's cost for ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            profile = self.procedures.get(name)
+            if profile is None:
+                profile = self.procedures[name] = ProcedureProfile(name)
+            profile.engine_seconds += seconds
+            profile.runs += 1
+            if ssa_size is not None:
+                profile.ssa_size = ssa_size
+            if visits:
+                for key, value in visits.items():
+                    profile.visits[key] = profile.visits.get(key, 0) + value
+        self.task_seconds.observe(seconds)
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+
+    def hot_procedures(self, top: int = 10) -> List[ProcedureProfile]:
+        """Procedures ranked by total engine seconds, hottest first."""
+        with self._lock:
+            ranked = sorted(
+                self.procedures.values(),
+                key=lambda p: (-p.engine_seconds, p.name),
+            )
+        return ranked[:top] if top else ranked
+
+    def hot_report(self, top: int = 10) -> str:
+        """The hot-procedure table (rank, engine time, runs, SSA size)."""
+        rows = self.hot_procedures(top)
+        lines = [
+            "hot procedures (by engine time):",
+            f"  {'#':>2} {'procedure':<24} {'seconds':>10} {'runs':>5} "
+            f"{'ssa':>6} {'visits':>8}",
+        ]
+        if not rows:
+            lines.append("  (no engine runs recorded)")
+            return "\n".join(lines)
+        for rank, profile in enumerate(rows, start=1):
+            size = "-" if profile.ssa_size is None else str(profile.ssa_size)
+            visits = sum(profile.visits.values())
+            lines.append(
+                f"  {rank:>2} {profile.name:<24} {profile.engine_seconds:>10.6f} "
+                f"{profile.runs:>5} {size:>6} {visits:>8}"
+            )
+        return "\n".join(lines)
+
+    def phase_report(self) -> str:
+        """Per-phase wall/CPU timing table, in recording order."""
+        lines = [
+            "phase timings:",
+            f"  {'phase':<12} {'wall(s)':>10} {'cpu(s)':>10} {'runs':>5}",
+        ]
+        with self._lock:
+            items = list(self.phases.items())
+        for name, timing in items:
+            lines.append(
+                f"  {name:<12} {timing.wall_seconds:>10.6f} "
+                f"{timing.cpu_seconds:>10.6f} {timing.count:>5}"
+            )
+        return "\n".join(lines)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-serializable view (phases + per-procedure totals)."""
+        with self._lock:
+            return {
+                "phases": {
+                    name: {
+                        "wall_seconds": timing.wall_seconds,
+                        "cpu_seconds": timing.cpu_seconds,
+                        "count": timing.count,
+                    }
+                    for name, timing in self.phases.items()
+                },
+                "procedures": {
+                    profile.name: {
+                        "engine_seconds": profile.engine_seconds,
+                        "runs": profile.runs,
+                        "ssa_size": profile.ssa_size,
+                        "visits": dict(profile.visits),
+                    }
+                    for profile in self.procedures.values()
+                },
+                "task_seconds": self.task_seconds.summary(),
+            }
+
+
+#: Shared disabled profiler.
+NULL_PROFILER = Profiler(enabled=False)

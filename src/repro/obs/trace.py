@@ -1,0 +1,361 @@
+"""Span-based structured tracing for the analysis pipeline.
+
+A :class:`Tracer` records nested *spans* (parse → SSA → summaries →
+wavefront level → per-procedure engine run → transform) carrying structured
+attributes — procedure name, level index, cache hit/miss, lattice-cell
+counts.  Spans are buffered per thread: every worker thread of a thread
+pool appends to its own buffer (no locking on the hot path), and the
+coordinator merges all buffers at export time, one Chrome ``tid`` track per
+buffer.  Process-pool workers live in a different clock domain, so their
+engine runs are synthesized on the coordinator as *complete* events from
+the worker-measured durations.
+
+Two export formats:
+
+- :meth:`Tracer.to_chrome` — the Chrome ``trace_event`` JSON format
+  (load the file in ``chrome://tracing`` or Perfetto).  Spans become
+  balanced ``B``/``E`` event pairs; synthesized worker spans and marker
+  events use ``X``/``i`` phases.
+- :meth:`Tracer.format_tree` — a human-readable indented tree with
+  durations, for terminals.
+
+The disabled tracer is a no-op singleton: ``span()`` returns a cached
+null context manager, so a pipeline run with tracing off performs no
+allocation and no buffering.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: The synthetic process id used for all pipeline events.
+TRACE_PID = 1
+
+#: Buffer label of the coordinating (pipeline) thread.
+COORDINATOR_TID = "coordinator"
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span: records a ``B`` event on enter, ``E`` on exit."""
+
+    __slots__ = ("_tracer", "_buffer", "name", "cat", "args")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: Dict[str, Any]):
+        self._tracer = tracer
+        self._buffer = tracer._thread_buffer()
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def set(self, **attrs) -> None:
+        """Attach attributes discovered while the span is open."""
+        self.args.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._buffer.append(
+            {
+                "name": self.name,
+                "cat": self.cat,
+                "ph": "B",
+                "ts": self._tracer._now(),
+                "pid": TRACE_PID,
+                "args": self.args,
+            }
+        )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._buffer.append(
+            {
+                "name": self.name,
+                "cat": self.cat,
+                "ph": "E",
+                "ts": self._tracer._now(),
+                "pid": TRACE_PID,
+            }
+        )
+
+
+class Tracer:
+    """Collects trace events from the coordinator and its worker threads."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        #: (label, events) per registered buffer, in registration order.
+        self._buffers: List[Tuple[str, List[dict]]] = []
+        self._labels_seen: Dict[str, int] = {}
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        """Microseconds since this tracer's epoch (Chrome's ``ts`` unit)."""
+        return (time.perf_counter() - self._epoch) * 1_000_000.0
+
+    def _thread_buffer(self) -> List[dict]:
+        buffer = getattr(self._local, "events", None)
+        if buffer is None:
+            buffer = []
+            self._local.events = buffer
+            thread = threading.current_thread()
+            label = (
+                COORDINATOR_TID
+                if thread is threading.main_thread()
+                else thread.name
+            )
+            with self._lock:
+                # Keep tids unique so per-track nesting stays well-formed
+                # even if two threads ever share a name.
+                count = self._labels_seen.get(label, 0)
+                self._labels_seen[label] = count + 1
+                if count:
+                    label = f"{label}#{count}"
+                self._buffers.append((label, buffer))
+        return buffer
+
+    def span(self, name: str, cat: str = "pipeline", **attrs):
+        """A context manager recording one nested span.
+
+        Attributes are arbitrary JSON-serializable values; they land in the
+        Chrome event's ``args`` and in the tree rendering.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, attrs)
+
+    def instant(self, name: str, cat: str = "pipeline", **attrs) -> None:
+        """A zero-duration marker event (e.g. a cache hit)."""
+        if not self.enabled:
+            return
+        self._thread_buffer().append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": "t",
+                "ts": self._now(),
+                "pid": TRACE_PID,
+                "args": attrs,
+            }
+        )
+
+    def complete(
+        self,
+        name: str,
+        start_ts: float,
+        duration_seconds: float,
+        tid: str,
+        cat: str = "engine",
+        **attrs,
+    ) -> None:
+        """Record a *complete* (``X``) event on a virtual track.
+
+        Used for work measured in another clock domain (process-pool
+        workers): the coordinator rebases the worker-reported duration onto
+        its own timeline at ``start_ts`` (microseconds, tracer epoch).
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            buffer = self._named_buffer_locked(tid)
+        buffer.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": start_ts,
+                "dur": duration_seconds * 1_000_000.0,
+                "pid": TRACE_PID,
+                "args": attrs,
+            }
+        )
+
+    def _named_buffer_locked(self, label: str) -> List[dict]:
+        for existing, buffer in self._buffers:
+            if existing == label:
+                return buffer
+        buffer: List[dict] = []
+        self._buffers.append((label, buffer))
+        self._labels_seen.setdefault(label, 1)
+        return buffer
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+
+    def events(self) -> List[dict]:
+        """All recorded events, each stamped with its buffer's ``tid``."""
+        merged: List[dict] = []
+        with self._lock:
+            buffers = list(self._buffers)
+        for label, buffer in buffers:
+            for event in buffer:
+                stamped = dict(event)
+                stamped["tid"] = label
+                merged.append(stamped)
+        return merged
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` JSON object format."""
+        return {
+            "traceEvents": self.events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro-icp"},
+        }
+
+    def write(self, path: str) -> None:
+        """Serialize the Chrome trace to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle, indent=1)
+            handle.write("\n")
+
+    def format_tree(self) -> str:
+        """Human-readable span tree, one section per thread track."""
+        lines: List[str] = []
+        with self._lock:
+            buffers = list(self._buffers)
+        for label, buffer in buffers:
+            lines.append(f"[{label}]")
+            stack: List[Tuple[dict, int]] = []
+            for event in buffer:
+                if event["ph"] == "B":
+                    stack.append((event, len(stack)))
+                elif event["ph"] == "E" and stack:
+                    begin, depth = stack.pop()
+                    duration_ms = (event["ts"] - begin["ts"]) / 1000.0
+                    lines.append(
+                        _tree_line(begin, depth, f"{duration_ms:.3f}ms")
+                    )
+                elif event["ph"] == "X":
+                    lines.append(
+                        _tree_line(event, len(stack), f"{event['dur'] / 1000.0:.3f}ms")
+                    )
+                elif event["ph"] == "i":
+                    lines.append(_tree_line(event, len(stack), "·"))
+        return "\n".join(lines)
+
+
+def _tree_line(event: dict, depth: int, suffix: str) -> str:
+    args = event.get("args") or {}
+    rendered = (
+        " {" + ", ".join(f"{k}={v!r}" for k, v in args.items()) + "}"
+        if args
+        else ""
+    )
+    return f"{'  ' * (depth + 1)}{event['name']}{rendered} [{suffix}]"
+
+
+#: Shared disabled tracer (no buffers, no allocation per span).
+NULL_TRACER = Tracer(enabled=False)
+
+
+# ----------------------------------------------------------------------
+# Validation (bundled; also invoked by CI on the exported artifact).
+# ----------------------------------------------------------------------
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+_KNOWN_PHASES = {"B", "E", "X", "i", "M"}
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Check a parsed Chrome trace for structural validity.
+
+    Returns a list of problems (empty when the trace is well-formed):
+
+    - the top level must be an object with a ``traceEvents`` list;
+    - every event needs ``name``/``ph``/``ts``/``pid``/``tid`` and a
+      known phase;
+    - timestamps and durations must be non-negative numbers;
+    - per ``(pid, tid)`` track, ``B``/``E`` events must balance and nest —
+      each ``E`` closes the most recent open ``B`` of the same name.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return ["top level is not a JSON object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+
+    stacks: Dict[Tuple[Any, Any], List[dict]] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{index} is not an object")
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in event]
+        if missing:
+            problems.append(f"event #{index} missing keys: {missing}")
+            continue
+        phase = event["ph"]
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"event #{index} has unknown phase {phase!r}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event #{index} has invalid ts {ts!r}")
+        if phase == "X":
+            duration = event.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"event #{index} has invalid dur {duration!r}")
+        track = (event["pid"], event["tid"])
+        stack = stacks.setdefault(track, [])
+        if phase == "B":
+            stack.append(event)
+        elif phase == "E":
+            if not stack:
+                problems.append(
+                    f"event #{index} ('{event['name']}' on {track}): "
+                    "E without matching B"
+                )
+            else:
+                begin = stack.pop()
+                if begin["name"] != event["name"]:
+                    problems.append(
+                        f"event #{index}: E '{event['name']}' closes "
+                        f"B '{begin['name']}' on {track} (bad nesting)"
+                    )
+                elif event["ts"] < begin["ts"]:
+                    problems.append(
+                        f"event #{index}: span '{event['name']}' on {track} "
+                        "ends before it begins"
+                    )
+    for track, stack in stacks.items():
+        for begin in stack:
+            problems.append(
+                f"unclosed B '{begin['name']}' on {track}"
+            )
+    return problems
+
+
+def validate_trace_file(path: str) -> List[str]:
+    """Load ``path`` and validate it; JSON errors become problems too."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        return [f"cannot load trace: {error}"]
+    return validate_chrome_trace(data)

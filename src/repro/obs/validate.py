@@ -1,0 +1,43 @@
+"""Trace-artifact validator: ``python -m repro.obs.validate TRACE.json``.
+
+Exits non-zero (printing each problem) when the Chrome trace is malformed
+— missing keys, unknown phases, negative timestamps, or unbalanced /
+badly nested ``B``/``E`` span events.  CI runs this over the trace the
+bench smoke job exports, so a regression that breaks the trace format
+fails the build rather than silently shipping unreadable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.trace import validate_trace_file
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate TRACE.json [...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        problems = validate_trace_file(path)
+        if problems:
+            failures += 1
+            print(f"{path}: INVALID ({len(problems)} problem(s))")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    count = len(json.load(handle).get("traceEvents", []))
+            except (OSError, ValueError):
+                count = 0
+            print(f"{path}: ok ({count} events)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

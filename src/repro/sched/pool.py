@@ -61,6 +61,29 @@ def run_analysis_task(task):
     return intra, time.perf_counter() - started
 
 
+def traced_task_runner(tracer):
+    """Wrap :func:`run_analysis_task` with a worker-side engine span.
+
+    Only valid for thread pools: the closure captures the coordinator's
+    tracer (unpicklable by design), and worker threads share its clock, so
+    each engine run lands as a real span on that worker's trace track.
+    Process pools instead synthesize spans on the coordinator from the
+    durations this function's plain sibling already returns.
+    """
+
+    def run(task):
+        with tracer.span(
+            "engine",
+            cat="engine",
+            proc=task.proc_name,
+            pass_label=task.pass_label,
+            engine=task.engine,
+        ):
+            return run_analysis_task(task)
+
+    return run
+
+
 class TaskPool:
     """A lazily created ``concurrent.futures`` pool with a serial fast path.
 

@@ -18,8 +18,14 @@ from repro.analysis.base import CallEffects, IntraResult
 from repro.ir.lattice import LatticeValue
 from repro.lang import ast
 from repro.lang.symbols import ProcedureSymbols
+from repro.obs import NULL_OBS, Observability
 from repro.sched.cache import CacheStats, SummaryCache, combine_key
-from repro.sched.pool import TaskPool, resolve_workers, run_analysis_task
+from repro.sched.pool import (
+    TaskPool,
+    resolve_workers,
+    run_analysis_task,
+    traced_task_runner,
+)
 from repro.sched.wavefront import WavefrontSchedule
 
 
@@ -81,25 +87,32 @@ class Scheduler:
         workers: int = 1,
         executor: str = "thread",
         cache: Optional[SummaryCache] = None,
+        obs: Optional[Observability] = None,
     ):
         self.workers = resolve_workers(workers)
         self.cache = cache
+        self.obs = obs or NULL_OBS
         self._pool = TaskPool(self.workers, executor)
         self.stats = SchedulerStats(workers=self.workers, executor=executor)
         self._wavefronts: Dict[int, WavefrontSchedule] = {}
+        self._levels_dispatched = 0
         # Baseline for per-run cache deltas: one scheduler spans one pipeline
         # run, while the cache (and its counters) outlives it.
         self._cache_baseline = cache.stats.snapshot() if cache is not None else None
 
     @classmethod
     def from_config(
-        cls, config, cache: Optional[SummaryCache] = None
+        cls,
+        config,
+        cache: Optional[SummaryCache] = None,
+        obs: Optional[Observability] = None,
     ) -> "Scheduler":
         """Build a scheduler from an :class:`ICPConfig`-shaped object."""
         return cls(
             workers=getattr(config, "workers", 1),
             executor=getattr(config, "executor", "thread"),
             cache=cache,
+            obs=obs,
         )
 
     # ------------------------------------------------------------------
@@ -128,8 +141,12 @@ class Scheduler:
 
     def run_level(self, tasks: Sequence[AnalysisTask]) -> Dict[str, IntraResult]:
         """Execute one wavefront level, consulting the cache first."""
+        obs = self.obs
+        tracer = obs.tracer
+        metrics = obs.metrics
         results: Dict[str, IntraResult] = {}
         pending: List[Tuple[AnalysisTask, Optional[str]]] = []
+        cached_count = 0
         for task in tasks:
             key = None
             if self.cache is not None and task.cacheable:
@@ -138,22 +155,101 @@ class Scheduler:
                 if cached is not None:
                     results[task.proc_name] = cached
                     self.stats.tasks_cached += 1
+                    cached_count += 1
+                    if tracer.enabled:
+                        tracer.instant(
+                            "cache-hit", cat="cache",
+                            proc=task.proc_name, pass_label=task.pass_label,
+                        )
+                    metrics.counter("cache.hits").inc()
                     continue
+                if tracer.enabled:
+                    tracer.instant(
+                        "cache-miss", cat="cache",
+                        proc=task.proc_name, pass_label=task.pass_label,
+                    )
+                metrics.counter("cache.misses").inc()
             pending.append((task, key))
 
-        outcomes = self._pool.map(
-            run_analysis_task, [task for task, _ in pending]
-        )
-        for (task, key), (intra, seconds) in zip(pending, outcomes):
+        level_index = self._levels_dispatched
+        self._levels_dispatched += 1
+        metrics.counter("sched.levels").inc()
+        metrics.counter("sched.tasks_cached").inc(cached_count)
+        metrics.counter("sched.tasks_run").inc(len(pending))
+
+        runner = run_analysis_task
+        if tracer.enabled and self._pool.kind == "thread":
+            # Worker threads share the coordinator's clock: record real
+            # engine spans on each worker's own trace track.
+            runner = traced_task_runner(tracer)
+        pass_label = tasks[0].pass_label if tasks else "?"
+        with tracer.span(
+            "wavefront-level",
+            cat="sched",
+            level=level_index,
+            pass_label=pass_label,
+            tasks=len(tasks),
+            cached=cached_count,
+            dispatched=len(pending),
+            workers=self.workers,
+        ):
+            level_started = tracer._now() if tracer.enabled else 0.0
+            outcomes = self._pool.map(runner, [task for task, _ in pending])
+        for index, ((task, key), (intra, seconds)) in enumerate(
+            zip(pending, outcomes)
+        ):
             if key is not None and self.cache is not None:
                 self.cache.store(task.slot, key, intra)
             results[task.proc_name] = intra
             self.stats.tasks_run += 1
             self.stats.analysis_seconds += seconds
+            if obs.enabled:
+                self._observe_task(task, intra, seconds, index, level_started)
         return results
 
-    def map(self, fn, payloads: Sequence) -> List:
+    def _observe_task(
+        self,
+        task: AnalysisTask,
+        intra: IntraResult,
+        seconds: float,
+        index: int,
+        level_started: float,
+    ) -> None:
+        """Feed one executed task's outcome to the observability context."""
+        obs = self.obs
+        detail = intra.detail
+        visits = getattr(detail, "visits", None)
+        ssa_size = getattr(detail, "ssa_size", None)
+        obs.profiler.record_procedure(
+            task.proc_name, seconds, ssa_size=ssa_size, visits=visits
+        )
+        metrics = obs.metrics
+        if metrics.enabled:
+            metrics.histogram("engine.task_seconds").observe(seconds)
+            if visits:
+                for key, value in visits.items():
+                    metrics.counter(f"scc.{key}").inc(value)
+        if obs.tracer.enabled and self._pool.kind == "process":
+            # Worker processes live in another clock domain: synthesize the
+            # engine span from the worker-measured duration, rebased at the
+            # level's start on a virtual worker track.
+            obs.tracer.complete(
+                "engine",
+                level_started,
+                seconds,
+                tid=f"process-worker-{index % self.workers}",
+                proc=task.proc_name,
+                pass_label=task.pass_label,
+                engine=task.engine,
+                clock="synthesized",
+            )
+
+    def map(self, fn, payloads: Sequence, label: Optional[str] = None) -> List:
         """Plain (uncached) parallel map for non-engine level work."""
+        tracer = self.obs.tracer
+        if label is not None and tracer.enabled:
+            with tracer.span(label, cat="sched", tasks=len(payloads)):
+                return self._pool.map(fn, payloads)
         return self._pool.map(fn, payloads)
 
     # ------------------------------------------------------------------
@@ -169,6 +265,17 @@ class Scheduler:
                 invalidations=current.invalidations - base.invalidations,
                 entries=current.entries,
             )
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.gauge("sched.workers").set(self.stats.workers)
+            metrics.gauge("sched.forward_levels").set(self.stats.forward_levels)
+            metrics.gauge("sched.reverse_levels").set(self.stats.reverse_levels)
+            metrics.gauge("sched.max_level_width").max(self.stats.max_level_width)
+            if self.stats.cache is not None:
+                metrics.gauge("cache.invalidations").set(
+                    self.stats.cache.invalidations
+                )
+                metrics.gauge("cache.entries").set(self.stats.cache.entries)
         self.close()
         return self.stats
 

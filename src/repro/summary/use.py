@@ -190,7 +190,7 @@ def _scheduled_use(
             tasks.append(
                 _UseTask(proc_map[proc_name], symbols[proc_name], globals_set, table)
             )
-        outcomes = scheduler.map(_run_use_task, tasks)
+        outcomes = scheduler.map(_run_use_task, tasks, label="use-reverse-level")
         for proc_name, (visible, fallback_indices) in zip(level, outcomes):
             info.use[proc_name] = visible
             if fallback_indices:

@@ -176,6 +176,47 @@ class TestFloatAblation:
         assert t2.fs_globals == 1  # gi at g's entry
 
 
+class TestZeroDenominators:
+    """Every percentage/rate property guards an empty denominator with 0.0."""
+
+    def test_pct_helper(self):
+        from repro.core.metrics import _pct
+
+        assert _pct(0, 0) == 0.0
+        assert _pct(5, 0) == 0.0
+        assert _pct(0, None) == 0.0  # missing denominator, not just zero
+        assert _pct(1, 4) == 25.0
+
+    def test_call_site_row_without_args(self):
+        from repro.core.metrics import CallSiteCandidates
+
+        row = CallSiteCandidates(name="empty")
+        assert row.imm_pct == 0.0
+        assert row.fi_pct == 0.0
+        assert row.fs_pct == 0.0
+
+    def test_propagated_row_without_formals(self):
+        from repro.core.metrics import PropagatedConstants
+
+        row = PropagatedConstants(name="empty")
+        assert row.fi_pct == 0.0
+        assert row.fs_pct == 0.0
+
+    def test_scheduling_row_without_activity(self):
+        from repro.core.metrics import SchedulingMetrics
+
+        row = SchedulingMetrics(name="empty")
+        assert row.cache_hit_rate == 0.0
+        assert row.parallel_fraction == 0.0
+
+    def test_program_without_call_args(self):
+        # A real pipeline run whose program has no call-site arguments at
+        # all: the percentage properties must not raise.
+        t1, t2 = metrics_for("proc main() { print(0); }")
+        assert t1.total_args == 0 and t1.imm_pct == 0.0
+        assert t2.total_formals == 0 and t2.fs_pct == 0.0
+
+
 class TestSchedulingMetrics:
     def test_flattens_scheduler_stats(self):
         from repro.core.metrics import scheduling_metrics

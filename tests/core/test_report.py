@@ -104,3 +104,41 @@ class TestSchedulingReport:
         assert "scheduling:" in full_report(result)
         serial = analyze(figure1_program())
         assert "scheduling:" not in full_report(serial)
+
+
+class TestObservabilityReport:
+    def _profiled(self, **config_kwargs):
+        from repro.obs import Observability
+
+        obs = Observability.create(profile=True)
+        config = ICPConfig(**config_kwargs)
+        return analyze_program(figure1_program(), config, obs=obs)
+
+    def test_section_with_scheduling_disabled(self):
+        from repro.core.report import observability_report
+
+        result = self._profiled()
+        text = observability_report(result)
+        assert "observability:" in text
+        assert "phase timings:" in text
+        assert "hot procedures" in text
+        assert "sub2" in text
+        # Serial run: no scheduling section, but profiling still reports.
+        report = full_report(result)
+        assert "scheduling:" not in report
+        assert "observability:" in report
+
+    def test_section_with_scheduling_enabled(self):
+        result = self._profiled(workers=2, cache=True)
+        report = full_report(result)
+        assert "scheduling:" in report
+        assert "observability:" in report
+        # Scheduling precedes observability, matching pipeline order.
+        assert report.index("scheduling:") < report.index("observability:")
+
+    def test_placeholder_without_profiler(self):
+        from repro.core.report import observability_report
+
+        result = analyze(figure1_program())
+        assert "not enabled" in observability_report(result)
+        assert "observability:" not in full_report(result)

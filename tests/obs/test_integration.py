@@ -1,0 +1,166 @@
+"""End-to-end observability: instrumented pipeline runs stay valid and sound."""
+
+import json
+
+from repro.bench.programs import figure1_program
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze_program
+from repro.core.metrics import absorb_pipeline_metrics
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import validate_chrome_trace
+
+
+def analyze_with(source, obs, **config_kwargs):
+    config = ICPConfig(**config_kwargs)
+    return analyze_program(source, config, obs=obs)
+
+
+#: A wide call graph: one wavefront level holds both f and g, so a
+#: multi-worker run genuinely dispatches to pool threads.
+WIDE = """\
+proc main() { call f(1); call g(2); }
+proc f(a) { print(a); }
+proc g(b) { print(b); }
+"""
+
+
+class TestObservabilityContext:
+    def test_null_context_disabled(self):
+        assert not NULL_OBS.enabled
+        assert Observability.create() is not NULL_OBS  # fresh but also off
+        assert not Observability.create().enabled
+
+    def test_any_instrument_enables(self):
+        assert Observability.create(trace=True).enabled
+        assert Observability.create(metrics=True).enabled
+        assert Observability.create(profile=True).enabled
+
+
+class TestTracedPipeline:
+    def test_serial_run_produces_valid_trace(self):
+        obs = Observability.create(trace=True)
+        analyze_with(WIDE, obs)
+        chrome = obs.tracer.to_chrome()
+        assert validate_chrome_trace(chrome) == []
+        names = {e["name"] for e in chrome["traceEvents"]}
+        # Root span, phase spans, and per-procedure engine spans all present.
+        assert {"pipeline", "icp_fs", "engine", "parse"} <= names
+
+    def test_threaded_run_nests_per_worker_track(self):
+        obs = Observability.create(trace=True)
+        analyze_with(WIDE, obs, workers=2, cache=True)
+        chrome = obs.tracer.to_chrome()
+        assert validate_chrome_trace(chrome) == []
+        events = chrome["traceEvents"]
+        worker_tids = {
+            e["tid"]
+            for e in events
+            if e["name"] == "engine"
+            and e["ph"] == "B"
+            and e["tid"] != "coordinator"
+        }
+        assert worker_tids  # the f/g level dispatched to pool threads
+        assert any(e["name"] == "wavefront-level" for e in events)
+        assert any(e["name"] == "cache-miss" for e in events)
+
+    def test_process_run_synthesizes_engine_events(self):
+        obs = Observability.create(trace=True)
+        analyze_with(WIDE, obs, workers=2, executor="process")
+        chrome = obs.tracer.to_chrome()
+        assert validate_chrome_trace(chrome) == []
+        synthesized = [
+            e
+            for e in chrome["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "engine"
+        ]
+        assert synthesized
+        assert all(
+            e["args"]["clock"] == "synthesized" for e in synthesized
+        )
+        assert all(e["tid"].startswith("process-worker-") for e in synthesized)
+
+    def test_trace_attributes_carry_procedure_names(self):
+        obs = Observability.create(trace=True)
+        analyze_with(figure1_program(), obs)
+        procs = {
+            e["args"].get("proc")
+            for e in obs.tracer.events()
+            if e["name"] == "engine" and e["ph"] == "B"
+        }
+        assert {"main", "sub1", "sub2"} <= procs
+
+
+class TestMetricsPipeline:
+    def test_live_counters_from_scheduled_run(self):
+        obs = Observability.create(metrics=True)
+        analyze_with(figure1_program(), obs, workers=2, cache=True)
+        snapshot = obs.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["sched.tasks_run"] >= 3
+        assert counters["cache.misses"] >= 3
+        assert counters["scc.flow_edges"] > 0
+        assert counters["scc.lattice_cells"] > 0
+        assert snapshot["histograms"]["engine.task_seconds"]["count"] >= 3
+        gauges = snapshot["gauges"]
+        assert gauges["sched.workers"] == 2
+
+    def test_serial_run_records_scc_counters(self):
+        obs = Observability.create(metrics=True)
+        analyze_with(figure1_program(), obs)
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["scc.ssa_names"] > 0
+        assert counters["scc.blocks_reached"] > 0
+
+    def test_absorb_covers_shape_and_phases(self):
+        obs = Observability.create(metrics=True)
+        result = analyze_with(figure1_program(), obs, workers=2, cache=True)
+        absorb_pipeline_metrics(obs.metrics, result)
+        gauges = obs.metrics.snapshot()["gauges"]
+        assert gauges["pcg.procedures"] == 3
+        assert gauges["cache.hit_rate"] == 0.0
+        assert "phase.icp_fs.seconds" in gauges
+
+    def test_absorb_backfills_scc_totals_without_live_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        result = analyze_program(figure1_program())  # uninstrumented run
+        registry = MetricsRegistry()
+        absorb_pipeline_metrics(registry, result)
+        counters = registry.snapshot()["counters"]
+        assert counters["scc.flow_edges"] > 0
+
+
+class TestProfiledPipeline:
+    def test_phase_and_procedure_profiles_recorded(self):
+        obs = Observability.create(profile=True)
+        result = analyze_with(figure1_program(), obs)
+        assert "icp_fs" in obs.profiler.phases
+        names = {p.name for p in obs.profiler.hot_procedures()}
+        assert {"main", "sub1", "sub2"} <= names
+        assert result.obs is obs
+
+    def test_scc_engine_feeds_ssa_sizes(self):
+        obs = Observability.create(profile=True)
+        analyze_with(figure1_program(), obs)
+        hot = obs.profiler.hot_procedures()
+        assert all(p.ssa_size is not None for p in hot)
+        assert all(p.visits for p in hot)
+
+
+class TestResultEquivalence:
+    def test_instrumented_results_match_uninstrumented(self):
+        plain = analyze_program(figure1_program())
+        obs = Observability.create(trace=True, metrics=True, profile=True)
+        traced = analyze_program(figure1_program(), obs=obs)
+        assert traced.fs.constant_formals() == plain.fs.constant_formals()
+        assert traced.fi.constant_formals() == plain.fi.constant_formals()
+        assert traced.summary() == plain.summary()
+
+    def test_uninstrumented_result_has_no_obs(self):
+        assert analyze_program(figure1_program()).obs is None
+
+    def test_snapshot_serializes_after_full_run(self):
+        obs = Observability.create(metrics=True, profile=True)
+        analyze_with(figure1_program(), obs, workers=2, cache=True)
+        json.dumps(obs.metrics.snapshot())
+        json.dumps(obs.profiler.snapshot())

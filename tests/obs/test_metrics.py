@@ -1,0 +1,113 @@
+"""Metrics-registry tests: instruments, snapshots, and the disabled path."""
+
+import json
+import threading
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_thread_safety(self):
+        counter = Counter("c")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+    def test_gauge_set_and_max(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+        gauge.max(5)
+        gauge.max(2)
+        assert gauge.value == 5
+
+    def test_histogram_statistics(self):
+        histogram = Histogram("h")
+        for value in (0.0002, 0.002, 0.02):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert abs(histogram.sum - 0.0222) < 1e-12
+        summary = histogram.summary()
+        assert summary["min"] == 0.0002 and summary["max"] == 0.02
+        assert sum(summary["buckets"].values()) == 3
+
+    def test_histogram_overflow_bucket(self):
+        histogram = Histogram("h", buckets=(0.5, 1.0))
+        histogram.observe(99.0)
+        assert histogram.summary()["buckets"] == {"overflow": 1}
+
+    def test_histogram_timer(self):
+        histogram = Histogram("h")
+        with histogram.time():
+            pass
+        assert histogram.count == 1
+        assert histogram.summary()["min"] >= 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_snapshot_is_sorted_and_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc(2)
+        registry.gauge("width").set(8)
+        registry.histogram("t").observe(0.01)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.first", "z.last"]
+        assert snapshot["counters"]["a.first"] == 2
+        assert snapshot["gauges"]["width"] == 8
+        assert snapshot["histograms"]["t"]["count"] == 1
+        json.dumps(snapshot)  # must not raise
+
+    def test_write_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(7)
+        path = tmp_path / "metrics.json"
+        registry.write(str(path))
+        data = json.loads(path.read_text())
+        assert data["counters"]["cache.hits"] == 7
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_noops(self):
+        a = NULL_REGISTRY.counter("x")
+        b = NULL_REGISTRY.counter("y")
+        assert a is b
+        a.inc(100)
+        assert a.value == 0
+        NULL_REGISTRY.gauge("g").set(9)
+        NULL_REGISTRY.histogram("h").observe(1.0)
+        with NULL_REGISTRY.histogram("h").time():
+            pass
+        snapshot = NULL_REGISTRY.snapshot()
+        assert snapshot == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

@@ -1,0 +1,85 @@
+"""Profiler tests: phase timings, hot-procedure ranking, and reports."""
+
+from repro.obs.profile import NULL_PROFILER, Profiler
+
+
+class TestPhases:
+    def test_phase_accumulates_wall_and_cpu(self):
+        profiler = Profiler()
+        with profiler.phase("icp_fs"):
+            sum(range(1000))
+        with profiler.phase("icp_fs"):
+            pass
+        timing = profiler.phases["icp_fs"]
+        assert timing.count == 2
+        assert timing.wall_seconds >= 0.0
+        assert timing.cpu_seconds >= 0.0
+
+    def test_phase_report_lists_each_phase(self):
+        profiler = Profiler()
+        with profiler.phase("parse"):
+            pass
+        with profiler.phase("icp_fs"):
+            pass
+        report = profiler.phase_report()
+        assert "parse" in report and "icp_fs" in report
+        assert "wall(s)" in report and "cpu(s)" in report
+
+
+class TestHotProcedures:
+    def _profiler(self):
+        profiler = Profiler()
+        profiler.record_procedure("cold", 0.001)
+        profiler.record_procedure(
+            "hot", 0.5, ssa_size=42, visits={"flow_edges": 10}
+        )
+        profiler.record_procedure("hot", 0.5, visits={"flow_edges": 5})
+        return profiler
+
+    def test_ranked_by_total_engine_seconds(self):
+        ranked = self._profiler().hot_procedures()
+        assert [p.name for p in ranked] == ["hot", "cold"]
+        hot = ranked[0]
+        assert hot.runs == 2
+        assert hot.engine_seconds == 1.0
+        assert hot.ssa_size == 42
+        assert hot.visits == {"flow_edges": 15}
+
+    def test_top_limits_rows(self):
+        assert len(self._profiler().hot_procedures(top=1)) == 1
+
+    def test_hot_report_table(self):
+        report = self._profiler().hot_report()
+        assert "hot procedures" in report
+        assert report.index("hot ") < report.index("cold")
+
+    def test_hot_report_empty(self):
+        assert "(no engine runs recorded)" in Profiler().hot_report()
+
+    def test_task_histogram_fed(self):
+        profiler = self._profiler()
+        assert profiler.task_seconds.count == 3
+
+
+class TestSnapshot:
+    def test_snapshot_covers_phases_and_procedures(self):
+        profiler = Profiler()
+        with profiler.phase("parse"):
+            pass
+        profiler.record_procedure("f", 0.01, ssa_size=3)
+        snapshot = profiler.snapshot()
+        assert snapshot["phases"]["parse"]["count"] == 1
+        assert snapshot["procedures"]["f"]["ssa_size"] == 3
+        assert snapshot["task_seconds"]["count"] == 1
+
+
+class TestDisabledProfiler:
+    def test_all_recording_is_noop(self):
+        phase = NULL_PROFILER.phase("x")
+        assert phase is NULL_PROFILER.phase("y")  # shared singleton
+        with phase:
+            pass
+        NULL_PROFILER.record_procedure("f", 1.0)
+        assert NULL_PROFILER.phases == {}
+        assert NULL_PROFILER.procedures == {}
+        assert NULL_PROFILER.task_seconds.count == 0

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -115,6 +117,80 @@ class TestScheduling:
         assert "wavefront levels" in out
 
 
+class TestDefaultSubcommand:
+    def test_bare_file_means_analyze(self, source_file, capsys):
+        assert main([source_file]) == 0
+        assert "FS constant formals" in capsys.readouterr().out
+
+    def test_bare_file_accepts_analyze_flags(self, source_file, capsys):
+        assert main([source_file, "--timings"]) == 0
+        assert "icp_fs" in capsys.readouterr().out
+
+
+class TestObservability:
+    def test_trace_artifact_is_valid_chrome_trace(
+        self, source_file, tmp_path, capsys
+    ):
+        from repro.obs.trace import validate_trace_file
+
+        out = tmp_path / "trace.json"
+        assert main(["analyze", source_file, "--trace", str(out)]) == 0
+        assert validate_trace_file(str(out)) == []
+        data = json.loads(out.read_text())
+        names = {e["name"] for e in data["traceEvents"]}
+        assert "pipeline" in names and "engine" in names
+        assert "chrome trace written" in capsys.readouterr().err
+
+    def test_trace_with_workers_stays_balanced(self, source_file, tmp_path):
+        from repro.obs.trace import validate_trace_file
+
+        out = tmp_path / "trace.json"
+        assert main(
+            ["analyze", source_file, "--trace", str(out), "--jobs", "2",
+             "--cache-stats"]
+        ) == 0
+        assert validate_trace_file(str(out)) == []
+
+    def test_metrics_json_snapshot(self, source_file, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(
+            ["analyze", source_file, "--metrics-json", str(out), "--jobs", "2",
+             "--cache-stats"]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert data["counters"]["sched.tasks_run"] >= 1
+        assert data["counters"]["cache.misses"] >= 1
+        assert "scc.flow_edges" in data["counters"]
+        assert data["gauges"]["pcg.procedures"] == 3
+        assert "engine.task_seconds" in data["histograms"]
+
+    def test_profile_prints_reports(self, source_file, capsys):
+        assert main(["analyze", source_file, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase timings:" in out
+        assert "hot procedures" in out
+        assert "sub2" in out
+
+    def test_profile_with_report_embeds_section_once(self, source_file, capsys):
+        assert main(["analyze", source_file, "--profile", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("hot procedures") == 1
+        assert "observability:" in out
+
+    def test_flags_off_output_is_identical(self, source_file, tmp_path, capsys):
+        assert main(["analyze", source_file]) == 0
+        plain = capsys.readouterr().out
+        out = tmp_path / "trace.json"
+        assert main(
+            ["analyze", source_file, "--trace", str(out), "--metrics-json",
+             str(tmp_path / "m.json"), "--profile"]
+        ) == 0
+        instrumented = capsys.readouterr().out
+        # The analysis summary itself is byte-identical; observability only
+        # appends its own sections after it.
+        assert instrumented.startswith(plain)
+
+
 class TestBench:
     def test_batched_suite_run(self, capsys):
         assert main(
@@ -123,6 +199,45 @@ class TestBench:
         out = capsys.readouterr().out
         assert "048.ora" in out and "078.swm256" in out
         assert "summary cache:" in out
+
+    def test_json_artifact(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_icp.json"
+        assert main(
+            ["bench", "048.ora", "--jobs", "2", "--cache-stats",
+             "--json", str(out)]
+        ) == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == "repro-icp/bench/v1"
+        assert data["workers"] == 2
+        assert data["totals"]["wall_seconds"] > 0.0
+        program = data["programs"]["048.ora"]
+        assert program["wall_seconds"] > 0.0
+        assert program["tasks_run"] >= 1
+        assert 0.0 <= program["cache_hit_rate"] <= 1.0
+        assert "bench results written" in capsys.readouterr().err
+
+    def test_wall_column_rendered(self, capsys):
+        assert main(["bench", "048.ora"]) == 0
+        out = capsys.readouterr().out
+        assert "wall(s)" in out
+        assert "total" in out
+
+    def test_bench_observability_artifacts(self, tmp_path, capsys):
+        from repro.obs.trace import validate_trace_file
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["bench", "048.ora", "--jobs", "2", "--cache-stats",
+             "--trace", str(trace), "--metrics-json", str(metrics)]
+        ) == 0
+        assert validate_trace_file(str(trace)) == []
+        names = {
+            e["name"] for e in json.loads(trace.read_text())["traceEvents"]
+        }
+        assert "benchmark" in names
+        data = json.loads(metrics.read_text())
+        assert data["counters"]["sched.tasks_run"] >= 1
 
     def test_unknown_benchmark_rejected(self, capsys):
         assert main(["bench", "no.such.bench"]) == 1
