@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.suite import SUITE, build_benchmark
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 
 
 @pytest.fixture(scope="session")

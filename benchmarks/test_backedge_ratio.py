@@ -13,7 +13,7 @@ flow-sensitive reasoning survive at ratio 0 and are progressively lost as
 call edges become fallback edges.
 """
 
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.lang.parser import parse_program
 
 

@@ -10,7 +10,7 @@ formals.
 """
 
 from repro.core.cloning import clone_for_constants
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.lang.parser import parse_program
 
 

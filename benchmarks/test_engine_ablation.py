@@ -10,7 +10,7 @@ code discarding is what wins the Figure-1-style constants.
 
 from repro.bench.suite import GT_SUBSET, SUITE, build_benchmark
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 
 
 def _constants_by_engine(engine: str) -> int:

@@ -5,7 +5,7 @@ the full flow-sensitive pipeline on the example.
 """
 
 from repro.bench.programs import figure1_program
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.core.jump_functions import JumpFunctionKind, jump_function_icp
 
 PAPER_FIGURE1 = {

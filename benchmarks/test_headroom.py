@@ -11,7 +11,7 @@ paper's observation) and genuinely input-dependent-but-constant values.
 """
 
 from repro.bench.suite import SUITE, build_benchmark
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.interp import Recorder, run_program
 from repro.interp.interpreter import MULTIPLE
 from repro.lang import ast

@@ -13,7 +13,7 @@ growth that the ICP avoids entirely.
 from repro.analysis.base import ConservativeEffects
 from repro.analysis.transform import transform_program
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.core.effects import SummaryEffects
 from repro.core.inlining import inline_calls, statement_count
 from repro.lang.parser import parse_program

@@ -11,7 +11,7 @@ analysis".  This bench quantifies both halves on a recursive workload:
 """
 
 from repro.core.iterative import iterative_flow_sensitive_icp
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.lang.parser import parse_program
 
 

@@ -8,7 +8,7 @@ analysis per procedure.
 """
 
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.lang.parser import parse_program
 
 

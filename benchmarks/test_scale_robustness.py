@@ -12,7 +12,7 @@ import pytest
 
 from repro.bench.suite import SUITE, build_benchmark
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.core.metrics import call_site_candidates, propagated_constants
 
 SCALED = ("013.spice2g6", "039.wave5", "030.matrix300")

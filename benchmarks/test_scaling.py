@@ -12,7 +12,7 @@ import time
 
 from repro.bench.generator import GeneratorConfig, generate_program
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 
 
 def _program_of_size(n_procs: int):

@@ -17,7 +17,7 @@ import statistics
 from repro.bench.suite import SUITE, build_benchmark
 from repro.bench.tables import timing_rows
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.core.flow_insensitive import flow_insensitive_icp
 from repro.core.flow_sensitive import flow_sensitive_icp
 

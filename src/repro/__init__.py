@@ -15,20 +15,34 @@ This package is a full, from-scratch reproduction of the paper's system:
 - :mod:`repro.interp` — a reference interpreter used to validate soundness.
 - :mod:`repro.bench` — paper programs, workload generator, and table harness.
 
-Quickstart::
+The stable public surface is :mod:`repro.api` (re-exported here)::
 
-    from repro import analyze_program
-    report = analyze_program(source_text)
-    print(report.summary())
+    from repro.api import analyze, AnalysisSession, ICPConfig
+    result = analyze(source_text)
+    print(result.summary())
+
+    session = AnalysisSession(source_text)
+    session.analyze()
+    session.update("helper", new_helper_source)
+    result = session.analyze()   # re-analyzes only the affected PCG region
 """
 
-from repro.core.driver import CompilationPipeline, analyze_program
-from repro.core.config import ICPConfig
-from repro.lang.parser import parse_program
+from repro.api import (
+    AnalysisSession,
+    CompilationPipeline,
+    ICPConfig,
+    PipelineResult,
+    analyze,
+    analyze_program,
+    parse_program,
+)
 
 __all__ = [
+    "AnalysisSession",
     "CompilationPipeline",
     "ICPConfig",
+    "PipelineResult",
+    "analyze",
     "analyze_program",
     "parse_program",
 ]

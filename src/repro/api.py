@@ -1,0 +1,39 @@
+"""The stable public surface of the reproduction.
+
+Everything a consumer needs lives here; the internal package layout may
+shift between releases, this module's names will not (see ``docs/API.md``
+for the compatibility contract):
+
+- :func:`analyze` — one-shot analysis of a MiniF program.
+- :class:`AnalysisSession` — long-lived incremental re-analysis over edits.
+- :class:`ICPConfig` — the pipeline's configuration (with validated
+  :meth:`~ICPConfig.from_dict` / :meth:`~ICPConfig.to_dict`).
+- :class:`PipelineResult` — what both entry points return.
+- :class:`CompilationPipeline` — the underlying phase runner, for callers
+  that want to share a summary cache across :meth:`~CompilationPipeline.run`
+  calls without session semantics.
+- :func:`parse_program` — MiniF text to AST, for pre-parsing or inspection.
+
+``analyze_program`` is the historical name of :func:`analyze` and remains a
+quiet alias here; importing it from ``repro.core.driver`` directly warns.
+"""
+
+from repro.core.config import ICPConfig
+from repro.core.driver import CompilationPipeline, PipelineResult, analyze
+from repro.lang.parser import parse_program
+from repro.session import AnalysisSession, SessionStats
+
+#: Backwards-compatible alias for :func:`analyze` (no deprecation warning
+#: through this module — the facade is the supported import path).
+analyze_program = analyze
+
+__all__ = [
+    "analyze",
+    "analyze_program",
+    "AnalysisSession",
+    "SessionStats",
+    "ICPConfig",
+    "PipelineResult",
+    "CompilationPipeline",
+    "parse_program",
+]

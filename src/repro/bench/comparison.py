@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.core.driver import analyze
 from repro.core.iterative import iterative_flow_sensitive_icp
 from repro.core.jump_functions import JumpFunctionKind, jump_function_icp
 from repro.ir.lattice import LatticeValue
@@ -62,7 +62,7 @@ def compare_methods(
 ) -> MethodComparison:
     """Run all seven methods over ``source`` and collect their claims."""
     config = config or ICPConfig()
-    result = analyze_program(source, config)
+    result = analyze(source, config)
     comparison = MethodComparison(name=name)
     comparison.total_formals = sum(
         len(result.symbols[proc].formals) for proc in result.pcg.nodes

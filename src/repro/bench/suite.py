@@ -414,8 +414,17 @@ def analyze_suite(
     and with ``config.cache`` set, the procedure-summary cache persists
     across the whole batch — re-analyzing the suite on the same pipeline is
     then almost entirely cache hits.
+
+    ``config`` may also be a plain mapping; it goes through the validated
+    :meth:`~repro.core.config.ICPConfig.from_dict` path.
     """
+    from collections.abc import Mapping
+
+    from repro.core.config import ICPConfig
     from repro.core.driver import CompilationPipeline
+
+    if isinstance(config, Mapping):
+        config = ICPConfig.from_dict(config)
 
     # Dedupe while keeping order: results are keyed by name, so a repeated
     # request would silently overwrite (and skew the batch totals).

@@ -24,7 +24,7 @@ from repro.bench.suite import (
     build_benchmark,
 )
 from repro.core.config import ICPConfig
-from repro.core.driver import PipelineResult, analyze_program
+from repro.core.driver import PipelineResult, analyze
 from repro.core.effects import SummaryEffects
 from repro.core.jump_functions import JumpFunctionKind, jump_function_icp
 from repro.core.metrics import (
@@ -48,7 +48,7 @@ def pipeline_for(
     if cached is not None:
         return cached
     program = build_benchmark(profile)
-    result = analyze_program(program, config)
+    result = analyze(program, config)
     _PIPELINE_CACHE[key] = result
     return result
 
@@ -264,7 +264,7 @@ def timing_rows(config: Optional[ICPConfig] = None) -> List[TimingRow]:
     rows: List[TimingRow] = []
     for name, profile in SUITE.items():
         program = build_benchmark(profile)
-        result = analyze_program(program, config)
+        result = analyze(program, config)
         timings = result.timings
         base = sum(
             seconds

@@ -224,6 +224,75 @@ class PCG:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class PCGDelta:
+    """Structural difference between two PCGs over the same entry.
+
+    Edge keys embed the fallback classification on both sides: RPO (and with
+    it the fallback/rev-fallback status of an edge) is a *global* property of
+    the graph, so a local edit elsewhere can silently flip an untouched
+    procedure's edges between "analyzed caller" and "FI fallback".  Such
+    flips change the procedure's entry environment (or reverse-traversal
+    summary source) and must surface as a difference here.
+    """
+
+    #: Procedures reachable in the new PCG but not the old.
+    new_procs: FrozenSet[str]
+    #: Procedures reachable in the old PCG but not the new.
+    dropped_procs: FrozenSet[str]
+    #: Procedures (in both) whose incoming edge list — callers, site indices,
+    #: or per-edge fallback flags — changed.
+    incoming_changed: FrozenSet[str]
+    #: Procedures (in both) whose outgoing edge list — callees, site indices,
+    #: or per-edge reverse-fallback flags — changed.
+    outgoing_changed: FrozenSet[str]
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.new_procs
+            or self.dropped_procs
+            or self.incoming_changed
+            or self.outgoing_changed
+        )
+
+
+def _incoming_key(pcg: PCG, proc: str) -> Tuple:
+    return tuple(
+        (edge.caller, edge.site.index, edge.callee, edge in pcg.fallback_edges)
+        for edge in pcg.edges_into(proc)
+    )
+
+
+def _outgoing_key(pcg: PCG, proc: str) -> Tuple:
+    position = pcg.rpo_position(proc)
+    return tuple(
+        (edge.site.index, edge.callee, pcg.rpo_position(edge.callee) <= position)
+        for edge in pcg.edges_out_of(proc)
+    )
+
+
+def diff_pcg(old: PCG, new: PCG) -> PCGDelta:
+    """Diff two PCGs procedure by procedure (incremental re-analysis input)."""
+    old_nodes = set(old.nodes)
+    new_nodes = set(new.nodes)
+    common = old_nodes & new_nodes
+    return PCGDelta(
+        new_procs=frozenset(new_nodes - old_nodes),
+        dropped_procs=frozenset(old_nodes - new_nodes),
+        incoming_changed=frozenset(
+            proc
+            for proc in common
+            if _incoming_key(old, proc) != _incoming_key(new, proc)
+        ),
+        outgoing_changed=frozenset(
+            proc
+            for proc in common
+            if _outgoing_key(old, proc) != _outgoing_key(new, proc)
+        ),
+    )
+
+
 def build_pcg(
     program: ast.Program,
     symbols: Optional[Dict[str, ProcedureSymbols]] = None,

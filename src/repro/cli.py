@@ -7,12 +7,14 @@ Subcommands::
     run FILE       execute the program with the reference interpreter
     tables [N..]   regenerate the paper's tables over the synthetic suite
     bench [NAME..] analyze the synthetic suite in one batched pipeline run
+    watch FILE     keep an analysis session alive, re-analyzing on change
 
 A bare ``repro-icp FILE`` (no subcommand) is shorthand for
 ``repro-icp analyze FILE``.
 
-Common analysis flags include ``--jobs N`` (wavefront-parallel analysis
-over N workers; 0 means all cores) and ``--cache-stats`` (enable the
+Analysis flags (shared by analyze/graph/optimize/bench/watch through one
+argparse parent) include ``--jobs N`` (wavefront-parallel analysis over N
+workers; 0 means all cores) and ``--cache-stats`` (enable the
 procedure-summary cache and print its hit/miss/invalidation counters).
 Observability flags: ``--trace OUT.json`` exports a Chrome
 ``trace_event`` file (open in ``chrome://tracing`` or Perfetto),
@@ -24,11 +26,12 @@ table.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
-from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import ICPConfig, analyze
 from repro.errors import ReproError
 from repro.interp import run_program
 from repro.lang.parser import parse_program
@@ -61,13 +64,17 @@ def _job_count(value: str) -> int:
 
 
 def _config_from(args: argparse.Namespace) -> ICPConfig:
-    return ICPConfig(
-        propagate_floats=not args.no_floats,
-        propagate_returns=args.returns or args.exit_values,
-        propagate_exit_values=args.exit_values,
-        engine=args.engine,
-        workers=args.jobs,
-        cache=args.cache_stats,
+    # Funnel through the one validated construction path (from_dict), the
+    # same one sessions and bench harnesses use.
+    return ICPConfig.from_dict(
+        {
+            "propagate_floats": not args.no_floats,
+            "propagate_returns": args.returns or args.exit_values,
+            "propagate_exit_values": args.exit_values,
+            "engine": args.engine,
+            "workers": args.jobs,
+            "cache": args.cache_stats,
+        }
     )
 
 
@@ -112,7 +119,7 @@ def _emit_observability(
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
     obs = _obs_from(args)
-    result = analyze_program(_load(args.file), _config_from(args), obs=obs)
+    result = analyze(_load(args.file), _config_from(args), obs=obs)
     if args.report:
         from repro.core.report import full_report
 
@@ -137,7 +144,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_graph(args: argparse.Namespace) -> int:
     from repro.core.report import pcg_to_dot
 
-    result = analyze_program(_load(args.file), _config_from(args))
+    result = analyze(_load(args.file), _config_from(args))
     print(pcg_to_dot(result))
     return 0
 
@@ -278,6 +285,91 @@ def _write_bench_json(path: str, args: argparse.Namespace, run) -> None:
         handle.write("\n")
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Keep a session alive, re-analyzing the file whenever it changes."""
+    from repro.api import AnalysisSession
+    from repro.core.report import session_report
+
+    obs = _obs_from(args)
+    session = AnalysisSession(_load(args.file), _config_from(args), obs=obs)
+
+    def analyze_once() -> None:
+        result = session.analyze()
+        print(result.summary())
+        print(session_report(session))
+        sys.stdout.flush()
+
+    analyze_once()
+    last_mtime = os.stat(args.file).st_mtime
+    iterations = 0
+    try:
+        while not args.max_iterations or iterations < args.max_iterations:
+            time.sleep(args.interval)
+            iterations += 1
+            try:
+                mtime = os.stat(args.file).st_mtime
+            except OSError as error:
+                print(f"watch: {error}", file=sys.stderr)
+                continue
+            if mtime == last_mtime:
+                continue
+            last_mtime = mtime
+            try:
+                changed = session.sync(_load(args.file))
+            except (ReproError, ValueError, OSError) as error:
+                print(f"watch: {error}", file=sys.stderr)
+                continue
+            if not changed:
+                print("watch: no procedure changed")
+                continue
+            print(f"watch: {changed} procedure(s) changed, re-analyzing")
+            try:
+                analyze_once()
+            except (ReproError, ValueError) as error:
+                print(f"watch: {error}", file=sys.stderr)
+    except KeyboardInterrupt:
+        pass
+    if obs is not None:
+        _emit_observability(args, obs, [session.result])
+    return 0
+
+
+def _analysis_parent() -> argparse.ArgumentParser:
+    """The analysis flags every analyzing subcommand shares."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--no-floats", action="store_true",
+                        help="disable floating-point constant propagation")
+    parent.add_argument("--returns", action="store_true",
+                        help="enable the return-constant extension")
+    parent.add_argument("--exit-values", action="store_true",
+                        help="also propagate constant exit values of modified "
+                             "formals and globals (implies --returns)")
+    parent.add_argument("--engine", choices=("scc", "simple"), default="scc",
+                        help="intraprocedural engine (default: scc)")
+    parent.add_argument("--jobs", type=_job_count, default=1, metavar="N",
+                        help="worker pool size for wavefront-parallel "
+                             "analysis (default: 1 = serial; 0 = all cores)")
+    parent.add_argument("--cache-stats", action="store_true",
+                        help="enable the procedure-summary cache and report "
+                             "its hit/miss/invalidation counters")
+    return parent
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """The observability flags (--trace/--metrics-json/--profile)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--trace", metavar="OUT.json",
+                        help="export a Chrome trace_event file of the run "
+                             "(open in chrome://tracing or Perfetto)")
+    parent.add_argument("--metrics-json", metavar="OUT.json", dest="metrics_json",
+                        help="write a JSON snapshot of the unified metrics "
+                             "registry (scheduler, cache, SCC counters)")
+    parent.add_argument("--profile", action="store_true",
+                        help="collect per-phase wall/CPU timings and print "
+                             "the hot-procedure report")
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-icp",
@@ -287,50 +379,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _analysis_parent()
+    obs_flags = _obs_parent()
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--no-floats", action="store_true",
-                       help="disable floating-point constant propagation")
-        p.add_argument("--returns", action="store_true",
-                       help="enable the return-constant extension")
-        p.add_argument("--exit-values", action="store_true",
-                       help="also propagate constant exit values of modified "
-                            "formals and globals (implies --returns)")
-        p.add_argument("--engine", choices=("scc", "simple"), default="scc",
-                       help="intraprocedural engine (default: scc)")
-        p.add_argument("--jobs", type=_job_count, default=1, metavar="N",
-                       help="worker pool size for wavefront-parallel "
-                            "analysis (default: 1 = serial; 0 = all cores)")
-        p.add_argument("--cache-stats", action="store_true",
-                       help="enable the procedure-summary cache and report "
-                            "its hit/miss/invalidation counters")
+    analyze_p = sub.add_parser("analyze", parents=[common, obs_flags],
+                               help="report interprocedural constants")
+    analyze_p.add_argument("file")
+    analyze_p.add_argument("--timings", action="store_true")
+    analyze_p.add_argument("--report", action="store_true",
+                           help="detailed per-procedure report")
+    analyze_p.set_defaults(func=_cmd_analyze)
 
-    def obs_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--trace", metavar="OUT.json",
-                       help="export a Chrome trace_event file of the run "
-                            "(open in chrome://tracing or Perfetto)")
-        p.add_argument("--metrics-json", metavar="OUT.json", dest="metrics_json",
-                       help="write a JSON snapshot of the unified metrics "
-                            "registry (scheduler, cache, SCC counters)")
-        p.add_argument("--profile", action="store_true",
-                       help="collect per-phase wall/CPU timings and print "
-                            "the hot-procedure report")
-
-    analyze = sub.add_parser("analyze", help="report interprocedural constants")
-    analyze.add_argument("file")
-    analyze.add_argument("--timings", action="store_true")
-    analyze.add_argument("--report", action="store_true",
-                         help="detailed per-procedure report")
-    common(analyze)
-    obs_flags(analyze)
-    analyze.set_defaults(func=_cmd_analyze)
-
-    graph = sub.add_parser("graph", help="print the PCG as Graphviz DOT")
+    graph = sub.add_parser("graph", parents=[common],
+                           help="print the PCG as Graphviz DOT")
     graph.add_argument("file")
-    common(graph)
     graph.set_defaults(func=_cmd_graph)
 
-    optimize = sub.add_parser("optimize", help="print the transformed program")
+    optimize = sub.add_parser("optimize", parents=[common],
+                              help="print the transformed program")
     optimize.add_argument("file")
     optimize.add_argument("--clone", action="store_true",
                           help="clone procedures whose sites disagree on constants")
@@ -338,7 +404,6 @@ def build_parser() -> argparse.ArgumentParser:
                           help="inline small leaf procedures first")
     optimize.add_argument("--no-sweep", action="store_true",
                           help="keep dead assignments after substitution")
-    common(optimize)
     optimize.set_defaults(func=_cmd_optimize)
 
     run = sub.add_parser("run", help="execute with the reference interpreter")
@@ -352,7 +417,8 @@ def build_parser() -> argparse.ArgumentParser:
     tables.set_defaults(func=_cmd_tables)
 
     bench = sub.add_parser(
-        "bench", help="analyze the synthetic suite in one batched run"
+        "bench", parents=[common, obs_flags],
+        help="analyze the synthetic suite in one batched run",
     )
     bench.add_argument("names", nargs="*", metavar="NAME",
                        help="benchmark names (default: the whole suite)")
@@ -361,15 +427,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", metavar="OUT.json",
                        help="write machine-readable bench results "
                             "(e.g. BENCH_icp.json) for cross-PR tracking")
-    common(bench)
-    obs_flags(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    watch = sub.add_parser(
+        "watch", parents=[common, obs_flags],
+        help="watch a file, re-analyzing incrementally on change",
+    )
+    watch.add_argument("file")
+    watch.add_argument("--interval", type=float, default=0.5, metavar="SECONDS",
+                       help="polling interval (default: 0.5)")
+    watch.add_argument("--max-iterations", type=int, default=0, metavar="N",
+                       help="stop after N polls (default: 0 = run until ^C)")
+    watch.set_defaults(func=_cmd_watch)
     return parser
 
 
 #: Subcommand names; a leading argument that is none of these (and not a
 #: flag) is treated as a file to analyze.
-_SUBCOMMANDS = ("analyze", "graph", "optimize", "run", "tables", "bench")
+_SUBCOMMANDS = ("analyze", "graph", "optimize", "run", "tables", "bench", "watch")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -15,7 +15,11 @@
 
 from repro.core.cloning import CloningResult, clone_for_constants
 from repro.core.config import ICPConfig
-from repro.core.driver import CompilationPipeline, PipelineResult, analyze_program
+from repro.core.driver import CompilationPipeline, PipelineResult, analyze
+
+#: Historical name; kept importable from here without a warning (importing
+#: it from ``repro.core.driver`` itself is what deprecates).
+analyze_program = analyze
 from repro.core.flow_insensitive import FIResult, flow_insensitive_icp
 from repro.core.flow_sensitive import FSResult, flow_sensitive_icp
 from repro.core.inlining import InlineResult, inline_calls
@@ -44,6 +48,7 @@ __all__ = [
     "PipelineResult",
     "PropagatedConstants",
     "ReturnsResult",
+    "analyze",
     "analyze_program",
     "call_site_candidates",
     "clone_for_constants",

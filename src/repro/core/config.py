@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Mapping
 
 from repro.ir.lattice import BOTTOM, LatticeValue
 
@@ -54,6 +55,43 @@ class ICPConfig:
     workers: int = 1
     executor: str = "thread"
     cache: bool = False
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ICPConfig":
+        """Build a validated config from a plain mapping.
+
+        The one construction path shared by the CLI, ``bench.suite``, and
+        analysis sessions.  Unknown keys raise ``ValueError`` (catching
+        typos like ``worker`` early), as do out-of-domain values for the
+        enumerated knobs.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ICPConfig keys: {unknown}; known keys: {sorted(known)}"
+            )
+        config = cls(**dict(data))
+        if config.engine not in ("scc", "simple"):
+            raise ValueError(
+                f"engine must be 'scc' or 'simple', got {config.engine!r}"
+            )
+        if config.executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {config.executor!r}"
+            )
+        if not isinstance(config.workers, int) or config.workers < 0:
+            raise ValueError(
+                f"workers must be an int >= 0 (0 = all cores), "
+                f"got {config.workers!r}"
+            )
+        if not config.entry or not isinstance(config.entry, str):
+            raise ValueError(f"entry must be a procedure name, got {config.entry!r}")
+        return config
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The mapping form of this config; ``from_dict`` round-trips it."""
+        return asdict(self)
 
     def admit_value(self, value) -> bool:
         """May this concrete constant cross a procedure boundary?"""

@@ -304,7 +304,7 @@ class CompilationPipeline:
         )
 
 
-def analyze_program(
+def analyze(
     source: Union[str, ast.Program],
     config: Optional[ICPConfig] = None,
     run_transform: bool = False,
@@ -314,3 +314,19 @@ def analyze_program(
     return CompilationPipeline(config, obs=obs).run(
         source, run_transform=run_transform
     )
+
+
+def __getattr__(name: str):
+    # PEP 562 shim: the historical name keeps working when imported from
+    # this module directly, but steers callers to the stable facade.
+    if name == "analyze_program":
+        import warnings
+
+        warnings.warn(
+            "importing analyze_program from repro.core.driver is deprecated; "
+            "use `from repro.api import analyze` instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return analyze
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

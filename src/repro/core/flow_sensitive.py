@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.analysis.base import CallEffects, IntraEngine, IntraResult
 from repro.analysis.scc import SCCEngine
@@ -99,6 +99,22 @@ class FSResult:
         return len(self.fallback_edges) / len(pcg.edges)
 
 
+@dataclass(frozen=True)
+class FSReuse:
+    """Carry-over from a previous FS solution for incremental re-analysis.
+
+    ``clean`` names the procedures proven outside the dirty region: their
+    previous per-procedure results (intra tables, entry environments,
+    reachability) are copied verbatim instead of re-running — or even
+    fingerprinting — the intraprocedural engine.  Correctness rests on the
+    dirty-region computation being an over-approximation of every procedure
+    whose analysis inputs could have changed (see ``repro.session.dirty``).
+    """
+
+    previous: FSResult
+    clean: FrozenSet[str]
+
+
 def make_engine(config: ICPConfig) -> IntraEngine:
     """Instantiate the configured intraprocedural engine."""
     if config.engine == "scc":
@@ -119,6 +135,7 @@ def flow_sensitive_icp(
     engine: Optional[IntraEngine] = None,
     effects: Optional[CallEffects] = None,
     scheduler: Optional[Scheduler] = None,
+    reuse: Optional[FSReuse] = None,
 ) -> FSResult:
     """Run the Figure 4 algorithm and return its solution.
 
@@ -143,10 +160,16 @@ def flow_sensitive_icp(
     proc_map = program.procedure_map()
     analyzed: Set[str] = set()
 
+    if reuse is not None and (scheduler is None or not scheduler.engaged):
+        raise ValueError(
+            "incremental reuse requires an engaged scheduler "
+            "(workers > 1 or a summary cache)"
+        )
+
     if scheduler is not None and scheduler.engaged:
         _scheduled_forward(
             program, symbols, pcg, modref, aliases, fi, config,
-            result, effects, proc_map, scheduler,
+            result, effects, proc_map, scheduler, reuse,
         )
         return result
 
@@ -205,15 +228,22 @@ def _scheduled_forward(
     effects: CallEffects,
     proc_map: Dict[str, ast.Procedure],
     scheduler: Scheduler,
+    reuse: Optional[FSReuse] = None,
 ) -> None:
     """One wavefront per dependency level, entry environments built between.
 
     Entry environments are constructed on the coordinating thread (they
     mutate the shared result tables); only the engine analyses — the
     expensive part — are dispatched to workers.
+
+    With ``reuse``, procedures in the clean set copy their previous results
+    instead of being fingerprinted or dispatched at all; entry environments
+    for *dirty* procedures still read the copied tables, so a clean caller
+    feeds its callees exactly the values it fed them last run.
     """
     wavefront = scheduler.wavefront(pcg)
     analyzed: Set[str] = set()
+    clean: FrozenSet[str] = reuse.clean if reuse is not None else frozenset()
     config_fp = config_fingerprint(
         config.engine, config.propagate_floats, program.global_names, "fs"
     )
@@ -222,6 +252,14 @@ def _scheduled_forward(
     for level in wavefront.forward_levels:
         tasks: List[AnalysisTask] = []
         for proc_name in level:
+            if proc_name in clean:
+                _copy_previous(
+                    proc_name, reuse.previous, result, symbols, program,
+                    pcg, modref,
+                )
+                analyzed.add(proc_name)
+                scheduler.stats.tasks_reused += 1
+                continue
             proc_symbols = symbols[proc_name]
             entry_env = _build_entry_env(
                 proc_name, pcg.rpo_position(proc_name), proc_symbols,
@@ -247,6 +285,8 @@ def _scheduled_forward(
                     fingerprints=fingerprints,
                 )
             )
+        if not tasks:
+            continue  # every level member was clean: nothing to dispatch
         outcomes = scheduler.run_level(tasks)
         for task in tasks:
             result.intra[task.proc_name] = outcomes[task.proc_name]
@@ -288,6 +328,39 @@ def _scheduled_forward(
             )
         ),
     )
+
+
+def _copy_previous(
+    proc_name: str,
+    previous: FSResult,
+    result: FSResult,
+    symbols: Dict[str, ProcedureSymbols],
+    program: ast.Program,
+    pcg: PCG,
+    modref: ModRefInfo,
+) -> None:
+    """Carry one clean procedure's previous solution into ``result``.
+
+    The dirty-region computation guarantees the copied keys exist: a
+    procedure whose formal list, referenced-global set, or reachability
+    could have changed is never classified clean (``repro.session`` also
+    demotes procedures with incomplete previous tables defensively).
+    """
+    result.intra[proc_name] = previous.intra[proc_name]
+    if proc_name in previous.fs_reachable:
+        result.fs_reachable.add(proc_name)
+    if proc_name == pcg.entry:
+        # The serial path records no entry formals for the root procedure
+        # (its imaginary call carries block-data globals only).
+        global_names = list(program.initial_globals())
+    else:
+        for formal in symbols[proc_name].formals:
+            key = (proc_name, formal)
+            result.entry_formals[key] = previous.entry_formals[key]
+        global_names = sorted(modref.ref_globals(proc_name))
+    for name in global_names:
+        key = (proc_name, name)
+        result.entry_globals[key] = previous.entry_globals[key]
 
 
 def _reordered(table: Dict, key_order) -> Dict:

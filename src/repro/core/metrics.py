@@ -93,6 +93,7 @@ class SchedulingMetrics:
     max_level_width: int = 0
     tasks_run: int = 0
     tasks_cached: int = 0
+    tasks_reused: int = 0
     analysis_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -101,7 +102,7 @@ class SchedulingMetrics:
 
     @property
     def tasks_total(self) -> int:
-        return self.tasks_run + self.tasks_cached
+        return self.tasks_run + self.tasks_cached + self.tasks_reused
 
     @property
     def cache_hit_rate(self) -> float:
@@ -130,6 +131,7 @@ def scheduling_metrics(
     row.max_level_width = sched.max_level_width
     row.tasks_run = sched.tasks_run
     row.tasks_cached = sched.tasks_cached
+    row.tasks_reused = sched.tasks_reused
     row.analysis_seconds = sched.analysis_seconds
     if sched.cache is not None:
         row.cache_hits = sched.cache.hits
@@ -193,6 +195,29 @@ def absorb_pipeline_metrics(registry, result) -> None:
                     totals[key] = totals.get(key, 0) + value
         for key, value in totals.items():
             registry.counter(f"scc.{key}").inc(value)
+
+
+def absorb_session_metrics(registry, session, prefix: str = "session") -> None:
+    """Fold an :class:`~repro.session.AnalysisSession`'s counters into a
+    metrics registry.
+
+    Sessions already record live per-analysis metrics (``session.dirty``,
+    ``session.reuse_rate``) when their observability context has metrics
+    enabled; this absorbs the lifetime aggregates so a registry snapshot
+    taken at the *end* of an edit workload carries the whole history.  Pass
+    a distinct ``prefix`` per session when absorbing several into one
+    registry (the edit-workload harness names them after their benchmarks).
+    """
+    stats = session.stats
+    registry.gauge(f"{prefix}.edits_total").set(stats.edits)
+    registry.gauge(f"{prefix}.analyses_total").set(stats.analyses)
+    registry.gauge(f"{prefix}.total_engine_runs").set(stats.total_engine_runs)
+    registry.gauge(f"{prefix}.total_reused").set(stats.total_reused)
+    registry.gauge(f"{prefix}.last_reuse_rate").set(stats.reuse_rate)
+    cache = session.cache.stats
+    registry.gauge(f"{prefix}.cache_hits").set(cache.hits)
+    registry.gauge(f"{prefix}.cache_misses").set(cache.misses)
+    registry.gauge(f"{prefix}.cache_evictions").set(cache.evictions)
 
 
 def call_site_candidates(

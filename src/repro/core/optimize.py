@@ -23,7 +23,7 @@ from repro.analysis.dce import eliminate_dead_assignments
 from repro.callgraph.pcg import build_pcg
 from repro.core.cloning import clone_for_constants
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.core.driver import analyze
 from repro.core.inlining import inline_calls
 from repro.lang import ast
 from repro.lang.parser import parse_program
@@ -69,7 +69,7 @@ def optimize_program(
     result = OptimizeResult(program=program)
 
     if clone:
-        analyzed = analyze_program(program, config)
+        analyzed = analyze(program, config)
         cloning = clone_for_constants(analyzed, config)
         result.clones_created = cloning.total_clones
         program = cloning.program
@@ -79,7 +79,7 @@ def optimize_program(
         result.calls_inlined = inlined.inlined_calls
         program = inlined.program
 
-    pipeline = analyze_program(program, config, run_transform=True)
+    pipeline = analyze(program, config, run_transform=True)
     assert pipeline.transform is not None
     result.substitutions = pipeline.transform.total_substitutions
     result.folds = pipeline.transform.total_folds

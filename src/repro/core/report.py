@@ -88,7 +88,8 @@ def scheduling_report(result: PipelineResult) -> str:
         f"  workers: {sched.workers} ({sched.executor} executor)",
         f"  wavefront levels: {sched.forward_levels} forward, "
         f"{sched.reverse_levels} reverse (max width {sched.max_level_width})",
-        f"  analyses: {sched.tasks_run} run, {sched.tasks_cached} cached "
+        f"  analyses: {sched.tasks_run} run, {sched.tasks_cached} cached, "
+        f"{sched.tasks_reused} reused "
         f"({sched.analysis_seconds:.6f}s engine time)",
     ]
     if sched.cache is not None:
@@ -123,8 +124,16 @@ def _indent(text: str, by: str = "  ") -> str:
     return "\n".join(by + line for line in text.splitlines())
 
 
-def full_report(result: PipelineResult) -> str:
-    """Report every reachable procedure, in call-graph order."""
+def analysis_report(result: PipelineResult) -> str:
+    """The deterministic analysis portion of the report.
+
+    A pure function of *what the analysis concluded* — per-procedure entry
+    constants, summaries, call-site facts, constant returns — with no
+    scheduling counters, cache statistics, timings, or profiling.  Two runs
+    over the same program under the same configuration produce byte-identical
+    text regardless of worker count, cache warmth, or incremental reuse;
+    the differential suite compares sessions against cold runs with it.
+    """
     parts: List[str] = [
         "=" * 64,
         "interprocedural constant propagation report",
@@ -145,6 +154,33 @@ def full_report(result: PipelineResult) -> str:
             for proc, table in sorted(exits.items()):
                 rendered = {var: _fmt(v) for var, v in table.items()}
                 parts.append(f"  {proc}: {rendered}")
+    return "\n".join(parts)
+
+
+def session_report(session) -> str:
+    """Edit/reuse counters of an :class:`~repro.session.AnalysisSession`."""
+    stats = session.stats
+    lines = [
+        "session:",
+        f"  edits: {stats.edits}; analyses: {stats.analyses}",
+        f"  last analysis: {stats.last_procs} procedures, "
+        f"{stats.last_dirty} dirty, {stats.last_engine_runs} engine runs, "
+        f"{stats.last_reused} reused, {stats.last_cached} cached "
+        f"(reuse rate {stats.reuse_rate:.0%})",
+        f"  lifetime: {stats.total_engine_runs} engine runs, "
+        f"{stats.total_reused} reused",
+    ]
+    cache = session.cache.stats
+    lines.append(
+        f"  summary cache: {cache.hits} hits, {cache.misses} misses, "
+        f"{cache.evictions} evictions ({cache.entries} entries)"
+    )
+    return "\n".join(lines)
+
+
+def full_report(result: PipelineResult) -> str:
+    """Report every reachable procedure, in call-graph order."""
+    parts: List[str] = [analysis_report(result)]
     if result.sched is not None and (
         result.sched.workers > 1 or result.sched.cache is not None
     ):

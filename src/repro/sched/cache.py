@@ -39,6 +39,9 @@ class CacheStats:
     #: re-analyses forced by an actual input change.
     invalidations: int = 0
     entries: int = 0
+    #: Entries garbage-collected by :meth:`SummaryCache.evict_procs` after a
+    #: procedure was removed or rewritten in a long-lived session.
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -50,7 +53,10 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.invalidations, self.entries)
+        return CacheStats(
+            self.hits, self.misses, self.invalidations, self.entries,
+            self.evictions,
+        )
 
 
 class SummaryCache:
@@ -83,6 +89,29 @@ class SummaryCache:
             self.stats.entries += 1
         self._entries[key] = value
         self._slot_keys[slot] = key
+
+    def evict_procs(self, names: Iterable[str]) -> int:
+        """Drop every slot for the named procedures, GC orphaned entries.
+
+        PCG-edge-aware invalidation for session edits: a removed (or
+        rewritten) procedure's slots go away immediately, and any memoized
+        result no longer referenced by a surviving slot is reclaimed rather
+        than accumulating for the lifetime of the session.  Returns the
+        number of entries reclaimed.
+        """
+        doomed = set(names)
+        self._slot_keys = {
+            slot: key
+            for slot, key in self._slot_keys.items()
+            if slot[1] not in doomed
+        }
+        live_keys = set(self._slot_keys.values())
+        reclaimed = [key for key in self._entries if key not in live_keys]
+        for key in reclaimed:
+            del self._entries[key]
+        self.stats.evictions += len(reclaimed)
+        self.stats.entries = len(self._entries)
+        return len(reclaimed)
 
     def clear(self) -> None:
         self._entries.clear()

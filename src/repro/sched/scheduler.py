@@ -70,6 +70,9 @@ class SchedulerStats:
     tasks_run: int = 0
     #: Analyses skipped because the cache already held their result.
     tasks_cached: int = 0
+    #: Analyses skipped *before* reaching the cache because an incremental
+    #: session proved the procedure clean (outside the dirty region).
+    tasks_reused: int = 0
     #: Summed engine seconds across workers (CPU time, not wall clock).
     analysis_seconds: float = 0.0
     cache: Optional[CacheStats] = None
@@ -77,6 +80,14 @@ class SchedulerStats:
     @property
     def tasks_total(self) -> int:
         return self.tasks_run + self.tasks_cached
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of analyses served without an engine run (cache + clean)."""
+        total = self.tasks_run + self.tasks_cached + self.tasks_reused
+        if not total:
+            return 0.0
+        return (self.tasks_cached + self.tasks_reused) / total
 
 
 class Scheduler:
@@ -264,9 +275,12 @@ class Scheduler:
                 misses=current.misses - base.misses,
                 invalidations=current.invalidations - base.invalidations,
                 entries=current.entries,
+                evictions=current.evictions - base.evictions,
             )
         metrics = self.obs.metrics
         if metrics.enabled:
+            if self.stats.tasks_reused:
+                metrics.counter("sched.tasks_reused").inc(self.stats.tasks_reused)
             metrics.gauge("sched.workers").set(self.stats.workers)
             metrics.gauge("sched.forward_levels").set(self.stats.forward_levels)
             metrics.gauge("sched.reverse_levels").set(self.stats.reverse_levels)

@@ -1,0 +1,22 @@
+"""Incremental re-analysis sessions.
+
+A session parses a program once, keeps every pipeline artifact alive, and
+re-analyzes only the call-graph region an edit can affect — see
+:mod:`repro.session.session` for the model and
+:mod:`repro.session.dirty` for the dirty-region derivation.
+"""
+
+from repro.session.dirty import (
+    DirtyRegion,
+    compute_dirty_region,
+    forward_closure,
+)
+from repro.session.session import AnalysisSession, SessionStats
+
+__all__ = [
+    "AnalysisSession",
+    "SessionStats",
+    "DirtyRegion",
+    "compute_dirty_region",
+    "forward_closure",
+]

@@ -1,0 +1,435 @@
+"""Long-lived incremental analysis sessions.
+
+An :class:`AnalysisSession` parses a program once, holds every pipeline
+artifact (PCG, alias/MOD-REF/USE summaries, FI/FS solutions) plus the
+content-addressed summary cache, and accepts per-procedure edits.  After an
+edit, :meth:`AnalysisSession.analyze` re-runs only the PCG region whose
+analysis inputs actually changed:
+
+1. The cheap whole-program passes (validation, symbols, PCG, aliasing,
+   MOD/REF, flow-insensitive ICP) recompute unconditionally — none of them
+   runs the intraprocedural engine, and their fresh solutions feed the
+   dirty-region diff.
+2. :func:`repro.session.dirty.compute_dirty_region` derives the set of
+   procedures whose flow-sensitive analysis could differ; everything else
+   copies its previous result verbatim (no fingerprinting, no engine).
+3. The wavefront scheduler runs over the dirty region only, with the
+   session's summary cache behind it, so even dirty procedures whose inputs
+   round-tripped (an edit that was reverted) come back as cache hits.
+
+The produced :class:`~repro.core.driver.PipelineResult` renders
+byte-identically (``repro.core.report.analysis_report``) to a cold
+:func:`repro.api.analyze` run over the same program.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Set, Union
+
+from repro.callgraph.pcg import build_pcg
+from repro.core.config import ICPConfig
+from repro.core.driver import CompilationPipeline, PipelineResult
+from repro.core.flow_insensitive import flow_insensitive_icp
+from repro.core.flow_sensitive import (
+    FSResult,
+    FSReuse,
+    flow_sensitive_icp,
+    make_engine,
+)
+from repro.core.returns import ReturnsResult, compute_returns
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+from repro.lang.validate import validate_program
+from repro.obs import NULL_OBS, Observability
+from repro.sched.cache import SummaryCache, procedure_fingerprint
+from repro.sched.scheduler import Scheduler
+from repro.session.dirty import DirtyRegion, compute_dirty_region
+from repro.summary.alias import compute_aliases
+from repro.summary.modref import compute_modref
+from repro.summary.use import UseReuse, compute_use
+
+
+@dataclass
+class SessionStats:
+    """Counters of one session's edit/re-analysis history."""
+
+    #: Procedure edits accepted (update/add/remove/sync-diff) so far.
+    edits: int = 0
+    #: Completed :meth:`AnalysisSession.analyze` calls.
+    analyses: int = 0
+    #: Procedures in the last analysis' PCG.
+    last_procs: int = 0
+    #: Size of the last analysis' flow-sensitive dirty region.
+    last_dirty: int = 0
+    #: Procedures whose previous FS result was copied (clean region).
+    last_reused: int = 0
+    #: Dirty procedures served from the summary cache without an engine run.
+    last_cached: int = 0
+    #: Intraprocedural engine executions in the last analysis.
+    last_engine_runs: int = 0
+    #: Engine executions across the session's lifetime.
+    total_engine_runs: int = 0
+    #: Clean-region copies across the session's lifetime.
+    total_reused: int = 0
+
+    @property
+    def reuse_rate(self) -> float:
+        """Share of the last analysis served without an engine run."""
+        total = self.last_engine_runs + self.last_cached + self.last_reused
+        if not total:
+            return 0.0
+        return (self.last_cached + self.last_reused) / total
+
+
+def _parse_procedure(source: str, expect: Optional[str] = None) -> ast.Procedure:
+    """Parse a single-procedure MiniF fragment."""
+    program = parse_program(source)
+    if program.global_names or program.inits:
+        raise ValueError(
+            "procedure fragment must not declare globals or init blocks"
+        )
+    if len(program.procedures) != 1:
+        raise ValueError(
+            f"expected exactly one procedure, got {len(program.procedures)}"
+        )
+    proc = program.procedures[0]
+    if expect is not None and proc.name != expect:
+        raise ValueError(
+            f"fragment defines {proc.name!r}, expected {expect!r}"
+        )
+    return proc
+
+
+class AnalysisSession:
+    """One program, analyzed incrementally across edits.
+
+    The session forces ``config.cache`` on (the summary cache is the second
+    reuse tier behind the dirty-region fast path); all other knobs are
+    honored as given.  ``config`` may be an :class:`ICPConfig` or a plain
+    mapping routed through :meth:`ICPConfig.from_dict`.
+    """
+
+    def __init__(
+        self,
+        source: Union[str, ast.Program],
+        config: Union[ICPConfig, Mapping[str, Any], None] = None,
+        obs: Optional[Observability] = None,
+    ):
+        if isinstance(config, Mapping):
+            config = ICPConfig.from_dict(config)
+        config = config or ICPConfig()
+        if not config.cache:
+            config = replace(config, cache=True)
+        self.config = config
+        self.obs = obs or NULL_OBS
+        self.cache = SummaryCache()
+        self.program = (
+            parse_program(source) if isinstance(source, str) else source
+        )
+        self.stats = SessionStats()
+        #: The last completed analysis (None before the first analyze()).
+        self.result: Optional[PipelineResult] = None
+        #: The dirty region of the last incremental analysis (None for cold).
+        self.last_region: Optional[DirtyRegion] = None
+        self._edited: Set[str] = set()
+        self._full_dirty = True
+        self._prev_inputs = None  # (pcg, aliases, modref, fi) of last analyze
+
+    # ------------------------------------------------------------------
+    # Edits.
+    # ------------------------------------------------------------------
+
+    def _proc_index(self, name: str) -> int:
+        for index, proc in enumerate(self.program.procedures):
+            if proc.name == name:
+                return index
+        known = ", ".join(sorted(p.name for p in self.program.procedures))
+        raise KeyError(f"unknown procedure {name!r}; known procedures: {known}")
+
+    def update(
+        self, name: str, new_source: Union[str, ast.Procedure]
+    ) -> bool:
+        """Replace one procedure's definition.
+
+        Returns False (and changes nothing) when the new definition is
+        canonically identical to the current one — a no-op edit keeps the
+        whole program clean.
+        """
+        proc = (
+            _parse_procedure(new_source, expect=name)
+            if isinstance(new_source, str)
+            else new_source
+        )
+        if proc.name != name:
+            raise ValueError(f"procedure {proc.name!r} does not match {name!r}")
+        index = self._proc_index(name)
+        if procedure_fingerprint(proc) == procedure_fingerprint(
+            self.program.procedures[index]
+        ):
+            return False
+        self.program.procedures[index] = proc
+        self._edited.add(name)
+        self.stats.edits += 1
+        return True
+
+    def add(self, source: Union[str, ast.Procedure]) -> str:
+        """Add a new procedure; returns its name."""
+        proc = _parse_procedure(source) if isinstance(source, str) else source
+        if any(p.name == proc.name for p in self.program.procedures):
+            raise ValueError(f"procedure {proc.name!r} already exists")
+        self.program.procedures.append(proc)
+        self._edited.add(proc.name)
+        self.stats.edits += 1
+        return proc.name
+
+    def remove(self, name: str) -> None:
+        """Remove a procedure (its cache slots are evicted immediately)."""
+        index = self._proc_index(name)
+        del self.program.procedures[index]
+        self.cache.evict_procs([name])
+        self._edited.add(name)
+        self.stats.edits += 1
+
+    def sync(self, source: Union[str, ast.Program]) -> int:
+        """Adopt a new whole-program text, diffing procedure by procedure.
+
+        The workhorse of ``repro-icp watch``: unchanged procedures (by
+        canonical fingerprint) stay clean; changed/added/removed ones are
+        marked edited.  A change to globals or init blocks invalidates
+        everything.  Returns the number of procedures marked edited.
+        """
+        new_program = (
+            parse_program(source) if isinstance(source, str) else source
+        )
+        old_inits = [(e.name, e.value) for e in self.program.inits]
+        new_inits = [(e.name, e.value) for e in new_program.inits]
+        if (
+            list(self.program.global_names) != list(new_program.global_names)
+            or old_inits != new_inits
+        ):
+            self.program = new_program
+            self._full_dirty = True
+            self._edited.clear()
+            self.stats.edits += 1
+            return len(new_program.procedures)
+
+        old_procs = {p.name: p for p in self.program.procedures}
+        new_procs = {p.name: p for p in new_program.procedures}
+        changed: Set[str] = set()
+        for name, proc in new_procs.items():
+            old = old_procs.get(name)
+            if old is None or procedure_fingerprint(old) != procedure_fingerprint(proc):
+                changed.add(name)
+        removed = set(old_procs) - set(new_procs)
+        if removed:
+            self.cache.evict_procs(removed)
+        changed |= removed
+        self.program = new_program
+        if changed:
+            self._edited |= changed
+            self.stats.edits += len(changed)
+        return len(changed)
+
+    # ------------------------------------------------------------------
+    # Analysis.
+    # ------------------------------------------------------------------
+
+    def analyze(self, run_transform: bool = False) -> PipelineResult:
+        """Re-analyze, re-running the engine over the dirty region only."""
+        config = self.config
+        obs = self.obs
+        program = self.program
+        timings: Dict[str, float] = {}
+
+        if obs.enabled:
+            def timed(name, thunk):
+                started = time.perf_counter()
+                with obs.tracer.span(name, cat="phase"), obs.profiler.phase(name):
+                    value = thunk()
+                timings[name] = time.perf_counter() - started
+                return value
+        else:
+            def timed(name, thunk):
+                started = time.perf_counter()
+                value = thunk()
+                timings[name] = time.perf_counter() - started
+                return value
+
+        timed(
+            "validate",
+            lambda: validate_program(
+                program,
+                require_main=(config.entry == "main"),
+                allow_missing=config.allow_missing,
+            ),
+        )
+        symbols = timed("collect", lambda: collect_symbols(program))
+        pcg = timed("pcg", lambda: build_pcg(program, symbols, config.entry))
+        if pcg.missing_callees and not config.allow_missing:
+            raise ValueError(
+                f"calls to missing procedures: {sorted(pcg.missing_callees)}"
+            )
+        aliases = timed("alias", lambda: compute_aliases(program, symbols, pcg))
+        modref = timed(
+            "modref", lambda: compute_modref(program, symbols, pcg, aliases)
+        )
+        fi = timed(
+            "icp_fi",
+            lambda: flow_insensitive_icp(program, symbols, pcg, modref, config),
+        )
+
+        region: Optional[DirtyRegion] = None
+        fs_reuse: Optional[FSReuse] = None
+        use_reuse: Optional[UseReuse] = None
+        previous = self.result
+        if previous is not None and not self._full_dirty:
+            prev_pcg, prev_aliases, prev_modref, prev_fi = self._prev_inputs
+            region = timed(
+                "dirty",
+                lambda: compute_dirty_region(
+                    self._edited, prev_pcg, pcg, prev_aliases, aliases,
+                    prev_modref, modref, prev_fi, fi,
+                ),
+            )
+            clean = set(pcg.nodes) - set(region.fs_dirty)
+            clean &= set(previous.fs.intra)
+            clean = {
+                proc
+                for proc in clean
+                if _tables_complete(
+                    proc, previous.fs, symbols, pcg, modref, program
+                )
+            }
+            fs_reuse = FSReuse(previous=previous.fs, clean=frozenset(clean))
+            use_reuse = UseReuse(
+                previous=previous.use, seeds=region.use_seeds
+            )
+
+        scheduler = Scheduler.from_config(config, cache=self.cache, obs=obs)
+        engine = make_engine(config)
+        try:
+            fs = timed(
+                "icp_fs",
+                lambda: flow_sensitive_icp(
+                    program, symbols, pcg, modref, aliases, fi, config,
+                    engine, scheduler=scheduler, reuse=fs_reuse,
+                ),
+            )
+            use = timed(
+                "use",
+                lambda: compute_use(
+                    program, symbols, pcg, modref, scheduler=scheduler,
+                    reuse=use_reuse,
+                ),
+            )
+            returns: Optional[ReturnsResult] = None
+            if config.propagate_returns or config.propagate_exit_values:
+                returns = timed(
+                    "returns",
+                    lambda: compute_returns(
+                        program, symbols, pcg, modref, fs, fi, aliases,
+                        config, engine,
+                        with_exit_values=config.propagate_exit_values,
+                        scheduler=scheduler,
+                    ),
+                )
+        finally:
+            sched_stats = scheduler.finish()
+
+        transform = None
+        if run_transform:
+            transform = timed(
+                "transform",
+                lambda: CompilationPipeline(config)._run_transform(
+                    program, symbols, modref, aliases, fs, returns
+                ),
+            )
+
+        if region is not None and region.delta.dropped_procs:
+            self.cache.evict_procs(region.delta.dropped_procs)
+
+        result = PipelineResult(
+            program=program,
+            symbols=symbols,
+            pcg=pcg,
+            aliases=aliases,
+            modref=modref,
+            use=use,
+            fi=fi,
+            fs=fs,
+            returns=returns,
+            transform=transform,
+            timings=timings,
+            config=config,
+            sched=sched_stats,
+            obs=obs if obs.enabled else None,
+        )
+        self.result = result
+        self.last_region = region
+        self._prev_inputs = (pcg, aliases, modref, fi)
+        edit_batch = len(self._edited)
+        self._edited.clear()
+        self._full_dirty = False
+
+        stats = self.stats
+        stats.analyses += 1
+        stats.last_procs = len(pcg.nodes)
+        stats.last_dirty = (
+            len(region.fs_dirty) if region is not None else len(pcg.nodes)
+        )
+        stats.last_reused = sched_stats.tasks_reused
+        stats.last_cached = sched_stats.tasks_cached
+        stats.last_engine_runs = sched_stats.tasks_run
+        stats.total_engine_runs += sched_stats.tasks_run
+        stats.total_reused += sched_stats.tasks_reused
+
+        metrics = obs.metrics
+        if metrics.enabled:
+            metrics.counter("session.analyses").inc()
+            if edit_batch:
+                metrics.counter("session.edits").inc(edit_batch)
+            metrics.gauge("session.procs").set(stats.last_procs)
+            metrics.gauge("session.dirty").set(stats.last_dirty)
+            metrics.gauge("session.reused").set(stats.last_reused)
+            metrics.gauge("session.engine_runs").set(stats.last_engine_runs)
+            metrics.gauge("session.reuse_rate").set(stats.reuse_rate)
+            if stats.last_procs:
+                metrics.histogram("session.dirty_fraction").observe(
+                    stats.last_dirty / stats.last_procs
+                )
+        return result
+
+    def report(self) -> str:
+        """The deterministic analysis report of the last analyze()."""
+        from repro.core.report import analysis_report
+
+        if self.result is None:
+            raise ValueError("no analysis yet: call analyze() first")
+        return analysis_report(self.result)
+
+
+def _tables_complete(proc, fs_prev: FSResult, symbols, pcg, modref, program) -> bool:
+    """Can ``proc``'s previous entry tables be copied without gaps?
+
+    Defensive demotion: the dirty-region computation should already catch
+    every case where the key sets shift (formal lists and ref-global sets
+    only change when the procedure or a summary changed), but a procedure
+    with incomplete previous tables re-analyzes instead of crashing.
+    """
+    if proc not in fs_prev.intra:
+        return False
+    if proc == pcg.entry:
+        return all(
+            (proc, name) in fs_prev.entry_globals
+            for name in program.initial_globals()
+        )
+    return all(
+        (proc, formal) in fs_prev.entry_formals
+        for formal in symbols[proc].formals
+    ) and all(
+        (proc, name) in fs_prev.entry_globals
+        for name in modref.ref_globals(proc)
+    )

@@ -60,6 +60,20 @@ class AliasInfo:
         return bool(self.pairs.get(proc))
 
 
+def changed_alias_procs(old: AliasInfo, new: AliasInfo) -> Set[str]:
+    """Procedures whose may-alias pair set differs between two solutions.
+
+    Input to incremental dirty-region computation: the SSA builder and the
+    MOD/REF closure both consume per-procedure pairs, so a pair-set change
+    invalidates that procedure's intraprocedural analysis.
+    """
+    return {
+        proc
+        for proc in set(old.pairs) | set(new.pairs)
+        if old.pairs_of(proc) != new.pairs_of(proc)
+    }
+
+
 def compute_aliases(
     program: ast.Program,
     symbols: Dict[str, ProcedureSymbols],

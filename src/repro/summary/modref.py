@@ -118,6 +118,22 @@ class ModRefInfo:
         return closed
 
 
+def changed_modref_procs(old: ModRefInfo, new: ModRefInfo) -> Set[str]:
+    """Procedures whose MOD or REF summary differs between two solutions.
+
+    Input to incremental dirty-region computation: callers consult callee
+    MOD/REF at every call site (effect binding) and enumerate their own
+    ``ref_globals`` at entry, so either set changing invalidates the
+    procedure itself and every caller of it.
+    """
+    return {
+        proc
+        for proc in set(old.mod) | set(new.mod) | set(old.ref) | set(new.ref)
+        if old.mod.get(proc) != new.mod.get(proc)
+        or old.ref.get(proc) != new.ref.get(proc)
+    }
+
+
 def compute_modref(
     program: ast.Program,
     symbols: Dict[str, ProcedureSymbols],

@@ -39,6 +39,8 @@ class UseInfo:
     use: Dict[str, FrozenSet[str]] = field(default_factory=dict)
     #: Edges (call sites) that fell back to REF during the reverse traversal.
     fallback_sites: Set[CallSite] = field(default_factory=set)
+    #: Procedures whose summary was carried over by an incremental traversal.
+    reused: int = field(default=0, compare=False)
 
     def use_of(self, proc: str) -> FrozenSet[str]:
         return self.use.get(proc, frozenset())
@@ -47,17 +49,38 @@ class UseInfo:
         return frozenset(g for g in self.use_of(proc) if g in globals_set)
 
 
+@dataclass(frozen=True)
+class UseReuse:
+    """Previous USE solution plus the seed procedures that must recompute.
+
+    ``seeds`` over-approximates the procedures whose own body or REF-fallback
+    inputs changed; change-driven propagation during the reversed-RPO sweep
+    handles the rest (a caller recomputes exactly when some later-RPO
+    callee's freshly computed USE differs from its previous value).
+    """
+
+    previous: UseInfo
+    seeds: FrozenSet[str]
+
+
 def compute_use(
     program: ast.Program,
     symbols: Dict[str, ProcedureSymbols],
     pcg: PCG,
     modref: ModRefInfo,
     scheduler: Optional[Scheduler] = None,
+    reuse: Optional[UseReuse] = None,
 ) -> UseInfo:
     """One reverse topological traversal computing USE with REF fallback."""
     globals_set = frozenset(program.global_names)
     proc_map = program.procedure_map()
     info = UseInfo()
+
+    if reuse is not None:
+        _incremental_use(
+            symbols, pcg, modref, info, globals_set, proc_map, reuse
+        )
+        return info
 
     if scheduler is not None and scheduler.parallel:
         _scheduled_use(symbols, pcg, modref, info, globals_set, proc_map, scheduler)
@@ -75,6 +98,56 @@ def compute_use(
         visible = exposed & (globals_set | proc_symbols.formal_set)
         info.use[proc_name] = frozenset(visible)
     return info
+
+
+def _incremental_use(
+    symbols: Dict[str, ProcedureSymbols],
+    pcg: PCG,
+    modref: ModRefInfo,
+    info: UseInfo,
+    globals_set: FrozenSet[str],
+    proc_map: Dict[str, ast.Procedure],
+    reuse: UseReuse,
+) -> None:
+    """Reversed-RPO sweep recomputing only seeds and changed-callee callers.
+
+    A procedure is recomputed when it is a seed, was never summarized, or
+    some later-RPO callee's USE just changed; otherwise its previous summary
+    (and its share of the fallback-site set) is carried over.  The sweep
+    fills ``info.use`` in reversed RPO — the serial table order — so reused
+    and recomputed runs render identically.
+    """
+    previous = reuse.previous
+    for proc_name in reversed(pcg.rpo):
+        position = pcg.rpo_position(proc_name)
+        dirty = proc_name in reuse.seeds or proc_name not in previous.use
+        if not dirty:
+            for site in symbols[proc_name].call_sites:
+                callee = site.callee
+                if callee not in symbols or pcg.rpo_position(callee) <= position:
+                    continue  # REF fallback: its changes arrive via seeds
+                if info.use.get(callee) != previous.use.get(callee):
+                    dirty = True
+                    break
+        if not dirty:
+            info.use[proc_name] = previous.use[proc_name]
+            info.fallback_sites.update(
+                site
+                for site in previous.fallback_sites
+                if site.caller == proc_name
+            )
+            info.reused += 1
+            continue
+
+        proc_symbols = symbols[proc_name]
+
+        def call_uses(site: CallSite) -> Set[str]:
+            return _bind_call_uses(site, symbols, modref, info, globals_set)
+
+        build = build_cfg(proc_map[proc_name], proc_symbols)
+        exposed = upward_exposed(build.cfg, call_uses)
+        visible = exposed & (globals_set | proc_symbols.formal_set)
+        info.use[proc_name] = frozenset(visible)
 
 
 def _bind_call_uses(

@@ -130,7 +130,7 @@ class TestSemanticPreservation:
     def test_after_constant_substitution(self):
         """The intended pipeline: substitute constants, then sweep the dead."""
         from repro.core.config import ICPConfig
-        from repro.core.driver import analyze_program
+        from repro.api import analyze_program
 
         source = """
         proc main() { x = 3; y = x + 1; call f(y); }

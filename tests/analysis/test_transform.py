@@ -173,7 +173,7 @@ class TestSemanticPreservation:
     @given(seed=st.integers(min_value=0, max_value=8000))
     def test_with_interprocedural_envs(self, seed):
         """Transform seeded with the FS solution preserves behaviour."""
-        from repro.core.driver import analyze_program
+        from repro.api import analyze_program
 
         program = generate_program(seed)
         result = analyze_program(program)

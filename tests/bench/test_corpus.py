@@ -43,7 +43,7 @@ class TestCorpusPrograms:
     def test_exit_value_extension_preserves_behaviour(self, name):
         entry = corpus_by_name()[name]
         config = ICPConfig(propagate_returns=True, propagate_exit_values=True)
-        from repro.core.driver import analyze_program
+        from repro.api import analyze_program
 
         result = analyze_program(entry.parse(), config, run_transform=True)
         outputs = run_program(

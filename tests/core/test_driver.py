@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import ICPConfig
-from repro.core.driver import CompilationPipeline, analyze_program
+from repro.api import CompilationPipeline, analyze_program
 from repro.errors import ValidationError
 from repro.ir.lattice import BOTTOM, Const
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bench.generator import generate_program
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.interp import run_program
 from repro.ir.lattice import BOTTOM, Const
 from repro.lang.parser import parse_program

@@ -2,7 +2,7 @@
 
 from repro.bench.programs import figure1_program, recursion_program
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.core.report import full_report, pcg_to_dot, procedure_report
 from tests.helpers import analyze
 

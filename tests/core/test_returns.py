@@ -93,7 +93,7 @@ class TestRecursiveReturns:
 class TestReturnsFeedTransform:
     def test_substitution_uses_return_constant(self):
         from repro.core.config import ICPConfig
-        from repro.core.driver import analyze_program
+        from repro.api import analyze_program
         from repro.lang.pretty import pretty_program
 
         source = """

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.config import ICPConfig
-from repro.core.driver import PipelineResult, analyze_program
+from repro.api import PipelineResult, analyze_program
 from repro.errors import InterpreterError, StepLimitExceeded
 from repro.interp import Recorder, run_program
 from repro.ir.lattice import values_equal

@@ -57,7 +57,7 @@ class TestAbstractAgreement:
             )
 
     def test_folding_still_uses_left_refinement(self):
-        from repro.core.driver import analyze_program
+        from repro.api import analyze_program
         from repro.lang.pretty import pretty_program
 
         result = analyze_program(

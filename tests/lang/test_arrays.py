@@ -211,7 +211,7 @@ class TestConservativeAnalysis:
 
 class TestTransformWithArrays:
     def test_index_substituted_element_kept(self):
-        from repro.core.driver import analyze_program
+        from repro.api import analyze_program
 
         result = analyze_program(
             """

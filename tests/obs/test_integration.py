@@ -4,7 +4,7 @@ import json
 
 from repro.bench.programs import figure1_program
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.core.metrics import absorb_pipeline_metrics
 from repro.obs import NULL_OBS, Observability
 from repro.obs.trace import validate_chrome_trace

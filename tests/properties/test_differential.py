@@ -16,7 +16,7 @@ surface as a soundness violation here.
 
 from repro.bench.generator import GeneratorConfig, generate_program
 from repro.core.config import ICPConfig
-from repro.core.driver import CompilationPipeline
+from repro.api import CompilationPipeline
 from repro.errors import InterpreterError, StepLimitExceeded
 from repro.interp import run_program
 from tests.helpers import run_recorded, soundness_violations

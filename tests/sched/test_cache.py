@@ -7,7 +7,7 @@ values) is unchanged, and the dependent cone when it is not.
 """
 
 from repro.core.config import ICPConfig
-from repro.core.driver import CompilationPipeline
+from repro.api import CompilationPipeline
 from repro.ir.lattice import Const
 from repro.sched.cache import (
     SummaryCache,

@@ -12,7 +12,7 @@ import pytest
 from repro.bench.corpus import corpus
 from repro.bench.generator import GeneratorConfig, generate_program
 from repro.core.config import ICPConfig
-from repro.core.driver import CompilationPipeline
+from repro.api import CompilationPipeline
 from repro.core.metrics import call_site_candidates, propagated_constants
 
 

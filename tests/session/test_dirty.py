@@ -1,0 +1,127 @@
+"""Dirty-region computation on hand-built call-graph shapes."""
+
+from repro.callgraph.pcg import build_pcg, diff_pcg
+from repro.core.config import ICPConfig
+from repro.core.flow_insensitive import flow_insensitive_icp
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+from repro.session.dirty import compute_dirty_region, forward_closure
+from repro.summary.alias import compute_aliases
+from repro.summary.modref import compute_modref
+
+DIAMOND = """
+proc main() {{ call left(1); call right(2); }}
+proc left(a) {{ call bottom(a + {lk}); }}
+proc right(b) {{ call bottom(b + 2); }}
+proc bottom(c) {{ print(c); }}
+"""
+
+RECURSIVE = """
+proc main() {{ call even({k}); }}
+proc even(n) {{ if (n > 0) {{ call odd(n - 1); }} print(n); }}
+proc odd(n) {{ if (n > 0) {{ call even(n - 1); }} print(1); }}
+"""
+
+
+def _inputs(source):
+    program = parse_program(source)
+    symbols = collect_symbols(program)
+    pcg = build_pcg(program, symbols, "main")
+    aliases = compute_aliases(program, symbols, pcg)
+    modref = compute_modref(program, symbols, pcg, aliases)
+    fi = flow_insensitive_icp(program, symbols, pcg, modref, ICPConfig())
+    return pcg, aliases, modref, fi
+
+
+def _region(old_source, new_source, edited):
+    old = _inputs(old_source)
+    new = _inputs(new_source)
+    return compute_dirty_region(set(edited), old[0], new[0], old[1], new[1],
+                                old[2], new[2], old[3], new[3])
+
+
+class TestForwardClosure:
+    def test_leaf_seed_stays_leaf(self):
+        pcg, *_ = _inputs(DIAMOND.format(lk=1))
+        assert forward_closure(pcg, {"bottom"}) == {"bottom"}
+
+    def test_mid_seed_pulls_callees(self):
+        pcg, *_ = _inputs(DIAMOND.format(lk=1))
+        assert forward_closure(pcg, {"left"}) == {"left", "bottom"}
+
+    def test_root_seed_closes_everything(self):
+        pcg, *_ = _inputs(DIAMOND.format(lk=1))
+        assert forward_closure(pcg, {"main"}) == {"main", "left", "right", "bottom"}
+
+    def test_unreachable_seed_ignored(self):
+        pcg, *_ = _inputs(DIAMOND.format(lk=1))
+        assert forward_closure(pcg, {"ghost"}) == set()
+
+
+class TestDiamondDirtyRegion:
+    def test_one_arm_edit_spares_the_other(self):
+        region = _region(DIAMOND.format(lk=1), DIAMOND.format(lk=5), ["left"])
+        assert set(region.fs_dirty) == {"left", "bottom"}
+        assert "right" not in region.fs_dirty
+        assert "main" not in region.fs_dirty
+
+    def test_identical_edit_is_empty(self):
+        source = DIAMOND.format(lk=1)
+        region = _region(source, source, [])
+        assert not region.fs_dirty
+        assert not region.use_seeds
+        assert region.delta.empty
+        assert not region.fi_changed
+
+    def test_leaf_edit_dirties_only_leaf(self):
+        old = DIAMOND.format(lk=1)
+        new = old.replace("print(c)", "print(c + 1)")
+        region = _region(old, new, ["bottom"])
+        assert set(region.fs_dirty) == {"bottom"}
+
+    def test_use_seeds_include_edited(self):
+        region = _region(DIAMOND.format(lk=1), DIAMOND.format(lk=5), ["left"])
+        assert "left" in region.use_seeds
+
+
+class TestRecursiveDirtyRegion:
+    def test_cycle_member_edit_dirties_whole_cycle(self):
+        region = _region(
+            RECURSIVE.format(k=3), RECURSIVE.format(k=3).replace("print(1)", "print(2)"),
+            ["odd"],
+        )
+        # odd -> even is an edge of the cycle, so the closure pulls even
+        # (and back into odd); main stays clean.
+        assert set(region.fs_dirty) == {"even", "odd"}
+        assert "main" not in region.fs_dirty
+
+    def test_fi_change_dirties_fallback_receivers(self):
+        region = _region(RECURSIVE.format(k=3), RECURSIVE.format(k=9), ["main"])
+        # The constant argument feeds the FI solution; the recursive cycle's
+        # fallback edges consume it, so both cycle members are dirty too.
+        assert region.fi_changed
+        assert set(region.fs_dirty) == {"main", "even", "odd"}
+
+
+class TestStructuralDelta:
+    def test_new_procedure_detected(self):
+        old = "proc main() { print(1); }"
+        new = "proc main() { call f(2); } proc f(a) { print(a); }"
+        old_in, new_in = _inputs(old), _inputs(new)
+        delta = diff_pcg(old_in[0], new_in[0])
+        assert delta.new_procs == frozenset({"f"})
+        assert "main" in delta.outgoing_changed
+
+    def test_dropped_procedure_detected(self):
+        old = "proc main() { call f(2); } proc f(a) { print(a); }"
+        new = "proc main() { print(1); }"
+        delta = diff_pcg(_inputs(old)[0], _inputs(new)[0])
+        assert delta.dropped_procs == frozenset({"f"})
+
+    def test_modref_change_dirties_callers(self):
+        old = "global g; proc main() { g = 1; call f(); print(g); } proc f() { print(2); }"
+        new = "global g; proc main() { g = 1; call f(); print(g); } proc f() { g = 3; print(2); }"
+        region = _region(old, new, ["f"])
+        # f now MODs g: main's call-site effects changed, so main is dirty.
+        assert "main" in region.fs_dirty
+        assert "f" in region.fs_dirty

@@ -1,0 +1,140 @@
+"""Differential suite: sessions must match cold analysis byte-for-byte.
+
+Randomized single-procedure mutations over the PR 1 generator corpus and
+the synthetic benchmark suite; every edit asserts the session's
+deterministic report equals a cold re-analysis of the same program, and
+that the engine ran on strictly fewer procedures than a cold run would.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.suite import SUITE, build_benchmark_source
+from repro.core.report import analysis_report
+from repro.session import AnalysisSession
+from repro.session.mutate import mutated_source, render_procedure
+
+from repro.core.driver import analyze
+
+ACYCLIC_SEEDS = range(0, 40, 4)
+RECURSIVE_SEEDS = range(0, 20, 4)
+EDITS_PER_PROGRAM = 3
+
+
+def drive_edits(session, rng, edits=EDITS_PER_PROGRAM):
+    """Apply mutations, checking identity and containment on each.
+
+    Byte identity must hold for every edit.  The engine must never run
+    outside the computed dirty region; generator programs can be a single
+    procedure or a chain rooted at the edited one (where a full re-run is
+    the correct answer), so *strict* reuse is asserted in aggregate by the
+    callers, not per edit.
+    """
+    applied = 0
+    for _ in range(edits):
+        procs = session.program.procedures
+        changed = False
+        for _ in range(8):
+            target = procs[rng.randrange(len(procs))]
+            changed = session.update(
+                target.name, mutated_source(target, rng.randrange(1 << 30))
+            )
+            if changed:
+                break
+        if not changed:
+            continue
+        result = session.analyze()
+        cold_config = replace(session.config, cache=False, workers=1)
+        assert analysis_report(result) == analysis_report(
+            analyze(session.program, cold_config)
+        ), f"session diverged from cold analysis after editing {target.name!r}"
+        sched = result.sched
+        region = session.last_region
+        clean = set(result.pcg.nodes) - set(region.fs_dirty)
+        assert sched.tasks_reused == len(clean), (
+            "every procedure outside the dirty region must be copied, "
+            "never re-dispatched (and nothing inside it copied)"
+        )
+        applied += 1
+    return applied
+
+
+class TestGeneratorCorpus:
+    def test_acyclic_seeds(self):
+        applied = reused = 0
+        for seed in ACYCLIC_SEEDS:
+            session = AnalysisSession(generate_program(seed))
+            session.analyze()
+            applied += drive_edits(session, random.Random(seed))
+            reused += session.stats.total_reused
+        assert applied > 0
+        assert reused > 0  # aggregate strict reuse across the corpus
+
+    def test_recursive_seeds(self):
+        config = GeneratorConfig(allow_recursion=True)
+        applied = reused = 0
+        for seed in RECURSIVE_SEEDS:
+            session = AnalysisSession(generate_program(seed, config))
+            session.analyze()
+            applied += drive_edits(session, random.Random(seed))
+            reused += session.stats.total_reused
+        assert applied > 0
+        assert reused > 0
+
+    def test_returns_extension(self):
+        applied = 0
+        for seed in ACYCLIC_SEEDS:
+            session = AnalysisSession(
+                generate_program(seed),
+                {"propagate_returns": True, "propagate_exit_values": True},
+            )
+            session.analyze()
+            applied += drive_edits(session, random.Random(seed + 99))
+        assert applied > 0
+
+
+class TestBenchmarkSuite:
+    @pytest.mark.parametrize("name", ["030.matrix300", "093.nasa7", "039.wave5"])
+    def test_suite_mutations(self, name):
+        session = AnalysisSession(build_benchmark_source(SUITE[name]))
+        session.analyze()
+        applied = drive_edits(session, random.Random(7), edits=4)
+        assert applied > 0
+        assert session.stats.reuse_rate > 0
+
+    def test_render_roundtrip_is_noop(self):
+        # Rendering a procedure and updating with it must change nothing.
+        session = AnalysisSession(build_benchmark_source(SUITE["094.fpppp"]))
+        session.analyze()
+        for proc in list(session.program.procedures)[:10]:
+            assert not session.update(proc.name, render_procedure(proc))
+
+
+class TestWorkloadHarness:
+    def test_run_workload_smoke(self, capsys):
+        from repro.session.workload import run_workload
+
+        summary = run_workload(
+            edits=4, seed=1, names=["030.matrix300", "094.fpppp"]
+        )
+        assert summary["failures"] == 0
+        assert summary["full_reruns"] == 0
+        assert summary["applied"] > 0
+        assert summary["aggregate_reuse_rate"] > 0
+
+    def test_main_writes_metrics(self, tmp_path):
+        import json
+
+        from repro.session.workload import main
+
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["--edits", "2", "--names", "030.matrix300",
+             "--metrics-json", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["gauges"]["workload.aggregate_reuse_rate"] > 0

@@ -247,3 +247,67 @@ class TestBench:
         with pytest.raises(SystemExit):
             main(["analyze", source_file, "--jobs", "-1"])
         assert "must be >= 0" in capsys.readouterr().err
+
+
+class TestWatch:
+    def test_single_pass(self, source_file, capsys):
+        # --max-iterations 1 with an unchanged file: one cold analysis.
+        assert main(["watch", source_file, "--interval", "0.01",
+                     "--max-iterations", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "FS constant formals" in out
+        assert "session:" in out
+
+    def test_reanalyzes_on_change(self, source_file, capsys, monkeypatch):
+        import os
+
+        import repro.cli as cli
+
+        edits = iter(
+            [FIG1.replace("f2 + f3", "f2 * f3"), None, None]
+        )
+
+        real_sleep = cli.time.sleep
+
+        def sleeping_edit(seconds):
+            real_sleep(0)
+            new_source = next(edits, None)
+            if new_source is not None:
+                with open(source_file, "w", encoding="utf-8") as handle:
+                    handle.write(new_source)
+                # Force an mtime step even on coarse filesystem clocks.
+                stat = os.stat(source_file)
+                os.utime(source_file, (stat.st_atime, stat.st_mtime + 2))
+
+        monkeypatch.setattr(cli.time, "sleep", sleeping_edit)
+        assert main(["watch", source_file, "--interval", "0.01",
+                     "--max-iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "re-analyzing" in out
+        assert out.count("session:") == 2  # initial pass + one re-analysis
+
+    def test_parse_error_keeps_watching(self, source_file, capsys, monkeypatch):
+        import os
+
+        import repro.cli as cli
+
+        edits = iter(["proc main() { broken", None])
+
+        def sleeping_edit(seconds):
+            new_source = next(edits, None)
+            if new_source is not None:
+                with open(source_file, "w", encoding="utf-8") as handle:
+                    handle.write(new_source)
+                stat = os.stat(source_file)
+                os.utime(source_file, (stat.st_atime, stat.st_mtime + 2))
+
+        monkeypatch.setattr(cli.time, "sleep", sleeping_edit)
+        assert main(["watch", source_file, "--interval", "0.01",
+                     "--max-iterations", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "watch:" in captured.err  # the parse error was reported
+
+    def test_shared_flags_inherited(self, source_file, capsys):
+        # watch accepts the shared analysis/observability parents.
+        assert main(["watch", source_file, "--jobs", "2", "--no-floats",
+                     "--interval", "0.01", "--max-iterations", "1"]) == 0

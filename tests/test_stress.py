@@ -7,7 +7,7 @@ import pytest
 from repro.bench.generator import GeneratorConfig, generate_program
 from repro.bench.suite import SUITE, build_benchmark, build_benchmark_source
 from repro.core.config import ICPConfig
-from repro.core.driver import analyze_program
+from repro.api import analyze_program
 from repro.core.optimize import optimize_program
 from repro.interp import run_program
 from repro.lang.parser import parse_program
