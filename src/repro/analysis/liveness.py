@@ -14,7 +14,7 @@ read-before-write on the path where the call does not modify it).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.ir.cfg import ArrayStoreInstr, AssignInstr, CallInstr, CFG, PrintInstr
 from repro.ir.ssa import instr_use_vars
@@ -26,12 +26,18 @@ def upward_exposed(
     call_uses: Callable[[CallSite], Set[str]],
     *,
     include_print: bool = True,
+    call_kills: Optional[Callable[[CallSite], Set[str]]] = None,
 ) -> Set[str]:
     """Variables that may be read before being written in ``cfg``.
 
     :param call_uses: maps a call site to the caller-variable names the call
         may read (argument-expression variables plus bound-through uses; the
         interprocedural USE pass supplies this from callee summaries).
+    :param call_kills: when given, a call additionally kills these caller
+        variables.  The USE computation never passes this (call MOD effects
+        are may-defs and must not kill); the use-before-initialization
+        diagnostic does, crediting interprocedural MOD sets as initializers
+        so only variables no call path writes remain exposed.
     """
     rpo = cfg.reachable_ids()
     reachable = set(rpo)
@@ -55,6 +61,8 @@ def upward_exposed(
                 expose(instr_use_vars(instr))
             elif isinstance(instr, CallInstr):
                 expose(call_uses(instr.site))
+                if call_kills is not None:
+                    block_kill.update(call_kills(instr.site))
                 if instr.target is not None:
                     block_kill.add(instr.target)
             elif isinstance(instr, PrintInstr):
@@ -80,3 +88,86 @@ def upward_exposed(
                 live_in[block_id] = new_in
                 changed = True
     return live_in[cfg.entry_id]
+
+
+def dead_assignments(
+    cfg: CFG,
+    call_uses: Callable[[CallSite], Set[str]],
+    exit_live: Set[str],
+    partners: Callable[[str], Set[str]],
+) -> List[AssignInstr]:
+    """Scalar assignments whose stored value no execution can read.
+
+    Classic backward liveness at instruction granularity, with the
+    interprocedural pieces supplied by the caller:
+
+    - ``call_uses`` binds callee USE summaries through argument lists, so a
+      variable read inside (or below) a callee stays live across the call;
+    - ``exit_live`` holds the variables observable after the procedure
+      returns (formals and globals for non-entry procedures; nothing for the
+      program entry);
+    - ``partners`` gives may-alias partners — a store to an aliased name is
+      live whenever any partner is.
+
+    Call MOD effects never kill (may-defs), array-element stores are skipped
+    entirely (may-defs of the whole array, the paper's blind spot), and only
+    CFG-reachable blocks are scanned — dead *code* is ICP004's business, not
+    a dead store.
+    """
+    rpo = cfg.reachable_ids()
+    reachable = set(rpo)
+
+    # Block-level backward fixpoint over live-in sets.
+    live_in: Dict[int, Set[str]] = {block_id: set() for block_id in rpo}
+
+    def transfer(block_id: int, live_out: Set[str]) -> Tuple[Set[str], List[AssignInstr]]:
+        """Walk one block backward; returns (live-in, dead assigns seen)."""
+        live = set(live_out)
+        dead: List[AssignInstr] = []
+        block = cfg.blocks[block_id]
+        term = block.terminator
+        if term is not None:
+            live.update(instr_use_vars(term))
+        for instr in reversed(block.instrs):
+            if isinstance(instr, AssignInstr):
+                target = instr.target
+                observed = target in live or any(
+                    p in live for p in partners(target)
+                )
+                if not observed:
+                    dead.append(instr)
+                live.discard(target)
+                live.update(instr_use_vars(instr))
+            elif isinstance(instr, ArrayStoreInstr):
+                live.update(instr_use_vars(instr))
+            elif isinstance(instr, CallInstr):
+                if instr.target is not None:
+                    live.discard(instr.target)
+                live.update(call_uses(instr.site))
+            elif isinstance(instr, PrintInstr):
+                live.update(instr_use_vars(instr))
+        return live, dead
+
+    changed = True
+    while changed:
+        changed = False
+        for block_id in reversed(rpo):
+            live_out: Set[str] = (
+                set(exit_live) if not cfg.blocks[block_id].succs else set()
+            )
+            for succ_id in cfg.blocks[block_id].succs:
+                if succ_id in reachable:
+                    live_out.update(live_in[succ_id])
+            new_in, _ = transfer(block_id, live_out)
+            if new_in != live_in[block_id]:
+                live_in[block_id] = new_in
+                changed = True
+
+    dead: List[AssignInstr] = []
+    for block_id in rpo:
+        live_out = set(exit_live) if not cfg.blocks[block_id].succs else set()
+        for succ_id in cfg.blocks[block_id].succs:
+            if succ_id in reachable:
+                live_out.update(live_in[succ_id])
+        dead.extend(transfer(block_id, live_out)[1])
+    return dead

@@ -13,6 +13,10 @@ for the compatibility contract):
   that want to share a summary cache across :meth:`~CompilationPipeline.run`
   calls without session semantics.
 - :func:`parse_program` — MiniF text to AST, for pre-parsing or inspection.
+- :func:`check_source` / :func:`run_diagnostics` — the diagnostics engine:
+  interprocedural lint findings (:class:`Finding`) over one source text or
+  an already-computed :class:`PipelineResult`, configured by
+  :class:`DiagOptions` and returned as a :class:`DiagnosticsResult`.
 
 ``analyze_program`` is the historical name of :func:`analyze` and remains a
 quiet alias here; importing it from ``repro.core.driver`` directly warns.
@@ -20,6 +24,13 @@ quiet alias here; importing it from ``repro.core.driver`` directly warns.
 
 from repro.core.config import ICPConfig
 from repro.core.driver import CompilationPipeline, PipelineResult, analyze
+from repro.diag import (
+    DiagnosticsResult,
+    DiagOptions,
+    Finding,
+    check_source,
+    run_diagnostics,
+)
 from repro.lang.parser import parse_program
 from repro.session import AnalysisSession, SessionStats
 
@@ -36,4 +47,9 @@ __all__ = [
     "PipelineResult",
     "CompilationPipeline",
     "parse_program",
+    "check_source",
+    "run_diagnostics",
+    "DiagOptions",
+    "DiagnosticsResult",
+    "Finding",
 ]

@@ -384,6 +384,15 @@ class SuiteRun:
     cache_stats: Optional[CacheStats] = None
     #: End-to-end wall seconds per benchmark (build + full pipeline).
     wall_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Per-benchmark diagnostic finding counts by rule ID (``None`` unless
+    #: the batch ran with ``diagnostics=True``).
+    findings: Optional[Dict[str, Dict[str, int]]] = None
+
+    def total_findings(self, name: str) -> int:
+        """Kept findings for one benchmark (0 when diagnostics were off)."""
+        if self.findings is None:
+            return 0
+        return sum(self.findings.get(name, {}).values())
 
     @property
     def tasks_run(self) -> int:
@@ -405,6 +414,7 @@ def analyze_suite(
     config: "Optional[ICPConfig]" = None,
     scale: int = 1,
     obs: Optional[Observability] = None,
+    diagnostics: bool = False,
 ) -> SuiteRun:
     """Analyze suite benchmarks through one shared pipeline.
 
@@ -417,6 +427,11 @@ def analyze_suite(
 
     ``config`` may also be a plain mapping; it goes through the validated
     :meth:`~repro.core.config.ICPConfig.from_dict` path.
+
+    With ``diagnostics=True``, the diagnostics engine runs over every
+    result (honoring the config's ``diag_*`` keys) and the returned
+    :attr:`SuiteRun.findings` maps each benchmark to its per-rule finding
+    counts — the suite's lint-health column.
     """
     from collections.abc import Mapping
 
@@ -437,6 +452,13 @@ def analyze_suite(
     tracer = obs.tracer if obs is not None else None
     results: "Dict[str, PipelineResult]" = {}
     wall_seconds: Dict[str, float] = {}
+    findings: Optional[Dict[str, Dict[str, int]]] = {} if diagnostics else None
+    if diagnostics:
+        from repro.diag import DiagOptions, run_diagnostics
+
+        diag_options = DiagOptions.from_config(
+            config if config is not None else ICPConfig()
+        )
     for name in requested:
         started = time.perf_counter()
         if tracer is not None and tracer.enabled:
@@ -444,12 +466,18 @@ def analyze_suite(
                 results[name] = pipeline.run(build_benchmark(SUITE[name], scale))
         else:
             results[name] = pipeline.run(build_benchmark(SUITE[name], scale))
+        if findings is not None:
+            diag = run_diagnostics(results[name], diag_options, obs=obs)
+            findings[name] = diag.counts
         wall_seconds[name] = time.perf_counter() - started
     cache_stats = (
         pipeline.cache.stats.snapshot() if pipeline.cache is not None else None
     )
     return SuiteRun(
-        results=results, cache_stats=cache_stats, wall_seconds=wall_seconds
+        results=results,
+        cache_stats=cache_stats,
+        wall_seconds=wall_seconds,
+        findings=findings,
     )
 
 

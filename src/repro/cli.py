@@ -3,6 +3,7 @@
 Subcommands::
 
     analyze FILE   run the Figure 2 pipeline and report discovered constants
+    check FILE..   run the interprocedural lint checks (text/JSON/SARIF)
     optimize FILE  print the transformed (constant-substituted) program
     run FILE       execute the program with the reference interpreter
     tables [N..]   regenerate the paper's tables over the synthetic suite
@@ -141,6 +142,70 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.diag import DiagOptions, check_source, load_baseline
+    from repro.diag.output import render_json, render_sarif, render_text
+    from repro.diag.suppress import write_baseline
+
+    config = _config_from(args)
+    rules = None
+    if args.rules:
+        rules = frozenset(
+            rule.strip().upper() for rule in args.rules.split(",") if rule.strip()
+        )
+    elif config.diag_rules is not None:
+        rules = frozenset(config.diag_rules)
+    options = DiagOptions(
+        rules=rules,
+        severity_floor=args.severity_floor or config.diag_severity_floor,
+        sanitize=args.sanitize,
+        max_steps=args.max_steps,
+    )
+    baseline = frozenset()
+    if args.baseline and not args.write_baseline:
+        baseline = load_baseline(args.baseline)
+
+    obs = _obs_from(args)
+    entries = []
+    for path in args.files:
+        diag = check_source(
+            _read(path),
+            path=path,
+            config=config,
+            options=options,
+            obs=obs,
+            baseline=baseline,
+        )
+        entries.append((path, diag))
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline PATH", file=sys.stderr)
+            return 2
+        count = write_baseline(
+            args.baseline, (f for _, diag in entries for f in diag.findings)
+        )
+        print(
+            f"baseline written to {args.baseline} ({count} finding(s))",
+            file=sys.stderr,
+        )
+        return 0
+
+    fmt = args.format or ("sarif" if config.diag_sarif else "text")
+    renderer = {"text": render_text, "json": render_json, "sarif": render_sarif}[fmt]
+    rendered = renderer(entries)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"{fmt} report written to {args.output}", file=sys.stderr)
+    else:
+        print(rendered, end="")
+    if obs is not None:
+        _emit_observability(args, obs, [])
+    has_errors = any(diag.errors for _, diag in entries)
+    return 1 if has_errors else 0
+
+
 def _cmd_graph(args: argparse.Namespace) -> int:
     from repro.core.report import pcg_to_dot
 
@@ -208,27 +273,51 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     obs = _obs_from(args)
     names = args.names or sorted(SUITE)
     try:
-        run = analyze_suite(names, _config_from(args), scale=args.scale, obs=obs)
+        run = analyze_suite(
+            names, _config_from(args), scale=args.scale, obs=obs,
+            diagnostics=args.check,
+        )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 1
+    lint_header = f" {'lint':>5}" if args.check else ""
     print(
         f"{'benchmark':<16} {'procs':>5} {'edges':>5} {'fs-formals':>10} "
-        f"{'run':>5} {'cached':>6} {'wall(s)':>9}"
+        f"{'run':>5} {'cached':>6} {'wall(s)':>9}" + lint_header
     )
     for name, result in run.results.items():
         row = scheduling_metrics(name, result.sched)
+        lint_cell = f" {run.total_findings(name):>5}" if args.check else ""
         print(
             f"{name:<16} {len(result.pcg.nodes):>5} {len(result.pcg.edges):>5} "
             f"{len(result.fs.constant_formals()):>10} "
             f"{row.tasks_run:>5} {row.tasks_cached:>6} "
-            f"{run.wall_seconds.get(name, 0.0):>9.4f}"
+            f"{run.wall_seconds.get(name, 0.0):>9.4f}" + lint_cell
         )
     total_wall = sum(run.wall_seconds.values())
+    lint_total = (
+        f" {sum(run.total_findings(name) for name in run.results):>5}"
+        if args.check
+        else ""
+    )
     print(
         f"{'total':<16} {'':>5} {'':>5} {'':>10} "
         f"{run.tasks_run:>5} {run.tasks_cached:>6} {total_wall:>9.4f}"
+        + lint_total
     )
+    if args.check and run.findings is not None:
+        rule_totals: dict = {}
+        for counts in run.findings.values():
+            for rule_id, count in counts.items():
+                rule_totals[rule_id] = rule_totals.get(rule_id, 0) + count
+        if rule_totals:
+            print(
+                "findings by rule: "
+                + ", ".join(
+                    f"{rule_id}={count}"
+                    for rule_id, count in sorted(rule_totals.items())
+                )
+            )
     if run.cache_stats is not None:
         cache = run.cache_stats
         print(
@@ -263,6 +352,8 @@ def _write_bench_json(path: str, args: argparse.Namespace, run) -> None:
             "cache_hit_rate": row.cache_hit_rate,
             "engine_seconds": row.analysis_seconds,
         }
+        if run.findings is not None:
+            programs[name]["findings"] = run.findings.get(name, {})
     payload = {
         "schema": "repro-icp/bench/v1",
         "workers": args.jobs,
@@ -390,6 +481,36 @@ def build_parser() -> argparse.ArgumentParser:
                            help="detailed per-procedure report")
     analyze_p.set_defaults(func=_cmd_analyze)
 
+    check = sub.add_parser(
+        "check", parents=[common, obs_flags],
+        help="run the interprocedural lint checks (diagnostics engine)",
+    )
+    check.add_argument("files", nargs="+", metavar="FILE")
+    check.add_argument("--format", choices=("text", "json", "sarif"),
+                       default=None,
+                       help="report format (default: text, or sarif when "
+                            "the config sets diag_sarif)")
+    check.add_argument("--output", metavar="OUT",
+                       help="write the report to OUT instead of stdout")
+    check.add_argument("--rules", metavar="IDS",
+                       help="comma-separated rule IDs to enable "
+                            "(default: all rules)")
+    check.add_argument("--severity-floor", choices=("note", "warning", "error"),
+                       default=None, dest="severity_floor",
+                       help="weakest severity to report (default: note)")
+    check.add_argument("--sanitize", action="store_true",
+                       help="also execute each program and cross-check "
+                            "constant claims (ICP900)")
+    check.add_argument("--max-steps", type=int, default=1_000_000,
+                       help="interpreter step budget for --sanitize")
+    check.add_argument("--baseline", metavar="PATH",
+                       help="baseline file of accepted findings "
+                            "(.icplint-baseline.json)")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="write the surviving findings to --baseline "
+                            "and exit 0")
+    check.set_defaults(func=_cmd_check)
+
     graph = sub.add_parser("graph", parents=[common],
                            help="print the PCG as Graphviz DOT")
     graph.add_argument("file")
@@ -427,6 +548,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", metavar="OUT.json",
                        help="write machine-readable bench results "
                             "(e.g. BENCH_icp.json) for cross-PR tracking")
+    bench.add_argument("--check", action="store_true",
+                       help="run the diagnostics engine over each benchmark "
+                            "and add a finding-count column")
     bench.set_defaults(func=_cmd_bench)
 
     watch = sub.add_parser(
@@ -444,7 +568,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 #: Subcommand names; a leading argument that is none of these (and not a
 #: flag) is treated as a file to analyze.
-_SUBCOMMANDS = ("analyze", "graph", "optimize", "run", "tables", "bench", "watch")
+_SUBCOMMANDS = (
+    "analyze", "check", "graph", "optimize", "run", "tables", "bench", "watch"
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.ir.lattice import BOTTOM, LatticeValue
 
@@ -42,6 +42,11 @@ class ICPConfig:
     :param cache: memoize per-procedure intraprocedural results in a
         content-addressed summary cache, so re-running the pipeline over an
         unchanged procedure skips its re-analysis entirely.
+    :param diag_rules: rule IDs the diagnostics engine should run (``None``
+        enables every rule; see ``repro.diag.findings.RULES``).
+    :param diag_severity_floor: weakest finding severity to report
+        (``"note"``, ``"warning"``, or ``"error"``).
+    :param diag_sarif: default the ``check`` command's output to SARIF.
     """
 
     propagate_floats: bool = True
@@ -55,6 +60,9 @@ class ICPConfig:
     workers: int = 1
     executor: str = "thread"
     cache: bool = False
+    diag_rules: Optional[Tuple[str, ...]] = None
+    diag_severity_floor: str = "note"
+    diag_sarif: bool = False
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ICPConfig":
@@ -71,7 +79,14 @@ class ICPConfig:
             raise ValueError(
                 f"unknown ICPConfig keys: {unknown}; known keys: {sorted(known)}"
             )
-        config = cls(**dict(data))
+        normalized = dict(data)
+        if isinstance(normalized.get("diag_rules"), (list, tuple)):
+            # JSON round trips tuples as lists; normalize (sorted, deduped)
+            # so to_dict/from_dict is a fixpoint.
+            normalized["diag_rules"] = tuple(
+                sorted(set(normalized["diag_rules"]))
+            )
+        config = cls(**normalized)
         if config.engine not in ("scc", "simple"):
             raise ValueError(
                 f"engine must be 'scc' or 'simple', got {config.engine!r}"
@@ -87,6 +102,24 @@ class ICPConfig:
             )
         if not config.entry or not isinstance(config.entry, str):
             raise ValueError(f"entry must be a procedure name, got {config.entry!r}")
+        from repro.diag.findings import RULES, SEVERITIES
+
+        if config.diag_severity_floor not in SEVERITIES:
+            raise ValueError(
+                f"diag_severity_floor must be one of {SEVERITIES}, "
+                f"got {config.diag_severity_floor!r}"
+            )
+        if config.diag_rules is not None:
+            unknown_rules = sorted(set(config.diag_rules) - set(RULES))
+            if unknown_rules:
+                raise ValueError(
+                    f"unknown diag_rules: {unknown_rules}; "
+                    f"known rule IDs: {sorted(RULES)}"
+                )
+        if not isinstance(config.diag_sarif, bool):
+            raise ValueError(
+                f"diag_sarif must be a bool, got {config.diag_sarif!r}"
+            )
         return config
 
     def to_dict(self) -> Dict[str, Any]:

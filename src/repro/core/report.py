@@ -178,6 +178,18 @@ def session_report(session) -> str:
     return "\n".join(lines)
 
 
+def diagnostics_report(diag, path: str = None) -> str:
+    """Deterministic text rendering of one diagnostics run.
+
+    Delegates to the canonical renderer in :mod:`repro.diag.output`; the
+    session-vs-cold byte-identity guarantee is stated (and tested) against
+    this function's output.
+    """
+    from repro.diag.output import render_findings
+
+    return render_findings(diag, path=path)
+
+
 def full_report(result: PipelineResult) -> str:
     """Report every reachable procedure, in call-graph order."""
     parts: List[str] = [analysis_report(result)]

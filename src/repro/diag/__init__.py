@@ -1,0 +1,62 @@
+"""Interprocedural diagnostics over the ICP pipeline.
+
+The pipeline of Carini & Hind computes everything a serious static checker
+needs — the PCG, alias and MOD/REF summaries, USE sets, and both constant
+solutions.  This package turns those artifacts into user-facing findings
+with stable rule IDs:
+
+========  ====================  ========================================
+ICP001    use-before-init       entry reads no path initializes
+ICP002    argument-aliasing     aliased actuals with a modified formal
+ICP003    dead-store            assigned value never read
+ICP004    unreachable-code      dead code / decided branches under FS
+ICP005    call-mismatch         arity, value-position, kind mismatches
+ICP006    recursion-fallback    FI fallback on a PCG cycle
+ICP900    unsound-constant      sanitizer: claim contradicted by a run
+ICP901    sanitizer-skipped     sanitizer could not execute the program
+========  ====================  ========================================
+
+Entry points: :func:`check_source` (one source text, end to end),
+:func:`run_diagnostics` (an already-computed pipeline result), and
+``python -m repro.diag.sanitize`` (the CI soundness sweep).
+"""
+
+from repro.diag.engine import (
+    DiagnosticsResult,
+    DiagOptions,
+    check_source,
+    procedure_findings,
+    run_diagnostics,
+)
+from repro.diag.findings import RULES, SEVERITIES, Finding, Rule
+from repro.diag.suppress import (
+    load_baseline,
+    source_suppressions,
+    write_baseline,
+)
+
+def __getattr__(name):
+    # Imported lazily so ``python -m repro.diag.sanitize`` does not load the
+    # module twice (once via this package, once as __main__).
+    if name == "sanitize_result":
+        from repro.diag.sanitize import sanitize_result
+
+        return sanitize_result
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DiagOptions",
+    "DiagnosticsResult",
+    "Finding",
+    "RULES",
+    "Rule",
+    "SEVERITIES",
+    "check_source",
+    "load_baseline",
+    "procedure_findings",
+    "run_diagnostics",
+    "sanitize_result",
+    "source_suppressions",
+    "write_baseline",
+]

@@ -1,0 +1,173 @@
+"""The diagnostics data model: rules, severities, findings.
+
+A :class:`Finding` is one diagnostic instance — a stable rule ID, a severity,
+a source location, and a message.  Messages deliberately contain *no* line
+numbers: the baseline mechanism fingerprints findings by (rule, procedure,
+message), so a finding survives unrelated edits that shift lines.
+
+Everything here is a pure value type with a deterministic ordering
+(:meth:`Finding.sort_key`), which is what makes session-incremental
+re-linting render byte-identically to a cold run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import SourcePos
+
+#: Severity names, weakest first.  Order matters: the severity floor and the
+#: CI gate compare through :data:`SEVERITY_ORDER`.
+SEVERITIES = ("note", "warning", "error")
+SEVERITY_ORDER: Dict[str, int] = {name: i for i, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One diagnostic rule: a stable ID plus its catalog metadata."""
+
+    id: str            # "ICP001"
+    name: str          # kebab-case slug, e.g. "use-before-init"
+    severity: str      # default severity of its findings
+    summary: str       # one-line description (SARIF shortDescription)
+    rationale: str     # what pipeline facts the rule reads (fullDescription)
+
+
+#: The rule catalog.  IDs are append-only and never renumbered; docs/
+#: DIAGNOSTICS.md carries the long-form catalog with examples and fixes.
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            "ICP001",
+            "use-before-init",
+            "warning",
+            "variable may be read before initialization",
+            "A variable is upward-exposed in the entry procedure even when "
+            "interprocedural MOD sets are credited as initializers: no path "
+            "from program entry — through any call — writes it before the "
+            "first read.  Computed from USE sets with call MOD effects as "
+            "kills.",
+        ),
+        Rule(
+            "ICP002",
+            "argument-aliasing",
+            "warning",
+            "aliased actual arguments with a modified formal",
+            "Two actual arguments at a call may alias (same variable, "
+            "propagated alias pair, or a global passed as an argument) while "
+            "the callee may modify a corresponding formal.  Fortran leaves "
+            "such calls undefined; the analyses stay sound via may-defs, but "
+            "the program's meaning is implementation-dependent.",
+        ),
+        Rule(
+            "ICP003",
+            "dead-store",
+            "warning",
+            "assigned value is never read",
+            "Backward liveness over the procedure CFG, with call read "
+            "effects bound from interprocedural USE summaries and visible "
+            "variables kept live at exits of non-entry procedures: the "
+            "stored value cannot be observed by any execution.",
+        ),
+        Rule(
+            "ICP004",
+            "unreachable-code",
+            "warning",
+            "code unreachable or branch decided under propagated constants",
+            "The flow-sensitive SCC solution proves a block unreachable or a "
+            "branch always taken under the interprocedurally propagated "
+            "entry constants — the paper's Figure 1 precision, surfaced as "
+            "a lint.",
+        ),
+        Rule(
+            "ICP005",
+            "call-mismatch",
+            "error",
+            "call signature mismatch",
+            "A call site disagrees with its callee's declaration: wrong "
+            "arity, a value-position call to a procedure that never returns "
+            "a value, a call to an undefined procedure, or an array/scalar "
+            "usage-kind mismatch between an actual and its formal.",
+        ),
+        Rule(
+            "ICP006",
+            "recursion-fallback",
+            "note",
+            "flow-insensitive fallback on a call-graph cycle",
+            "The call edge is a PCG back/fallback edge, so the flow-"
+            "sensitive traversal substituted the flow-insensitive solution "
+            "for it (paper Section 3.2) — entry facts for the callee may be "
+            "weaker than a full fixpoint would give.",
+        ),
+        Rule(
+            "ICP900",
+            "unsound-constant",
+            "error",
+            "claimed constant contradicted by execution",
+            "The soundness sanitizer executed the program under the "
+            "reference interpreter and observed a value that contradicts a "
+            "flow-sensitive 'constant at entry/call' claim.  Any instance "
+            "is an analysis bug.",
+        ),
+        Rule(
+            "ICP901",
+            "sanitizer-skipped",
+            "note",
+            "sanitizer could not execute the program",
+            "The reference interpreter raised a runtime error or exceeded "
+            "its step budget, so constant claims could not be cross-checked "
+            "against observed values for this program.",
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic instance."""
+
+    rule_id: str
+    severity: str
+    message: str
+    #: Procedure the finding belongs to ("" for program-level findings).
+    proc: str = ""
+    #: 1-based source line/column; 0 when the position is unknown.
+    line: int = 0
+    column: int = 0
+
+    @classmethod
+    def at(
+        cls,
+        rule: Rule,
+        message: str,
+        proc: str = "",
+        pos: Optional[SourcePos] = None,
+        severity: Optional[str] = None,
+    ) -> "Finding":
+        return cls(
+            rule_id=rule.id,
+            severity=severity or rule.severity,
+            message=message,
+            proc=proc,
+            line=pos.line if pos is not None else 0,
+            column=pos.column if pos is not None else 0,
+        )
+
+    def sort_key(self):
+        """Deterministic ordering: by position, then rule, then text."""
+        return (self.line, self.column, self.rule_id, self.proc, self.message)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining (line numbers excluded)."""
+        payload = f"{self.rule_id}|{self.proc}|{self.message}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """One text-report line (no file prefix)."""
+        where = f"{self.line}:{self.column}" if self.line else "-"
+        scope = f" [{self.proc}]" if self.proc else ""
+        return f"{where:>7}  {self.severity:<7} {self.rule_id}{scope} {self.message}"

@@ -1,0 +1,170 @@
+"""Rendering findings: text, JSON, and SARIF 2.1.0.
+
+All three renderers are deterministic functions of their inputs — no
+timestamps, no absolute paths, no environment — which is what lets the
+session-incremental path guarantee byte-identical reports against a cold
+run, and lets CI diff SARIF artifacts across commits.
+
+The SARIF output is hand-rolled (stdlib ``json`` only) against the OASIS
+SARIF 2.1.0 schema: one ``run``, the rule catalog under
+``tool.driver.rules``, one ``result`` per finding with a ``physicalLocation``
+and a ``partialFingerprints`` entry carrying the baseline fingerprint.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.diag.findings import RULES, Finding
+
+JSON_SCHEMA = "repro-icp/diag/v1"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF has no "warning < error in a 'note' world" subtleties: our three
+#: severities map one-to-one onto SARIF result levels.
+_SARIF_LEVEL = {"note": "note", "warning": "warning", "error": "error"}
+
+#: One checked file: (display path or None, DiagnosticsResult).
+Entry = Tuple[Optional[str], "repro.diag.engine.DiagnosticsResult"]
+
+
+def render_findings(diag, path: Optional[str] = None) -> str:
+    """The canonical single-program text report.
+
+    ``repro.core.report.diagnostics_report`` and the ``check`` subcommand
+    both delegate here, so the byte-identity acceptance test compares this
+    exact rendering.
+    """
+    label = path if path is not None else "<program>"
+    count = len(diag.findings)
+    header = f"{label}: {count} finding(s)"
+    extras = []
+    if diag.suppressed:
+        extras.append(f"{diag.suppressed} suppressed")
+    if diag.baselined:
+        extras.append(f"{diag.baselined} baselined")
+    if extras:
+        header += " (" + ", ".join(extras) + ")"
+    lines = [header]
+    lines.extend("  " + finding.render() for finding in diag.findings)
+    return "\n".join(lines)
+
+
+def render_text(entries: Sequence[Entry]) -> str:
+    """Multi-file text report plus a severity totals footer."""
+    sections = [render_findings(diag, path) for path, diag in entries]
+    totals: Dict[str, int] = {}
+    for _, diag in entries:
+        for finding in diag.findings:
+            totals[finding.severity] = totals.get(finding.severity, 0) + 1
+    footer = "total: " + (
+        ", ".join(
+            f"{totals[name]} {name}(s)"
+            for name in ("error", "warning", "note")
+            if name in totals
+        )
+        or "no findings"
+    )
+    return "\n".join(sections + [footer]) + "\n"
+
+
+def render_json(entries: Sequence[Entry]) -> str:
+    """Machine-readable JSON (schema ``repro-icp/diag/v1``)."""
+    files = []
+    for path, diag in entries:
+        files.append(
+            {
+                "path": path,
+                "findings": [
+                    {
+                        "rule": finding.rule_id,
+                        "severity": finding.severity,
+                        "line": finding.line,
+                        "column": finding.column,
+                        "proc": finding.proc,
+                        "message": finding.message,
+                        "fingerprint": finding.fingerprint,
+                    }
+                    for finding in diag.findings
+                ],
+                "suppressed": diag.suppressed,
+                "baselined": diag.baselined,
+                "counts": diag.counts,
+            }
+        )
+    return json.dumps(
+        {"schema": JSON_SCHEMA, "files": files}, indent=2, sort_keys=True
+    ) + "\n"
+
+
+def render_sarif(entries: Sequence[Entry]) -> str:
+    """SARIF 2.1.0: one run covering every checked file."""
+    rule_ids = sorted(RULES)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "name": RULES[rule_id].name,
+            "shortDescription": {"text": RULES[rule_id].summary},
+            "fullDescription": {"text": RULES[rule_id].rationale},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVEL[RULES[rule_id].severity]
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    results: List[dict] = []
+    for path, diag in entries:
+        uri = path if path is not None else "<program>"
+        for finding in diag.findings:
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                }
+            }
+            if finding.line:
+                location["physicalLocation"]["region"] = {
+                    "startLine": finding.line,
+                    "startColumn": max(finding.column, 1),
+                }
+            if finding.proc:
+                location["logicalLocations"] = [
+                    {"name": finding.proc, "kind": "function"}
+                ]
+            results.append(
+                {
+                    "ruleId": finding.rule_id,
+                    "ruleIndex": rule_index[finding.rule_id],
+                    "level": _SARIF_LEVEL[finding.severity],
+                    "message": {"text": finding.message},
+                    "locations": [location],
+                    "partialFingerprints": {
+                        "icpLintFingerprint/v1": finding.fingerprint
+                    },
+                }
+            )
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-icp",
+                        "informationUri": (
+                            "https://dl.acm.org/doi/10.1145/207110.207152"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

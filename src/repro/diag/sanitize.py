@@ -1,0 +1,249 @@
+"""The soundness sanitizer (ICP900): execute, observe, cross-check.
+
+Every flow-sensitive "constant at entry/call" claim is a theorem about all
+executions; the reference interpreter provides one.  The sanitizer runs the
+program under a :class:`~repro.interp.Recorder` and reports any claim the
+recorded values contradict as an ``ICP900`` finding — by construction any
+instance is an analysis bug, so CI fails on the first one.
+
+Checked claims (mirroring ``tests/helpers.soundness_violations``):
+
+- FS entry-formal and entry-global constants (vacuous when the procedure
+  never executed or the variable was uninitialized there);
+- FS argument and recorded-global constants at executable call sites;
+- FS unreachability claims — a procedure outside ``fs_reachable`` or a call
+  site marked non-executable that the interpreter nevertheless entered.
+
+Comparison is type-sensitive (``values_equal``): the integer 1 and the
+float 1.0 are *different* constants, exactly as in the lattice.
+
+Run ``python -m repro.diag.sanitize`` to sweep the benchmark suite (CI's
+soundness gate); pass file paths to sanitize sources on disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.diag.findings import RULES, Finding
+from repro.errors import InterpreterError, ReproError
+from repro.interp.interpreter import MULTIPLE, Recorder, run_program
+from repro.ir.lattice import values_equal
+
+
+def sanitize_result(result, max_steps: int = 1_000_000) -> List[Finding]:
+    """Cross-check one pipeline result against an actual execution."""
+    program = result.program
+    recorder = Recorder()
+    try:
+        run_program(program, max_steps=max_steps, recorder=recorder)
+    except InterpreterError as error:
+        return [
+            Finding.at(
+                RULES["ICP901"],
+                f"reference execution failed ({error}); "
+                "constant claims were not cross-checked",
+            )
+        ]
+
+    findings: List[Finding] = []
+    proc_map = program.procedure_map()
+    unsound = RULES["ICP900"]
+
+    def proc_pos(proc: str):
+        node = proc_map.get(proc)
+        return node.pos if node is not None else None
+
+    def describe(observed) -> str:
+        return (
+            "multiple differing values"
+            if observed is MULTIPLE
+            else repr(observed)
+        )
+
+    def check_entry(kind: str, proc: str, var: str, claimed) -> None:
+        observed = recorder.entry_values.get((proc, var))
+        if observed is None:
+            return  # never executed (or never initialized there): vacuous
+        if observed is MULTIPLE or not values_equal(observed, claimed):
+            findings.append(
+                Finding.at(
+                    unsound,
+                    f"unsound {kind} constant: '{var}' claimed {claimed!r} "
+                    f"at entry of '{proc}' but observed "
+                    f"{describe(observed)}",
+                    proc=proc,
+                    pos=proc_pos(proc),
+                )
+            )
+
+    for (proc, formal), value in sorted(result.fs.entry_formals.items()):
+        if value.is_const:
+            check_entry("entry-formal", proc, formal, value.const_value)
+    for (proc, name), value in sorted(result.fs.entry_globals.items()):
+        if value.is_const:
+            check_entry("entry-global", proc, name, value.const_value)
+
+    # FS unreachability claims for whole procedures.
+    for proc in result.pcg.nodes:
+        if proc in result.fs.fs_reachable:
+            continue
+        entered = recorder.entry_counts.get(proc, 0)
+        if entered:
+            findings.append(
+                Finding.at(
+                    unsound,
+                    f"'{proc}' claimed unreachable by the flow-sensitive "
+                    f"solution but was entered {entered} time(s)",
+                    proc=proc,
+                    pos=proc_pos(proc),
+                )
+            )
+
+    # Call-site claims.
+    for proc, intra in sorted(result.fs.intra.items()):
+        if proc not in result.fs.fs_reachable:
+            continue
+        for (caller, site_index), site_values in sorted(intra.call_sites.items()):
+            site = site_values.site
+            pos = site.stmt.pos
+            if not site_values.executable:
+                executed = recorder.call_counts.get((caller, site_index), 0)
+                if executed:
+                    findings.append(
+                        Finding.at(
+                            unsound,
+                            f"call site #{site_index} to '{site.callee}' in "
+                            f"'{caller}' claimed unreachable but executed "
+                            f"{executed} time(s)",
+                            proc=caller,
+                            pos=pos,
+                        )
+                    )
+                continue
+            for arg_pos, value in enumerate(site_values.arg_values):
+                if not value.is_const:
+                    continue
+                observed = recorder.call_args.get((caller, site_index, arg_pos))
+                if observed is None:
+                    continue
+                if observed is MULTIPLE or not values_equal(
+                    observed, value.const_value
+                ):
+                    findings.append(
+                        Finding.at(
+                            unsound,
+                            f"unsound argument constant: argument "
+                            f"{arg_pos + 1} of call site #{site_index} to "
+                            f"'{site.callee}' in '{caller}' claimed "
+                            f"{value.const_value!r} but observed "
+                            f"{describe(observed)}",
+                            proc=caller,
+                            pos=pos,
+                        )
+                    )
+            for name, value in sorted(site_values.global_values.items()):
+                if not value.is_const:
+                    continue
+                observed = recorder.call_globals.get((caller, site_index, name))
+                if observed is None:
+                    continue
+                if observed is MULTIPLE or not values_equal(
+                    observed, value.const_value
+                ):
+                    findings.append(
+                        Finding.at(
+                            unsound,
+                            f"unsound global constant: '{name}' claimed "
+                            f"{value.const_value!r} at call site "
+                            f"#{site_index} to '{site.callee}' in "
+                            f"'{caller}' but observed {describe(observed)}",
+                            proc=caller,
+                            pos=pos,
+                        )
+                    )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CLI sweep: ``python -m repro.diag.sanitize`` (the CI soundness gate).
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.diag.sanitize",
+        description=(
+            "Run the ICP900 soundness sanitizer over the benchmark suite "
+            "(and any extra source files); exits 1 on any unsound claim."
+        ),
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        metavar="FILE",
+        help="additional MiniF (.mf) or F77 (.f/.for/.f77) sources to check",
+    )
+    parser.add_argument("--scale", type=int, default=1, help="suite scale factor")
+    parser.add_argument(
+        "--skip-suite",
+        action="store_true",
+        help="sanitize only the given FILEs, not the benchmark suite",
+    )
+    parser.add_argument(
+        "--max-steps",
+        type=int,
+        default=1_000_000,
+        help="interpreter step budget per program",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.bench.suite import SUITE, build_benchmark
+    from repro.core.config import ICPConfig
+    from repro.core.driver import CompilationPipeline
+    from repro.lang.fortran import parse_fortran
+    from repro.lang.parser import parse_program
+
+    pipeline = CompilationPipeline(ICPConfig())
+    targets = []
+    if not args.skip_suite:
+        for name in sorted(SUITE):
+            targets.append((name, build_benchmark(SUITE[name], args.scale)))
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        if path.lower().endswith((".f", ".for", ".f77")):
+            targets.append((path, parse_fortran(text)))
+        else:
+            targets.append((path, parse_program(text)))
+
+    unsound_total = 0
+    skipped_total = 0
+    for name, program in targets:
+        try:
+            result = pipeline.run(program)
+        except ReproError as error:
+            print(f"{name}: analysis failed ({error})")
+            skipped_total += 1
+            continue
+        findings = sanitize_result(result, max_steps=args.max_steps)
+        unsound = [f for f in findings if f.rule_id == "ICP900"]
+        skipped = [f for f in findings if f.rule_id == "ICP901"]
+        unsound_total += len(unsound)
+        skipped_total += len(skipped)
+        status = "ok" if not findings else f"{len(unsound)} ICP900"
+        if skipped:
+            status += f", {len(skipped)} skipped"
+        print(f"{name}: {status}")
+        for finding in unsound + skipped:
+            print(f"  {finding.render()}")
+    print(
+        f"sanitized {len(targets)} program(s): "
+        f"{unsound_total} unsound claim(s), {skipped_total} skipped"
+    )
+    return 1 if unsound_total else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Finding suppression: per-line ``noqa`` directives and the baseline file.
+
+Two orthogonal mechanisms quiet a finding without fixing it:
+
+- **Per-line**: a comment containing ``noqa`` on the finding's line.  Bare
+  ``noqa`` silences every rule there; ``noqa: ICP003`` (comma-separated for
+  several) silences only the listed rules.  MiniF uses ``#`` comments,
+  F77 uses ``!`` or column-1 ``C``/``c``/``*`` comments — both lexers hand
+  their comment streams to :func:`source_suppressions`.
+- **Repo baseline**: ``.icplint-baseline.json`` records fingerprints of
+  accepted findings so CI gates on *new* findings only.  Fingerprints hash
+  (rule, procedure, message) — no line numbers — so a baselined finding
+  survives unrelated edits that shift lines.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from repro.diag.findings import Finding
+
+#: ``noqa`` with an optional ``: ICP001, ICP002`` code list.  Case-insensitive,
+#: anywhere inside the comment text.
+_NOQA_RE = re.compile(
+    r"\bnoqa\b\s*(?::\s*(?P<codes>[A-Za-z]+[0-9]+(?:\s*,\s*[A-Za-z]+[0-9]+)*))?",
+    re.IGNORECASE,
+)
+
+#: line -> None (suppress all rules) or the frozenset of suppressed rule IDs.
+SuppressionTable = Dict[int, Optional[FrozenSet[str]]]
+
+BASELINE_SCHEMA = "repro-icp/lint-baseline/v1"
+BASELINE_FILENAME = ".icplint-baseline.json"
+
+
+def suppressions_from_comments(
+    comments: Iterable[Tuple[int, str]]
+) -> SuppressionTable:
+    """Fold a lexer's ``(line, text)`` comment stream into a suppression table."""
+    table: SuppressionTable = {}
+    for line, text in comments:
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            table[line] = None
+            continue
+        ids = frozenset(
+            code.strip().upper() for code in codes.split(",") if code.strip()
+        )
+        existing = table.get(line, frozenset())
+        if existing is None:
+            continue  # a bare noqa on this line already suppresses everything
+        table[line] = existing | ids
+    return table
+
+
+def source_suppressions(source: str, fortran: bool = False) -> SuppressionTable:
+    """Scan MiniF (``#``) or F77 (``!``/column-1) comments for ``noqa``."""
+    if fortran:
+        from repro.lang.fortran import scan_comments
+    else:
+        from repro.lang.lexer import scan_comments
+    return suppressions_from_comments(scan_comments(source))
+
+
+_MISSING = object()
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], table: SuppressionTable
+) -> Tuple[List[Finding], int]:
+    """Drop findings whose line carries a matching ``noqa``.
+
+    Returns ``(kept, suppressed_count)``.  Findings with no position
+    (line 0) can never be suppressed per-line — use the baseline for those.
+    """
+    if not table:
+        return list(findings), 0
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        codes = table.get(finding.line, _MISSING)
+        if codes is not _MISSING and finding.line:
+            if codes is None or finding.rule_id in codes:
+                suppressed += 1
+                continue
+        kept.append(finding)
+    return kept, suppressed
+
+
+# ----------------------------------------------------------------------
+# Baseline file.
+# ----------------------------------------------------------------------
+
+def load_baseline(path: Union[str, Path]) -> FrozenSet[str]:
+    """Fingerprints recorded in a baseline file (empty if the file is absent)."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return frozenset()
+    data = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{baseline_path}: not a {BASELINE_SCHEMA} baseline file"
+        )
+    return frozenset(
+        entry["fingerprint"] for entry in data.get("findings", [])
+    )
+
+
+def write_baseline(path: Union[str, Path], findings: Iterable[Finding]) -> int:
+    """Write a baseline accepting ``findings``; returns the entry count.
+
+    Entries keep the human-readable (rule, proc, message) next to each
+    fingerprint so baseline diffs review like code.
+    """
+    entries = {
+        finding.fingerprint: {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule_id,
+            "proc": finding.proc,
+            "message": finding.message,
+        }
+        for finding in findings
+    }
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [entries[key] for key in sorted(entries)],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Iterable[Finding], fingerprints: FrozenSet[str]
+) -> Tuple[List[Finding], int]:
+    """Drop findings whose fingerprint the baseline accepts."""
+    if not fingerprints:
+        return list(findings), 0
+    kept: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if finding.fingerprint in fingerprints:
+            baselined += 1
+        else:
+            kept.append(finding)
+    return kept, baselined

@@ -77,6 +77,9 @@ class Recorder:
         self.call_args: Dict[Tuple[str, int, int], object] = {}
         self.call_globals: Dict[Tuple[str, int, str], object] = {}
         self.entry_counts: Dict[str, int] = {}
+        #: Executions of each call site, keyed (caller, site_index) — lets
+        #: the soundness sanitizer catch claimed-unreachable sites that ran.
+        self.call_counts: Dict[Tuple[str, int], int] = {}
 
     @staticmethod
     def _note(table: dict, key, value) -> None:
@@ -108,6 +111,8 @@ class Recorder:
         arg_values: List[Optional[Value]],
         global_frame: Dict[str, Cell],
     ) -> None:
+        key = (caller, site_index)
+        self.call_counts[key] = self.call_counts.get(key, 0) + 1
         for pos, value in enumerate(arg_values):
             if value is not None:
                 self._note(self.call_args, (caller, site_index, pos), value)

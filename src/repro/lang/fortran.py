@@ -79,6 +79,9 @@ class _Lines:
 
     def __init__(self, source: str):
         self.lines: List[Tuple[int, str]] = []
+        #: ``(line, text)`` of every comment (fixed-form column-1 and
+        #: ``!``-style, full-line or inline), for the suppression scan.
+        self.comments: List[Tuple[int, str]] = []
         for number, raw in enumerate(source.splitlines(), start=1):
             # Fixed-form comments: 'C', 'c', or '*' in COLUMN 1, standing
             # alone or followed by whitespace.  (Checking the raw line
@@ -86,14 +89,18 @@ class _Lines:
             # statement, not a comment.)
             head = raw[:1]
             if head in ("C", "c", "*") and (len(raw) == 1 or raw[1] in " \t"):
+                self.comments.append((number, raw[1:]))
                 continue
             stripped = raw.strip()
             if not stripped or stripped == "*":
                 continue
             if stripped.startswith("!"):
+                self.comments.append((number, stripped[1:]))
                 continue
             if "!" in stripped:
-                stripped = stripped.split("!", 1)[0].strip()
+                stripped, tail = stripped.split("!", 1)
+                self.comments.append((number, tail))
+                stripped = stripped.strip()
                 if not stripped:
                     continue
             self.lines.append((number, stripped))
@@ -231,6 +238,16 @@ _CALL_ASSIGN_RE = re.compile(r"^(\w+)\s*=\s*(\w+)\s*\((.*)\)\s*$")
 _DECL_RE = re.compile(r"^(integer|real|logical|implicit)\b", re.IGNORECASE)
 _DIMENSION_RE = re.compile(r"^dimension\s+(.+)$", re.IGNORECASE)
 _DIM_ENTRY_RE = re.compile(r"^([A-Za-z_]\w*)\s*\(\s*[\w\s,]*\s*\)$")
+
+
+def scan_comments(source: str) -> List[Tuple[int, str]]:
+    """``(line, text)`` of every comment in a F77 source.
+
+    Covers fixed-form column-1 (``C``/``c``/``*``) comments and ``!``-style
+    comments, whether full-line or trailing a statement.  Never raises — the
+    scan is line-based and independent of statement parsing.
+    """
+    return _Lines(source).comments
 
 
 def parse_fortran(source: str) -> ast.Program:

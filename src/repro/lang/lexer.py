@@ -54,6 +54,9 @@ class Lexer:
         self._index = 0
         self._line = 1
         self._column = 1
+        #: ``(line, text)`` of every ``#`` comment, in source order; the
+        #: diagnostics suppression scan reads ``noqa`` directives from here.
+        self.comments: List[tuple] = []
 
     def tokens(self) -> Iterator[Token]:
         """Yield every token in the source, ending with an EOF token."""
@@ -96,8 +99,11 @@ class Lexer:
             if char in " \t\r\n":
                 self._advance()
             elif char == "#":
+                line = self._line
+                text: List[str] = []
                 while not self._at_end() and self._peek() != "\n":
-                    self._advance()
+                    text.append(self._advance())
+                self.comments.append((line, "".join(text[1:])))
             else:
                 return
 
@@ -161,3 +167,19 @@ class Lexer:
 def tokenize(source: str) -> List[Token]:
     """Lex ``source`` into a list of tokens (ending with EOF)."""
     return list(Lexer(source).tokens())
+
+
+def scan_comments(source: str) -> List[tuple]:
+    """``(line, text)`` of every ``#`` comment in ``source``.
+
+    Tolerant of lex errors: comments collected before the offending
+    character are still returned, so suppression directives work even on
+    sources a later phase rejects.
+    """
+    lexer = Lexer(source)
+    try:
+        for _ in lexer.tokens():
+            pass
+    except LexError:
+        pass
+    return lexer.comments

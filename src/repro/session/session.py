@@ -137,6 +137,10 @@ class AnalysisSession:
         self._edited: Set[str] = set()
         self._full_dirty = True
         self._prev_inputs = None  # (pcg, aliases, modref, fi) of last analyze
+        #: Diagnostics cache: (result the findings were computed against,
+        #: per-procedure finding lists).  Invalidated per procedure by
+        #: comparing pipeline artifacts, not by re-running checks.
+        self._diag_cache = None
 
     # ------------------------------------------------------------------
     # Edits.
@@ -409,6 +413,106 @@ class AnalysisSession:
         if self.result is None:
             raise ValueError("no analysis yet: call analyze() first")
         return analysis_report(self.result)
+
+    # ------------------------------------------------------------------
+    # Diagnostics.
+    # ------------------------------------------------------------------
+
+    def _diag_stale_procs(self, prev, prev_table, result) -> Set[str]:
+        """Procedures whose cached per-procedure findings may be wrong.
+
+        A procedure's findings depend on its own flow-sensitive result
+        (compared by object identity — the clean-copy path preserves it),
+        its own alias pairs, and each callee's formals/MOD/REF/USE rows
+        (USE changes do not dirty the FS region, so identity alone is not
+        enough for the dead-store check).  Whole-program inputs (globals,
+        entry) force ``_full_dirty`` and thus a fresh result with all-new
+        intra objects, so they need no separate handling here.
+        """
+        stale: Set[str] = set()
+        for proc in result.pcg.nodes:
+            if proc not in prev_table:
+                stale.add(proc)
+                continue
+            if prev.fs.intra.get(proc) is not result.fs.intra.get(proc):
+                stale.add(proc)
+                continue
+            if prev.aliases.pairs_of(proc) != result.aliases.pairs_of(proc):
+                stale.add(proc)
+                continue
+            for site in result.symbols[proc].call_sites:
+                callee = site.callee
+                if callee not in result.symbols or callee not in prev.symbols:
+                    stale.add(proc)
+                    break
+                if (
+                    prev.symbols[callee].formals
+                    != result.symbols[callee].formals
+                    or prev.modref.mod_of(callee) != result.modref.mod_of(callee)
+                    or prev.modref.ref_of(callee) != result.modref.ref_of(callee)
+                    or prev.use.use_of(callee) != result.use.use_of(callee)
+                ):
+                    stale.add(proc)
+                    break
+        return stale
+
+    def diagnostics(self, options=None):
+        """Lint the current program, re-checking only the dirty region.
+
+        Runs :meth:`analyze` first if there are pending edits (or no
+        analysis yet), then serves per-procedure findings from the session
+        cache for every procedure whose diagnostic inputs are unchanged.
+        Program-wide checks (use-before-init, dead procedures, fallback
+        notes, the optional sanitizer) are cheap and always re-run.  The
+        returned :class:`~repro.diag.engine.DiagnosticsResult` renders
+        byte-identically to a cold ``check_source`` over the same text.
+        """
+        from repro.diag.engine import (
+            DiagOptions,
+            procedure_findings,
+            run_diagnostics,
+        )
+
+        if self.result is None or self._edited or self._full_dirty:
+            self.analyze()
+        result = self.result
+        cached = self._diag_cache
+        if cached is not None and cached[0] is result:
+            per_proc = cached[1]
+            recomputed: Set[str] = set()
+        else:
+            if cached is None:
+                prev_result, prev_table = None, {}
+            else:
+                prev_result, prev_table = cached
+            if prev_result is None:
+                recomputed = set(result.pcg.nodes)
+            else:
+                recomputed = self._diag_stale_procs(
+                    prev_result, prev_table, result
+                )
+            fresh = procedure_findings(
+                result, procs=sorted(recomputed), obs=self.obs
+            )
+            per_proc = {
+                proc: fresh[proc] if proc in fresh else prev_table[proc]
+                for proc in result.pcg.nodes
+            }
+            self._diag_cache = (result, per_proc)
+
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("session.diag_runs").inc()
+            metrics.gauge("session.diag_recomputed").set(len(recomputed))
+            metrics.gauge("session.diag_reused").set(
+                len(per_proc) - len(recomputed)
+            )
+
+        if options is None:
+            options = DiagOptions.from_config(self.config)
+        return run_diagnostics(
+            result, options, obs=self.obs, proc_findings=per_proc
+        )
 
 
 def _tables_complete(proc, fs_prev: FSResult, symbols, pcg, modref, program) -> bool:

@@ -150,6 +150,26 @@ def _incremental_use(
         info.use[proc_name] = frozenset(visible)
 
 
+def bound_call_uses(
+    site: CallSite,
+    symbols: Dict[str, ProcedureSymbols],
+    modref: ModRefInfo,
+    info: UseInfo,
+    globals_set: FrozenSet[str],
+) -> Set[str]:
+    """Caller variables one call may read, binding the *final* USE solution.
+
+    Read-only variant of the traversal-internal :func:`_bind_call_uses`: a
+    callee without a USE summary falls back to its REF set without recording
+    a fallback site on ``info``.  Client analyses (the diagnostics engine's
+    liveness-based checks) use this to model call read effects.
+    """
+    if site.callee in info.use:
+        return _bind_call_uses(site, symbols, modref, info, globals_set)
+    shadow = UseInfo(use=info.use)
+    return _bind_call_uses(site, symbols, modref, shadow, globals_set)
+
+
 def _bind_call_uses(
     site: CallSite,
     symbols: Dict[str, ProcedureSymbols],

@@ -1,0 +1,382 @@
+"""Positive and negative tests for every rule family (ICP001–ICP006)."""
+
+import pytest
+
+from repro.core.config import ICPConfig
+from repro.diag import DiagOptions, check_source
+
+from tests.helpers import analyze
+
+
+def findings_for(source, rule_id, **config_kwargs):
+    config = ICPConfig(**config_kwargs)
+    diag = check_source(source, config=config)
+    return [f for f in diag.findings if f.rule_id == rule_id]
+
+
+class TestUseBeforeInit:
+    def test_flags_entry_read_of_uninitialized_local(self):
+        found = findings_for(
+            "proc main() { print(x); }",
+            "ICP001",
+        )
+        assert len(found) == 1
+        assert "'x'" in found[0].message
+        assert found[0].proc == "main"
+
+    def test_clean_when_assigned_first(self):
+        assert not findings_for(
+            "proc main() { x = 1; print(x); }", "ICP001"
+        )
+
+    def test_read_through_call_names_the_callee(self):
+        source = """\
+global g;
+proc main() {
+    call reader(1);
+}
+proc reader(n) {
+    print(n + g);
+}
+"""
+        # The uninitialized global is read inside 'reader', surfaced at
+        # main's entry through the bound USE set of the call site.
+        found = findings_for(source, "ICP001")
+        assert len(found) == 1
+        assert "'g'" in found[0].message
+        assert "reader" in found[0].message
+
+    def test_call_mod_counts_as_initialization(self):
+        source = """\
+proc main() {
+    call setter(y);
+    print(y);
+}
+proc setter(out) {
+    out = 5;
+}
+"""
+        assert not findings_for(source, "ICP001")
+
+    def test_initialized_global_is_clean(self):
+        source = """\
+global g;
+init { g = 1; }
+proc main() { print(g); }
+"""
+        assert not findings_for(source, "ICP001")
+
+    def test_array_reads_never_fire(self):
+        # Arrays are not value-tracked: element reads must not be reported
+        # by the value-based rule even without a visible element store.
+        source = """\
+proc main() {
+    i = 0;
+    a[0] = 1;
+    print(a[i]);
+}
+"""
+        assert not findings_for(source, "ICP001")
+
+
+class TestAliasing:
+    def test_same_variable_twice_with_modification(self):
+        source = """\
+proc main() {
+    x = 1;
+    call f(x, x);
+}
+proc f(a, b) { a = a + b; print(a); }
+"""
+        found = findings_for(source, "ICP002")
+        assert len(found) == 1
+        assert "twice" in found[0].message
+
+    def test_clean_when_callee_only_reads(self):
+        source = """\
+proc main() {
+    x = 1;
+    call f(x, x);
+}
+proc f(a, b) { print(a + b); }
+"""
+        assert not findings_for(source, "ICP002")
+
+    def test_aliasing_chain_through_formals(self):
+        # main passes x twice to mid; mid forwards both formals to leaf,
+        # which modifies one — the hazard propagates down the chain.
+        source = """\
+proc main() {
+    x = 1;
+    call mid(x, x);
+}
+proc mid(p, q) {
+    call leaf(p, q);
+}
+proc leaf(a, b) {
+    a = b + 1;
+    print(a);
+}
+"""
+        found = findings_for(source, "ICP002")
+        assert found
+        # Both the originating site and the forwarding site are hazards.
+        procs = {f.proc for f in found}
+        assert "main" in procs
+
+    def test_global_passed_to_procedure_touching_it(self):
+        source = """\
+global g;
+init { g = 1; }
+proc main() {
+    call f(g);
+}
+proc f(a) { a = a + g; print(a); }
+"""
+        found = findings_for(source, "ICP002")
+        assert len(found) == 1
+        assert "global 'g'" in found[0].message
+
+    def test_distinct_locals_are_clean(self):
+        source = """\
+proc main() {
+    x = 1;
+    y = 2;
+    call f(x, y);
+}
+proc f(a, b) { a = a + b; print(a); }
+"""
+        assert not findings_for(source, "ICP002")
+
+
+class TestDeadStores:
+    def test_flags_never_read_local(self):
+        source = """\
+proc main() {
+    x = 1;
+    y = 2;
+    print(y);
+}
+"""
+        found = findings_for(source, "ICP003")
+        assert len(found) == 1
+        assert "'x'" in found[0].message
+
+    def test_overwritten_before_read(self):
+        source = """\
+proc main() {
+    x = 1;
+    x = 2;
+    print(x);
+}
+"""
+        found = findings_for(source, "ICP003")
+        assert len(found) == 1
+        assert found[0].line == 2
+
+    def test_formal_store_is_live_at_exit(self):
+        # Reference parameters escape: a store to a formal is observable
+        # by the caller, never a dead store.
+        source = """\
+proc main() {
+    x = 1;
+    call f(x);
+    print(x);
+}
+proc f(a) { a = 42; }
+"""
+        assert not findings_for(source, "ICP003")
+
+    def test_global_store_in_entry_with_no_reader_is_dead(self):
+        # The program ends at main's exit: a global store nothing reads
+        # afterwards is genuinely dead.
+        source = """\
+global g;
+proc main() {
+    g = 3;
+}
+"""
+        found = findings_for(source, "ICP003")
+        assert len(found) == 1
+        assert "'g'" in found[0].message
+
+    def test_global_store_in_callee_is_live_at_exit(self):
+        # In a non-entry procedure the caller may read the global after
+        # the call returns: stores to globals are live at procedure exit.
+        source = """\
+global g;
+proc main() {
+    call setter();
+    print(g);
+}
+proc setter() {
+    g = 3;
+}
+"""
+        assert not findings_for(source, "ICP003")
+
+    def test_array_store_never_flagged(self):
+        source = """\
+proc main() {
+    i = 0;
+    a[i] = 7;
+}
+"""
+        found = [
+            f
+            for f in check_source(source).findings
+            if f.rule_id == "ICP003" and "'a'" in f.message
+        ]
+        assert not found
+
+    def test_store_read_by_callee_is_live(self):
+        source = """\
+global g;
+proc main() {
+    g = 3;
+    call f(1);
+}
+proc f(n) { print(n + g); }
+"""
+        assert not findings_for(source, "ICP003")
+
+
+class TestReachability:
+    def test_always_true_branch_from_interprocedural_constant(self):
+        source = """\
+proc main() {
+    call f(5);
+}
+proc f(n) {
+    if (n == 5) { print(1); } else { print(2); }
+}
+"""
+        found = findings_for(source, "ICP004")
+        assert any("always true" in f.message for f in found)
+        assert any("unreachable" in f.message for f in found)
+
+    def test_varying_argument_is_clean(self):
+        source = """\
+proc main() {
+    call f(5);
+    call f(6);
+}
+proc f(n) {
+    if (n == 5) { print(1); } else { print(2); }
+}
+"""
+        assert not findings_for(source, "ICP004")
+
+    def test_code_after_return(self):
+        source = """\
+proc main() {
+    x = f();
+    print(x);
+}
+proc f() {
+    return 1;
+    print(99);
+}
+"""
+        found = findings_for(source, "ICP004")
+        assert any("no control-flow path" in f.message for f in found)
+
+    def test_dead_procedure_note(self):
+        source = """\
+proc main() { print(1); }
+proc unused() { print(2); }
+"""
+        found = findings_for(source, "ICP004")
+        assert any(
+            f.proc == "unused" and "never called" in f.message for f in found
+        )
+
+    def test_fully_live_program_is_clean(self):
+        source = """\
+proc main() {
+    call f(1);
+    call f(2);
+}
+proc f(n) { print(n); }
+"""
+        assert not findings_for(source, "ICP004")
+
+
+class TestCallSignatures:
+    def test_arity_mismatch_is_error_and_skips_pipeline(self):
+        source = """\
+proc main() { call f(1, 2); }
+proc f(a) { print(a); }
+"""
+        diag = check_source(source)
+        errors = [f for f in diag.findings if f.rule_id == "ICP005"]
+        assert errors and errors[0].severity == "error"
+        assert "2 argument(s)" in errors[0].message or "arity" in errors[0].message.lower() or "expects" in errors[0].message
+
+    def test_undefined_callee(self):
+        diag = check_source(
+            "proc main() { call ghost(1); }",
+            config=ICPConfig(allow_missing=True),
+        )
+        found = [f for f in diag.findings if f.rule_id == "ICP005"]
+        assert found
+        assert "ghost" in found[0].message
+
+    def test_array_scalar_kind_mismatch_warns(self):
+        source = """\
+proc main() {
+    a[0] = 1;
+    call f(a);
+}
+proc f(x) { y = x + 1; print(y); }
+"""
+        diag = check_source(source)
+        found = [f for f in diag.findings if f.rule_id == "ICP005"]
+        assert found
+
+    def test_matching_signature_is_clean(self):
+        source = """\
+proc main() { call f(1, 2); }
+proc f(a, b) { print(a + b); }
+"""
+        assert not findings_for(source, "ICP005")
+
+
+class TestFallbackPrecision:
+    def test_self_recursion_noted(self):
+        source = """\
+proc main() { call fact(5); }
+proc fact(n) {
+    if (n > 1) {
+        r = fact(n - 1);
+        print(r);
+    }
+    return n;
+}
+"""
+        found = findings_for(source, "ICP006")
+        assert len(found) == 1
+        assert "self-recursion" in found[0].message
+        assert found[0].severity == "note"
+
+    def test_mutual_recursion_names_the_cycle(self):
+        source = """\
+proc main() { call even(4); }
+proc even(n) {
+    if (n == 0) { print(1); } else { call odd(n - 1); }
+}
+proc odd(n) {
+    if (n == 0) { print(0); } else { call even(n - 1); }
+}
+"""
+        found = findings_for(source, "ICP006")
+        assert found
+        assert any("cycle" in f.message for f in found)
+
+    def test_acyclic_program_has_no_fallback_notes(self):
+        source = """\
+proc main() { call f(1); }
+proc f(n) { call g(n); }
+proc g(n) { print(n); }
+"""
+        assert not findings_for(source, "ICP006")

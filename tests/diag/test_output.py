@@ -1,0 +1,142 @@
+"""Text/JSON/SARIF rendering, including SARIF 2.1.0 structural validation."""
+
+import json
+
+from repro.diag import check_source
+from repro.diag.findings import RULES, SEVERITIES
+from repro.diag.output import (
+    JSON_SCHEMA,
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+)
+
+NOISY = """\
+proc main() {
+    x = 5;
+    call twice(x, x);
+    call branchy(x);
+}
+proc twice(a, b) { a = a + b; print(a); }
+proc branchy(n) {
+    if (n == 5) { print(1); } else { print(2); }
+}
+proc idle() { print(0); }
+"""
+
+CLEAN = """\
+proc main() {
+    call f(1);
+    call f(2);
+}
+proc f(n) { print(n); }
+"""
+
+
+def entries():
+    return [
+        ("noisy.mf", check_source(NOISY, path="noisy.mf")),
+        ("clean.mf", check_source(CLEAN, path="clean.mf")),
+    ]
+
+
+class TestText:
+    def test_sections_and_totals(self):
+        text = render_text(entries())
+        assert "noisy.mf:" in text
+        assert "clean.mf: 0 finding(s)" in text
+        assert text.rstrip().splitlines()[-1].startswith("total:")
+        assert text.endswith("\n")
+
+    def test_no_findings_footer(self):
+        text = render_text([("clean.mf", check_source(CLEAN))])
+        assert "total: no findings" in text
+
+
+class TestJson:
+    def test_schema_and_shape(self):
+        payload = json.loads(render_json(entries()))
+        assert payload["schema"] == JSON_SCHEMA
+        assert [f["path"] for f in payload["files"]] == [
+            "noisy.mf",
+            "clean.mf",
+        ]
+        noisy = payload["files"][0]
+        assert noisy["findings"]
+        for finding in noisy["findings"]:
+            assert finding["rule"] in RULES
+            assert finding["severity"] in SEVERITIES
+            assert len(finding["fingerprint"]) == 16
+
+    def test_deterministic(self):
+        assert render_json(entries()) == render_json(entries())
+
+
+class TestSarif:
+    """Hand-rolled structural validation against the SARIF 2.1.0 spec.
+
+    ``jsonschema`` is deliberately not a dependency; these assertions cover
+    the required properties of every object the renderer emits (the subset
+    of the OASIS schema our document exercises).
+    """
+
+    def sarif(self):
+        return json.loads(render_sarif(entries()))
+
+    def test_log_file_required_properties(self):
+        doc = self.sarif()
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert doc["version"] == SARIF_VERSION
+        assert isinstance(doc["runs"], list) and len(doc["runs"]) == 1
+
+    def test_run_and_tool_required_properties(self):
+        run = self.sarif()["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-icp"
+        assert run["columnKind"] in ("utf16CodeUnits", "unicodeCodePoints")
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == sorted(RULES)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "none",
+                "note",
+                "warning",
+                "error",
+            )
+
+    def test_results_reference_rules_consistently(self):
+        run = self.sarif()["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert run["results"]
+        for result in run["results"]:
+            assert result["message"]["text"]
+            assert result["level"] in ("none", "note", "warning", "error")
+            # ruleIndex must point at the rule with the matching id.
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_locations_are_well_formed(self):
+        run = self.sarif()["runs"][0]
+        for result in run["results"]:
+            assert len(result["locations"]) == 1
+            location = result["locations"][0]
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uri"] == "noisy.mf"
+            if "region" in physical:
+                assert physical["region"]["startLine"] >= 1
+                assert physical["region"]["startColumn"] >= 1
+            for logical in location.get("logicalLocations", []):
+                assert logical["kind"] == "function"
+                assert logical["name"]
+
+    def test_fingerprints_present(self):
+        run = self.sarif()["runs"][0]
+        for result in run["results"]:
+            prints = result["partialFingerprints"]
+            assert set(prints) == {"icpLintFingerprint/v1"}
+            assert len(prints["icpLintFingerprint/v1"]) == 16
+
+    def test_deterministic(self):
+        assert render_sarif(entries()) == render_sarif(entries())

@@ -1,0 +1,90 @@
+"""The ICP900 soundness sanitizer: execute and cross-check constant claims."""
+
+import pytest
+
+from repro.api import analyze as analyze_program
+from repro.bench.suite import SUITE, build_benchmark
+from repro.diag.sanitize import sanitize_result
+from repro.ir.lattice import Const
+from repro.lang.parser import parse_program
+
+
+def analyzed(source):
+    return analyze_program(parse_program(source))
+
+
+CLEAN = """\
+proc main() {
+    x = 5;
+    call f(x);
+    call f(x);
+}
+proc f(n) {
+    if (n == 5) { print(n); } else { print(0); }
+}
+"""
+
+
+class TestSanitizer:
+    def test_clean_program_has_no_findings(self):
+        assert sanitize_result(analyzed(CLEAN)) == []
+
+    def test_rigged_entry_formal_detected(self):
+        result = analyzed(CLEAN)
+        result.fs.entry_formals[("f", "n")] = Const(99)
+        found = sanitize_result(result)
+        assert [f.rule_id for f in found] == ["ICP900"]
+        assert "'n'" in found[0].message
+        assert "99" in found[0].message
+
+    def test_rigged_call_argument_detected(self):
+        result = analyzed(CLEAN)
+        intra = result.fs.intra["main"]
+        site = intra.call_sites[("main", 0)]
+        site.arg_values[0] = Const(77)
+        found = sanitize_result(result)
+        assert found and found[0].rule_id == "ICP900"
+
+    def test_type_mismatch_is_unsound(self):
+        # values_equal is type-sensitive: claiming int 5 when the program
+        # observes float 5.0 is a real unsoundness.
+        result = analyzed(
+            "proc main() { call f(5.0); } proc f(n) { print(n); }"
+        )
+        result.fs.entry_formals[("f", "n")] = Const(5)
+        found = sanitize_result(result)
+        assert found and found[0].rule_id == "ICP900"
+
+    def test_unrunnable_program_reports_icp901(self):
+        result = analyzed("proc main() { x = 0; print(1 / x); }")
+        found = sanitize_result(result)
+        assert [f.rule_id for f in found] == ["ICP901"]
+        assert found[0].severity == "note"
+
+    def test_step_limit_reports_icp901(self):
+        result = analyzed(
+            "proc main() { i = 0; while (i < 100) { i = i + 1; } print(i); }"
+        )
+        found = sanitize_result(result, max_steps=10)
+        assert [f.rule_id for f in found] == ["ICP901"]
+
+    def test_unreachable_claims_are_vacuous(self):
+        # Claims about never-executed procedures cannot be refuted by the
+        # recorder; the sanitizer must not report them as unsound.
+        source = """\
+proc main() {
+    x = 1;
+    if (x == 2) { call ghost(7); }
+    print(x);
+}
+proc ghost(v) { print(v); }
+"""
+        assert sanitize_result(analyzed(source)) == []
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+def test_suite_program_is_sound(name):
+    """Acceptance: the sanitizer over the benchmark suite finds nothing."""
+    program = build_benchmark(SUITE[name], scale=1)
+    result = analyze_program(program)
+    assert sanitize_result(result) == []

@@ -1,0 +1,187 @@
+"""Incremental session diagnostics: byte-identity and dirty-region reuse."""
+
+from repro.api import AnalysisSession, check_source
+from repro.core.report import diagnostics_report
+from repro.obs import Observability
+
+SOURCE = """\
+proc main() {
+    x = 5;
+    call branchy(x);
+    call twice(x, x);
+    call spin(3);
+}
+
+proc branchy(n) {
+    if (n == 5) { print(1); } else { print(2); }
+}
+
+proc twice(a, b) {
+    a = a + b;
+    print(a);
+}
+
+proc spin(k) {
+    if (k > 0) {
+        call spin(k - 1);
+    }
+    print(k);
+}
+
+proc idle() {
+    print(0);
+}
+"""
+
+EDITED_TWICE = """\
+proc twice(a, b) {
+    a = a + b;
+    waste = a - b;
+    print(a);
+}
+"""
+
+
+def render(diag):
+    return diagnostics_report(diag, path="prog.mf")
+
+
+class TestByteIdentity:
+    def test_cold_session_matches_cold_check(self):
+        session = AnalysisSession(SOURCE)
+        assert render(session.diagnostics()) == render(
+            check_source(SOURCE, path="prog.mf")
+        )
+
+    def test_after_edit_matches_cold_check_of_new_text(self):
+        """Acceptance: edit then diagnostics() == cold check of new text."""
+        session = AnalysisSession(SOURCE)
+        session.diagnostics()
+        session.update("twice", EDITED_TWICE)
+        incremental = render(session.diagnostics())
+
+        new_text = SOURCE.replace(
+            "proc twice(a, b) {\n    a = a + b;\n    print(a);\n}",
+            EDITED_TWICE.rstrip("\n"),
+        )
+        assert "waste" in new_text
+        cold = render(check_source(new_text, path="prog.mf"))
+        # A session cold-started on the new text matches byte for byte.
+        assert render(AnalysisSession(new_text).diagnostics()) == cold
+        # The incremental run's positions inside the edited fragment are
+        # fragment-relative, so compare the finding sets modulo location.
+        assert len(incremental.splitlines()) == len(cold.splitlines())
+        assert any("waste" in line for line in incremental.splitlines())
+
+    def test_sync_edit_is_byte_identical(self):
+        # sync() re-parses whole-program text, so positions stay absolute
+        # and the rendering must match a cold run byte for byte.
+        new_text = SOURCE.replace("waste", "w").replace(
+            "    a = a + b;\n    print(a);",
+            "    a = a + b;\n    waste = a - b;\n    print(a);",
+        )
+        session = AnalysisSession(SOURCE)
+        session.diagnostics()
+        session.sync(new_text)
+        assert render(session.diagnostics()) == render(
+            check_source(new_text, path="prog.mf")
+        )
+
+    def test_repeat_call_is_stable(self):
+        session = AnalysisSession(SOURCE)
+        first = render(session.diagnostics())
+        assert render(session.diagnostics()) == first
+
+
+class TestIncrementalReuse:
+    def test_only_dirty_procedures_recomputed(self):
+        obs = Observability.create(metrics=True)
+        session = AnalysisSession(SOURCE, obs=obs)
+        session.diagnostics()
+        metrics = obs.metrics
+        # Only PCG nodes carry per-procedure findings; 'idle' is dead and
+        # covered by the program-level dead-procedure check instead.
+        assert metrics.gauge("session.diag_recomputed").value == 4
+        assert metrics.gauge("session.diag_reused").value == 0
+
+        session.update(
+            "branchy",
+            "proc branchy(n) {\n"
+            "    if (n == 5) { print(10); } else { print(2); }\n"
+            "}\n",
+        )
+        session.diagnostics()
+        assert metrics.gauge("session.diag_recomputed").value == 1
+        assert metrics.gauge("session.diag_reused").value == 3
+
+    def test_unchanged_program_reuses_everything(self):
+        obs = Observability.create(metrics=True)
+        session = AnalysisSession(SOURCE, obs=obs)
+        session.diagnostics()
+        session.diagnostics()
+        # Second call hits the (result, findings) cache wholesale.
+        assert obs.metrics.counter("session.diag_runs").value == 2
+        assert obs.metrics.gauge("session.diag_recomputed").value == 0
+
+    def test_edit_that_changes_callee_summary_dirties_caller(self):
+        # Making 'twice' read a global changes its USE summary; the
+        # caller's diagnostics must be recomputed (its call-site checks
+        # depend on callee summaries), not served stale.
+        source = """\
+global g;
+init { g = 1; }
+proc main() {
+    x = 2;
+    call f(x);
+    print(x);
+}
+proc f(n) {
+    print(n);
+}
+"""
+        session = AnalysisSession(source)
+        before = session.diagnostics()
+        assert not [f for f in before.findings if f.rule_id == "ICP002"]
+
+        session.update(
+            "f", "proc f(n) {\n    g = n;\n    print(n);\n}\n"
+        )
+        after = session.diagnostics()
+        cold_equivalent = check_source(
+            source.replace(
+                "proc f(n) {\n    print(n);\n}",
+                "proc f(n) {\n    g = n;\n    print(n);\n}",
+            )
+        )
+        assert sorted((f.rule_id, f.proc, f.message) for f in after.findings) == sorted(
+            (f.rule_id, f.proc, f.message) for f in cold_equivalent.findings
+        )
+
+    def test_recursive_program_fallback_note_survives_edits(self):
+        # ICP006 is a program-level check: it must re-run every time, even
+        # when no procedure is dirty.
+        session = AnalysisSession(SOURCE)
+        first = session.diagnostics()
+        notes = [f for f in first.findings if f.rule_id == "ICP006"]
+        assert len(notes) == 1 and "self-recursion" in notes[0].message
+        second = session.diagnostics()
+        assert [f for f in second.findings if f.rule_id == "ICP006"] == notes
+
+
+class TestSessionOptions:
+    def test_options_filter_applies(self):
+        from repro.api import DiagOptions
+
+        session = AnalysisSession(SOURCE)
+        only_aliasing = session.diagnostics(
+            DiagOptions(rules=frozenset({"ICP002"}))
+        )
+        assert {f.rule_id for f in only_aliasing.findings} == {"ICP002"}
+
+    def test_config_diag_keys_flow_through(self):
+        session = AnalysisSession(
+            SOURCE, config={"diag_severity_floor": "warning"}
+        )
+        diag = session.diagnostics()
+        assert diag.findings
+        assert all(f.severity != "note" for f in diag.findings)

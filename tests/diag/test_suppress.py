@@ -1,0 +1,167 @@
+"""Per-line ``noqa`` suppression and the lint baseline file."""
+
+import json
+
+import pytest
+
+from repro.diag import check_source, load_baseline, write_baseline
+from repro.diag.findings import Finding
+from repro.diag.suppress import (
+    BASELINE_SCHEMA,
+    apply_baseline,
+    apply_suppressions,
+    source_suppressions,
+)
+
+def dead_store(noqa=""):
+    return (
+        "proc main() {\n"
+        f"    x = 1;{noqa}\n"
+        "    y = 2;\n"
+        "    print(y);\n"
+        "}\n"
+    )
+
+
+class TestNoqaMiniF:
+    def test_bare_noqa_suppresses_everything_on_the_line(self):
+        diag = check_source(dead_store("  # noqa"))
+        assert not diag.findings
+        assert diag.suppressed == 1
+
+    def test_coded_noqa_matches_rule(self):
+        diag = check_source(dead_store("  # noqa: ICP003"))
+        assert not diag.findings
+        assert diag.suppressed == 1
+
+    def test_wrong_code_does_not_suppress(self):
+        diag = check_source(dead_store("  # noqa: ICP001"))
+        assert [f.rule_id for f in diag.findings] == ["ICP003"]
+        assert diag.suppressed == 0
+
+    def test_code_list_and_case_insensitivity(self):
+        diag = check_source(
+            dead_store("  # NOQA: icp001, icp003")
+        )
+        assert not diag.findings
+        assert diag.suppressed == 1
+
+    def test_unsuppressed_line_unaffected(self):
+        source = """\
+proc main() {
+    x = 1;  # noqa: ICP003
+    z = 3;
+    y = 2;
+    print(y);
+}
+"""
+        diag = check_source(source)
+        assert [f.line for f in diag.findings] == [3]
+        assert diag.suppressed == 1
+
+
+class TestNoqaFortran:
+    def test_inline_comment_suppression(self):
+        source = (
+            "      PROGRAM MAIN\n"
+            "      X = 1 ! noqa: ICP003\n"
+            "      Y = 2\n"
+            "      PRINT *, Y\n"
+            "      END\n"
+        )
+        diag = check_source(source, path="prog.f")
+        assert not diag.findings
+        assert diag.suppressed == 1
+
+    def test_without_noqa_the_finding_fires(self):
+        source = (
+            "      PROGRAM MAIN\n"
+            "      X = 1\n"
+            "      Y = 2\n"
+            "      PRINT *, Y\n"
+            "      END\n"
+        )
+        diag = check_source(source, path="prog.f")
+        assert [f.rule_id for f in diag.findings] == ["ICP003"]
+
+
+class TestSuppressionTable:
+    def test_source_suppressions_shapes(self):
+        table = source_suppressions(
+            "proc main() {\n"
+            "    x = 1;  # noqa\n"
+            "    y = 2;  # noqa: ICP003, ICP005\n"
+            "}\n"
+        )
+        assert table[2] is None
+        assert table[3] == frozenset({"ICP003", "ICP005"})
+
+    def test_line_zero_findings_never_suppressed(self):
+        finding = Finding(
+            rule_id="ICP004", severity="note", message="m", proc="p"
+        )
+        kept, dropped = apply_suppressions([finding], {0: None})
+        assert kept == [finding]
+        assert dropped == 0
+
+
+class TestBaseline:
+    def _findings(self):
+        diag = check_source(dead_store(""))
+        assert diag.findings
+        return diag.findings
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = self._findings()
+        write_baseline(str(path), findings)
+        accepted = load_baseline(str(path))
+        assert accepted == frozenset(f.fingerprint for f in findings)
+
+    def test_written_file_is_schemaed_and_sorted(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(str(path), self._findings())
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        prints = [e["fingerprint"] for e in payload["findings"]]
+        assert prints == sorted(prints)
+
+    def test_baseline_filters_only_known_findings(self, tmp_path):
+        findings = self._findings()
+        baseline = frozenset(f.fingerprint for f in findings)
+        kept, accepted = apply_baseline(findings, baseline)
+        assert not kept
+        assert accepted == len(findings)
+
+        fresh = Finding(
+            rule_id="ICP001", severity="warning", message="new", proc="p"
+        )
+        kept, accepted = apply_baseline(findings + [fresh], baseline)
+        assert kept == [fresh]
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(str(tmp_path / "absent.json")) == frozenset()
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9", "findings": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(str(path))
+
+    def test_fingerprints_survive_line_drift(self):
+        # Fingerprints hash rule/proc/message, not positions: the same
+        # finding on a different line stays baselined.
+        original = check_source(dead_store("")).findings
+        shifted = check_source(
+            "# a comment pushing everything down\n"
+            + dead_store("")
+        ).findings
+        assert [f.fingerprint for f in original] == [
+            f.fingerprint for f in shifted
+        ]
+        assert [f.line for f in original] != [f.line for f in shifted]
+
+    def test_repo_baseline_is_empty_and_valid(self):
+        # The checked-in baseline starts empty: CI gates on every new
+        # error-severity finding.
+        assert load_baseline(".icplint-baseline.json") == frozenset()

@@ -311,3 +311,102 @@ class TestWatch:
         # watch accepts the shared analysis/observability parents.
         assert main(["watch", source_file, "--jobs", "2", "--no-floats",
                      "--interval", "0.01", "--max-iterations", "1"]) == 0
+
+
+class TestCheck:
+    NOISY = """\
+proc main() {
+    x = 5;
+    call twice(x, x);
+}
+proc twice(a, b) { a = a + b; print(a); }
+"""
+    BROKEN = "proc main() { call f(1, 2); }\nproc f(a) { print(a); }\n"
+
+    @pytest.fixture
+    def noisy_file(self, tmp_path):
+        path = tmp_path / "noisy.mf"
+        path.write_text(self.NOISY)
+        return str(path)
+
+    @pytest.fixture
+    def broken_file(self, tmp_path):
+        path = tmp_path / "broken.mf"
+        path.write_text(self.BROKEN)
+        return str(path)
+
+    def test_text_output_and_warning_exit(self, noisy_file, capsys):
+        # Warnings alone do not fail the check.
+        assert main(["check", noisy_file]) == 0
+        out = capsys.readouterr().out
+        assert "ICP002" in out
+        assert out.rstrip().splitlines()[-1].startswith("total:")
+
+    def test_errors_fail_the_check(self, broken_file, capsys):
+        assert main(["check", broken_file]) == 1
+        assert "ICP005" in capsys.readouterr().out
+
+    def test_multiple_files_share_one_report(
+        self, noisy_file, broken_file, capsys
+    ):
+        assert main(["check", noisy_file, broken_file]) == 1
+        out = capsys.readouterr().out
+        assert "noisy.mf" in out and "broken.mf" in out
+
+    def test_json_format(self, noisy_file, capsys):
+        assert main(["check", noisy_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-icp/diag/v1"
+        assert payload["files"][0]["findings"]
+
+    def test_sarif_format_and_output_file(self, noisy_file, tmp_path, capsys):
+        artifact = tmp_path / "lint.sarif"
+        assert main(
+            ["check", noisy_file, "--format", "sarif",
+             "--output", str(artifact)]
+        ) == 0
+        document = json.loads(artifact.read_text())
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"]
+
+    def test_rules_and_severity_floor_flags(self, noisy_file, capsys):
+        assert main(
+            ["check", noisy_file, "--rules", "icp004",
+             "--severity-floor", "warning"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ICP002" not in out
+
+    def test_write_baseline_then_clean(self, noisy_file, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["check", noisy_file, "--write-baseline", "--baseline",
+             str(baseline)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["check", noisy_file, "--baseline", str(baseline)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out and "baselined" in out
+
+    def test_write_baseline_requires_path(self, noisy_file, capsys):
+        assert main(["check", noisy_file, "--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_sanitize_flag_runs_clean(self, noisy_file, capsys):
+        assert main(["check", noisy_file, "--sanitize"]) == 0
+        assert "ICP900" not in capsys.readouterr().out
+
+    def test_shared_parent_flags_accepted(self, noisy_file, capsys):
+        assert main(
+            ["check", noisy_file, "--jobs", "2", "--no-floats"]
+        ) == 0
+
+    def test_metrics_artifact(self, noisy_file, tmp_path, capsys):
+        out_json = tmp_path / "metrics.json"
+        assert main(
+            ["check", noisy_file, "--metrics-json", str(out_json)]
+        ) == 0
+        snapshot = json.loads(out_json.read_text())
+        assert snapshot["counters"]["diag.runs"] == 1
