@@ -64,19 +64,22 @@ def _job_count(value: str) -> int:
     return count
 
 
-def _config_from(args: argparse.Namespace) -> ICPConfig:
+def _config_from(args: argparse.Namespace, **extra) -> ICPConfig:
     # Funnel through the one validated construction path (from_dict), the
     # same one sessions and bench harnesses use.
-    return ICPConfig.from_dict(
-        {
-            "propagate_floats": not args.no_floats,
-            "propagate_returns": args.returns or args.exit_values,
-            "propagate_exit_values": args.exit_values,
-            "engine": args.engine,
-            "workers": args.jobs,
-            "cache": args.cache_stats,
-        }
-    )
+    data = {
+        "propagate_floats": not args.no_floats,
+        "propagate_returns": args.returns or args.exit_values,
+        "propagate_exit_values": args.exit_values,
+        "engine": args.engine,
+        "workers": args.jobs,
+        "cache": args.cache_stats,
+    }
+    if getattr(args, "store_dir", None):
+        data["store_dir"] = args.store_dir
+        data["store_max_bytes"] = args.store_max_bytes
+    data.update(extra)
+    return ICPConfig.from_dict(data)
 
 
 def _obs_from(args: argparse.Namespace) -> Optional[Observability]:
@@ -272,13 +275,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     obs = _obs_from(args)
     names = args.names or sorted(SUITE)
+    tmp_store = None
+    extra = {}
+    if args.warm and not getattr(args, "store_dir", None):
+        # A warm rerun needs a persistent tier to rerun against.
+        import tempfile
+
+        tmp_store = tempfile.TemporaryDirectory(prefix="repro-icp-store-")
+        extra["store_dir"] = tmp_store.name
+    config = _config_from(args, **extra)
     try:
         run = analyze_suite(
-            names, _config_from(args), scale=args.scale, obs=obs,
+            names, config, scale=args.scale, obs=obs,
             diagnostics=args.check,
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
+        if tmp_store is not None:
+            tmp_store.cleanup()
         return 1
     lint_header = f" {'lint':>5}" if args.check else ""
     print(
@@ -325,15 +339,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{cache.invalidations} invalidations "
             f"(hit rate {cache.hit_rate:.0%}, {cache.entries} entries)"
         )
+    warm = None
+    mismatched: List[str] = []
+    if args.warm:
+        from repro.core.report import analysis_report
+
+        # A second, independent pipeline over the same store: every
+        # summary should come back from disk, and the rendered analysis
+        # must not change by a byte.
+        warm = analyze_suite(
+            names, config, scale=args.scale, obs=None, diagnostics=args.check
+        )
+        mismatched = [
+            name
+            for name in run.results
+            if analysis_report(run.results[name])
+            != analysis_report(warm.results[name])
+        ]
+        cold_wall = sum(run.wall_seconds.values())
+        warm_wall = sum(warm.wall_seconds.values())
+        reduction = 1.0 - (warm_wall / cold_wall) if cold_wall else 0.0
+        verdict = (
+            "reports byte-identical"
+            if not mismatched
+            else f"REPORT MISMATCH in {mismatched}"
+        )
+        print(
+            f"warm rerun: {warm_wall:.4f}s vs cold {cold_wall:.4f}s "
+            f"({reduction:.0%} reduction; engine runs {run.tasks_run} -> "
+            f"{warm.tasks_run}, cached {warm.tasks_cached}), {verdict}"
+        )
     if args.json:
-        _write_bench_json(args.json, args, run)
+        _write_bench_json(args.json, args, run, warm=warm, mismatched=mismatched)
         print(f"bench results written to {args.json}", file=sys.stderr)
     if obs is not None:
         _emit_observability(args, obs, run.results.values())
-    return 0
+    if tmp_store is not None:
+        tmp_store.cleanup()
+    return 1 if mismatched else 0
 
 
-def _write_bench_json(path: str, args: argparse.Namespace, run) -> None:
+def _write_bench_json(
+    path: str, args: argparse.Namespace, run, warm=None, mismatched=()
+) -> None:
     """Machine-readable bench results (the per-PR perf trajectory record)."""
     import json
 
@@ -371,6 +419,16 @@ def _write_bench_json(path: str, args: argparse.Namespace, run) -> None:
         },
         "programs": programs,
     }
+    if warm is not None:
+        cold_wall = sum(run.wall_seconds.values())
+        warm_wall = sum(warm.wall_seconds.values())
+        payload["warm"] = {
+            "wall_seconds": warm_wall,
+            "reduction": 1.0 - (warm_wall / cold_wall) if cold_wall else 0.0,
+            "tasks_run": warm.tasks_run,
+            "tasks_cached": warm.tasks_cached,
+            "reports_identical": not mismatched,
+        }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -390,23 +448,43 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         print(session_report(session))
         sys.stdout.flush()
 
-    analyze_once()
-    last_mtime = os.stat(args.file).st_mtime
+    def file_stamp():
+        # Float st_mtime loses sub-second precision, so an edit landing in
+        # the same second as the last one compares equal and is missed;
+        # stamp with (st_mtime_ns, st_size) instead, and let an unchanged
+        # stamp fall back to a content hash below before declaring quiet.
+        status = os.stat(args.file)
+        return (status.st_mtime_ns, status.st_size)
+
+    def content_hash():
+        import hashlib
+
+        with open(args.file, "rb") as handle:
+            return hashlib.sha256(handle.read()).hexdigest()
+
     iterations = 0
+    last_stamp = None
+    last_hash = None
     try:
+        analyze_once()
+        last_stamp = file_stamp()
+        last_hash = content_hash()
         while not args.max_iterations or iterations < args.max_iterations:
             time.sleep(args.interval)
             iterations += 1
             try:
-                mtime = os.stat(args.file).st_mtime
+                stamp = file_stamp()
+                if stamp == last_stamp and content_hash() == last_hash:
+                    continue
             except OSError as error:
+                # Editors replace files non-atomically; retry next tick.
                 print(f"watch: {error}", file=sys.stderr)
                 continue
-            if mtime == last_mtime:
-                continue
-            last_mtime = mtime
+            last_stamp = stamp
             try:
-                changed = session.sync(_load(args.file))
+                source = _load(args.file)
+                last_hash = content_hash()
+                changed = session.sync(source)
             except (ReproError, ValueError, OSError) as error:
                 print(f"watch: {error}", file=sys.stderr)
                 continue
@@ -420,8 +498,51 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 print(f"watch: {error}", file=sys.stderr)
     except KeyboardInterrupt:
         pass
-    if obs is not None:
+    # Only emit from a completed analysis: ^C before the first analyze()
+    # finishes leaves session.result unset.
+    if obs is not None and session.result is not None:
         _emit_observability(args, obs, [session.result])
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the analysis daemon until interrupted."""
+    from repro.serve import AnalysisServer
+
+    obs = _obs_from(args)
+    try:
+        config = _config_from(
+            args,
+            serve_host=args.host,
+            serve_port=args.port,
+            serve_workers=args.serve_workers,
+            serve_max_queue=args.max_queue,
+            serve_timeout_seconds=args.request_timeout,
+            serve_max_sessions=args.max_sessions,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    server = AnalysisServer(config, obs=obs)
+    host, port = server.start()
+    store_note = f", store {config.store_dir}" if config.store_dir else ""
+    print(
+        f"repro-icp serve listening on http://{host}:{port} "
+        f"({config.serve_workers} worker(s), queue {config.serve_max_queue}, "
+        f"timeout {config.serve_timeout_seconds}s{store_note})",
+        file=sys.stderr,
+    )
+    sys.stderr.flush()
+    deadline = time.monotonic() + args.max_seconds
+    try:
+        while args.max_seconds <= 0 or time.monotonic() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    if obs is not None:
+        _emit_observability(args, obs, [])
     return 0
 
 
@@ -443,6 +564,14 @@ def _analysis_parent() -> argparse.ArgumentParser:
     parent.add_argument("--cache-stats", action="store_true",
                         help="enable the procedure-summary cache and report "
                              "its hit/miss/invalidation counters")
+    parent.add_argument("--store-dir", metavar="DIR", default=None,
+                        help="back the summary cache with a persistent "
+                             "on-disk store under DIR (implies caching); "
+                             "summaries survive across runs")
+    parent.add_argument("--store-max-bytes", type=int,
+                        default=64 * 1024 * 1024, metavar="N",
+                        help="size budget of the persistent store; LRU "
+                             "entries are evicted beyond it (default: 64MiB)")
     return parent
 
 
@@ -551,7 +680,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--check", action="store_true",
                        help="run the diagnostics engine over each benchmark "
                             "and add a finding-count column")
+    bench.add_argument("--warm", action="store_true",
+                       help="rerun the suite through a second pipeline over "
+                            "the same persistent store and verify the warm "
+                            "reports are byte-identical (uses --store-dir, "
+                            "or a temporary store)")
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", parents=[common, obs_flags],
+        help="run the analysis daemon (JSON over HTTP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="bind port; 0 picks a free one (default: 8100)")
+    serve.add_argument("--serve-workers", type=int, default=2, metavar="N",
+                       dest="serve_workers",
+                       help="analysis worker threads (default: 2)")
+    serve.add_argument("--max-queue", type=int, default=8, metavar="N",
+                       dest="max_queue",
+                       help="admitted-but-unfinished request bound; beyond "
+                            "it requests get 503 + Retry-After (default: 8)")
+    serve.add_argument("--request-timeout", type=float, default=10.0,
+                       metavar="SECONDS", dest="request_timeout",
+                       help="per-request deadline; analyze requests beyond "
+                            "it degrade to the FI solution (default: 10)")
+    serve.add_argument("--max-sessions", type=int, default=32, metavar="N",
+                       dest="max_sessions",
+                       help="resident program sessions before LRU eviction "
+                            "(default: 32)")
+    serve.add_argument("--max-seconds", type=float, default=0, metavar="S",
+                       dest="max_seconds",
+                       help="exit after S seconds (default: 0 = until ^C); "
+                            "for smoke tests and CI")
+    serve.set_defaults(func=_cmd_serve)
 
     watch = sub.add_parser(
         "watch", parents=[common, obs_flags],
@@ -569,7 +732,8 @@ def build_parser() -> argparse.ArgumentParser:
 #: Subcommand names; a leading argument that is none of these (and not a
 #: flag) is treated as a file to analyze.
 _SUBCOMMANDS = (
-    "analyze", "check", "graph", "optimize", "run", "tables", "bench", "watch"
+    "analyze", "check", "graph", "optimize", "run", "tables", "bench",
+    "serve", "watch",
 )
 
 

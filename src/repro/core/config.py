@@ -42,6 +42,21 @@ class ICPConfig:
     :param cache: memoize per-procedure intraprocedural results in a
         content-addressed summary cache, so re-running the pipeline over an
         unchanged procedure skips its re-analysis entirely.
+    :param store_dir: directory of the persistent summary store.  When set,
+        the summary cache gains a crash-safe on-disk backing tier (implies
+        ``cache``): summaries survive process restarts, and a warm rerun —
+        or a restarted ``repro-icp serve`` daemon — reuses them.
+    :param store_max_bytes: size budget of the persistent store; inserts
+        evict least-recently-used entries beyond it.
+    :param serve_host: bind address of the ``repro-icp serve`` daemon.
+    :param serve_port: bind port of the daemon (0 picks a free port).
+    :param serve_workers: analysis worker threads the daemon runs.
+    :param serve_max_queue: admitted-but-unfinished request bound; beyond
+        it the daemon answers HTTP 503 with ``Retry-After`` (backpressure).
+    :param serve_timeout_seconds: default per-request deadline; an analyze
+        request that exceeds it degrades to the flow-insensitive solution.
+    :param serve_max_sessions: resident :class:`AnalysisSession` bound;
+        beyond it the least-recently-used program's session is dropped.
     :param diag_rules: rule IDs the diagnostics engine should run (``None``
         enables every rule; see ``repro.diag.findings.RULES``).
     :param diag_severity_floor: weakest finding severity to report
@@ -60,6 +75,14 @@ class ICPConfig:
     workers: int = 1
     executor: str = "thread"
     cache: bool = False
+    store_dir: Optional[str] = None
+    store_max_bytes: int = 64 * 1024 * 1024
+    serve_host: str = "127.0.0.1"
+    serve_port: int = 8100
+    serve_workers: int = 2
+    serve_max_queue: int = 8
+    serve_timeout_seconds: float = 10.0
+    serve_max_sessions: int = 32
     diag_rules: Optional[Tuple[str, ...]] = None
     diag_severity_floor: str = "note"
     diag_sarif: bool = False
@@ -102,6 +125,52 @@ class ICPConfig:
             )
         if not config.entry or not isinstance(config.entry, str):
             raise ValueError(f"entry must be a procedure name, got {config.entry!r}")
+        if config.store_dir is not None and (
+            not isinstance(config.store_dir, str) or not config.store_dir
+        ):
+            raise ValueError(
+                f"store_dir must be a directory path or None, "
+                f"got {config.store_dir!r}"
+            )
+        if (
+            not isinstance(config.store_max_bytes, int)
+            or isinstance(config.store_max_bytes, bool)
+            or config.store_max_bytes <= 0
+        ):
+            raise ValueError(
+                f"store_max_bytes must be a positive int, "
+                f"got {config.store_max_bytes!r}"
+            )
+        if not config.serve_host or not isinstance(config.serve_host, str):
+            raise ValueError(
+                f"serve_host must be a bind address, got {config.serve_host!r}"
+            )
+        if (
+            not isinstance(config.serve_port, int)
+            or isinstance(config.serve_port, bool)
+            or not 0 <= config.serve_port <= 65535
+        ):
+            raise ValueError(
+                f"serve_port must be an int in [0, 65535], "
+                f"got {config.serve_port!r}"
+            )
+        for knob in ("serve_workers", "serve_max_queue", "serve_max_sessions"):
+            value = getattr(config, knob)
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 1
+            ):
+                raise ValueError(f"{knob} must be an int >= 1, got {value!r}")
+        if (
+            not isinstance(config.serve_timeout_seconds, (int, float))
+            or isinstance(config.serve_timeout_seconds, bool)
+            or config.serve_timeout_seconds <= 0
+        ):
+            raise ValueError(
+                f"serve_timeout_seconds must be positive, "
+                f"got {config.serve_timeout_seconds!r}"
+            )
         from repro.diag.findings import RULES, SEVERITIES
 
         if config.diag_severity_floor not in SEVERITIES:

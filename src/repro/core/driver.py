@@ -124,10 +124,14 @@ class CompilationPipeline:
         config: Optional[ICPConfig] = None,
         obs: Optional[Observability] = None,
     ):
+        from repro.store import cache_from_config
+
         self.config = config or ICPConfig()
         self.obs = obs or NULL_OBS
-        self.cache: Optional[SummaryCache] = (
-            SummaryCache() if self.config.cache else None
+        #: The summary cache (``config.cache``), persistent when the config
+        #: names a ``store_dir`` — summaries then outlive this process.
+        self.cache: Optional[SummaryCache] = cache_from_config(
+            self.config, obs=self.obs
         )
 
     def run(

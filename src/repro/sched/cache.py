@@ -72,8 +72,15 @@ class SummaryCache:
         self._slot_keys: Dict[Tuple[str, str], str] = {}
         self.stats = CacheStats()
 
-    def lookup(self, slot: Tuple[str, str], key: str) -> Optional[IntraResult]:
-        entry = self._entries.get(key)
+    def lookup(
+        self, slot: Tuple[str, str], key: str, task=None
+    ) -> Optional[IntraResult]:
+        """Find ``key``; ``task`` (when given) lets backing tiers rebind.
+
+        The in-memory tier ignores ``task``; the persistent subclass uses
+        its symbol table to rebind entries loaded from disk.
+        """
+        entry = self._fetch(key, task)
         if entry is not None:
             self.stats.hits += 1
         else:
@@ -83,6 +90,10 @@ class SummaryCache:
                 self.stats.invalidations += 1
         self._slot_keys[slot] = key
         return entry
+
+    def _fetch(self, key: str, task) -> Optional[IntraResult]:
+        """Tier-resolution hook: the base cache knows only memory."""
+        return self._entries.get(key)
 
     def store(self, slot: Tuple[str, str], key: str, value: IntraResult) -> None:
         if key not in self._entries:

@@ -104,7 +104,18 @@ class TaskPool:
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
             if self.kind == "process":
-                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+                import multiprocessing
+
+                # The platform default start method may be fork (POSIX
+                # Python < 3.14), which clones whatever locks and threads
+                # the parent holds mid-analysis — the serve daemon and the
+                # observability layer both run threads, so a forked child
+                # can inherit a locked lock and deadlock.  Spawn is safe
+                # everywhere; our tasks are module-level picklables.
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
             else:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.workers,

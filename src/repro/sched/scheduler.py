@@ -162,7 +162,7 @@ class Scheduler:
             key = None
             if self.cache is not None and task.cacheable:
                 key = combine_key(*task.fingerprints)
-                cached = self.cache.lookup(task.slot, key)
+                cached = self.cache.lookup(task.slot, key, task=task)
                 if cached is not None:
                     results[task.proc_name] = cached
                     self.stats.tasks_cached += 1

@@ -1,0 +1,16 @@
+"""The ``repro-icp serve`` analysis daemon.
+
+A long-lived HTTP front end over :class:`~repro.session.AnalysisSession`:
+programs are loaded once, edits re-analyze incrementally, and summaries
+persist in the shared :class:`~repro.store.SummaryStore` so restarts stay
+warm.  See :mod:`repro.serve.daemon` for the endpoint catalog and the
+backpressure/degradation model.
+"""
+
+from repro.serve.daemon import (
+    RETRY_AFTER_SECONDS,
+    AnalysisServer,
+    ServeStats,
+)
+
+__all__ = ["AnalysisServer", "ServeStats", "RETRY_AFTER_SECONDS"]

@@ -1,0 +1,632 @@
+"""The ``repro-icp serve`` analysis daemon.
+
+One warm pipeline serving many programs: the daemon keeps a pool of
+:class:`~repro.session.AnalysisSession` objects keyed by program id,
+applies edits incrementally (the dirty-region fast path), and answers
+analyze/report/diagnostics queries over a line-of-sight JSON HTTP API
+(stdlib :class:`ThreadingHTTPServer`, no third-party dependencies).
+
+Production behaviors:
+
+- **Backpressure.**  Admitted-but-unfinished analysis work is bounded by
+  ``serve_max_queue``; requests beyond it are rejected immediately with
+  HTTP 503 and a ``Retry-After`` header instead of queuing without bound.
+- **Deadlines with degradation.**  Every request carries a deadline
+  (``serve_timeout_seconds`` default, per-request ``timeout`` override).
+  An analyze/edit request that exceeds it degrades gracefully: the daemon
+  answers with the *flow-insensitive* solution — cheap, sound, less
+  precise — marked ``"degraded": true``, while the flow-sensitive run it
+  abandoned keeps warming the session in the background.  Queued-but-
+  unstarted work is cancelled outright.  Report/diagnostics queries have
+  no cheaper fallback and answer HTTP 504.
+- **Warm starts.**  With ``store_dir`` configured, every session's
+  summary cache is backed by one shared persistent store, so a restarted
+  daemon re-serves previously analyzed programs without re-running their
+  engines.
+- **Bounded residency.**  At most ``serve_max_sessions`` sessions stay
+  resident; the least-recently-used program is dropped beyond that (its
+  summaries survive in the store).
+
+Endpoints (all JSON)::
+
+    GET    /healthz                    liveness + program count
+    GET    /stats                      server/store/session counters
+    POST   /programs/<id>              {source[, timeout]}: (re)load + analyze
+    POST   /programs/<id>/edits       {source | procedure+source[, timeout]}
+    GET    /programs/<id>/report      deterministic analysis report
+    GET    /programs/<id>/diagnostics interprocedural lint findings
+    DELETE /programs/<id>              drop the session
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from concurrent.futures import CancelledError, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.config import ICPConfig
+from repro.errors import ReproError
+from repro.obs import NULL_OBS, Observability
+from repro.session import AnalysisSession
+from repro.store import PersistentCache, SummaryStore
+
+#: Seconds clients should wait before retrying a 503-rejected request.
+RETRY_AFTER_SECONDS = 1
+
+
+class _Rejected(Exception):
+    """The bounded request queue is full (mapped to HTTP 503)."""
+
+
+class _Deadline(Exception):
+    """The request exceeded its deadline (degrade or HTTP 504)."""
+
+
+@dataclass
+class ServeStats:
+    """Request counters of one daemon since start."""
+
+    requests: int = 0
+    completed: int = 0
+    #: Rejected by backpressure (HTTP 503).
+    rejected: int = 0
+    #: Deadline-exceeded requests answered with the FI solution.
+    degraded: int = 0
+    #: Deadline-exceeded requests with no fallback (HTTP 504).
+    timeouts: int = 0
+    errors: int = 0
+    #: Sessions dropped by the LRU residency bound.
+    sessions_evicted: int = 0
+
+
+class _Program:
+    """One resident program: its session, source of record, and lock."""
+
+    __slots__ = ("session", "source", "lock")
+
+    def __init__(self, session: AnalysisSession, source: str):
+        self.session = session
+        self.source = source
+        self.lock = threading.Lock()
+
+
+class AnalysisServer:
+    """The daemon's engine room, independent of the HTTP plumbing.
+
+    Tests drive :meth:`dispatch` directly or over a real socket via
+    :meth:`start`; the CLI calls :meth:`serve` (blocking).
+    """
+
+    def __init__(
+        self,
+        config: Optional[ICPConfig] = None,
+        obs: Optional[Observability] = None,
+    ):
+        self.config = config or ICPConfig()
+        self.obs = obs or NULL_OBS
+        self.stats = ServeStats()
+        self.store: Optional[SummaryStore] = None
+        if self.config.store_dir:
+            self.store = SummaryStore(
+                self.config.store_dir,
+                max_bytes=self.config.store_max_bytes,
+                obs=self.obs,
+            )
+        self._programs: "OrderedDict[str, _Program]" = OrderedDict()
+        self._programs_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.serve_workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._slots = threading.BoundedSemaphore(self.config.serve_max_queue)
+        self.httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Session pool.
+    # ------------------------------------------------------------------
+
+    def _session_cache(self):
+        if self.store is None:
+            return None
+        # Each session gets its own memory tier over the one shared store:
+        # programs never collide in memory, summaries dedupe on disk.
+        return PersistentCache(self.store)
+
+    def _get_program(self, program_id: str) -> _Program:
+        with self._programs_lock:
+            program = self._programs.get(program_id)
+            if program is None:
+                raise KeyError(program_id)
+            self._programs.move_to_end(program_id)
+            return program
+
+    def _put_program(self, program_id: str, program: _Program) -> None:
+        with self._programs_lock:
+            self._programs[program_id] = program
+            self._programs.move_to_end(program_id)
+            while len(self._programs) > self.config.serve_max_sessions:
+                self._programs.popitem(last=False)
+                self.stats.sessions_evicted += 1
+            if self.obs.metrics.enabled:
+                self.obs.metrics.gauge("serve.programs").set(
+                    len(self._programs)
+                )
+
+    # ------------------------------------------------------------------
+    # Bounded execution with deadlines.
+    # ------------------------------------------------------------------
+
+    def _execute(self, job, timeout: float):
+        """Run ``job`` on the worker pool under backpressure + deadline."""
+        if not self._slots.acquire(blocking=False):
+            raise _Rejected()
+
+        def run():
+            try:
+                return job()
+            finally:
+                self._slots.release()
+
+        try:
+            future = self._pool.submit(run)
+        except BaseException:
+            self._slots.release()
+            raise
+        try:
+            return future.result(timeout=timeout)
+        except FutureTimeout:
+            # Queued-but-unstarted work is cancelled outright; running work
+            # is abandoned to finish warming the session in the background
+            # (Python threads cannot be killed), its slot released by run().
+            if future.cancel():
+                self._slots.release()
+            raise _Deadline()
+        except CancelledError:
+            raise _Deadline()
+
+    def _deadline_of(self, body: Dict[str, Any], query: Dict[str, Any]) -> float:
+        raw = body.get("timeout", query.get("timeout"))
+        if raw is None:
+            return float(self.config.serve_timeout_seconds)
+        try:
+            timeout = float(raw)
+        except (TypeError, ValueError):
+            raise ValueError(f"timeout must be a number, got {raw!r}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        return timeout
+
+    # ------------------------------------------------------------------
+    # The flow-insensitive degradation path.
+    # ------------------------------------------------------------------
+
+    def _fi_solution(self, source: str) -> Dict[str, Any]:
+        """The cheap, engine-free solution a deadline-exceeded analyze gets.
+
+        Runs only the linear whole-program passes (parse, symbols, PCG,
+        aliasing, MOD/REF, flow-insensitive ICP) on the handler thread —
+        sound, less precise, and fast enough to answer under pressure.
+        """
+        from repro.callgraph.pcg import build_pcg
+        from repro.core.flow_insensitive import flow_insensitive_icp
+        from repro.lang.parser import parse_program
+        from repro.lang.symbols import collect_symbols
+        from repro.lang.validate import validate_program
+        from repro.summary.alias import compute_aliases
+        from repro.summary.modref import compute_modref
+
+        config = self.config
+        program = parse_program(source)
+        validate_program(
+            program,
+            require_main=(config.entry == "main"),
+            allow_missing=config.allow_missing,
+        )
+        symbols = collect_symbols(program)
+        pcg = build_pcg(program, symbols, config.entry)
+        aliases = compute_aliases(program, symbols, pcg)
+        modref = compute_modref(program, symbols, pcg, aliases)
+        fi = flow_insensitive_icp(program, symbols, pcg, modref, config)
+        return {
+            "degraded": True,
+            "method": "fi",
+            "procedures": len(pcg.nodes),
+            "call_edges": len(pcg.edges),
+            "constant_formals": [
+                {"proc": proc, "formal": formal}
+                for proc, formal in fi.constant_formals()
+            ],
+            "constant_globals": {
+                name: value
+                for name, value in sorted(fi.global_constants.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Request handlers.
+    # ------------------------------------------------------------------
+
+    def _analyze_payload(self, program: _Program, changed: Optional[int]) -> Dict[str, Any]:
+        session = program.session
+        result = session.result
+        stats = session.stats
+        payload: Dict[str, Any] = {
+            "degraded": False,
+            "method": "fs",
+            "procedures": stats.last_procs,
+            "call_edges": len(result.pcg.edges),
+            "constant_formals": [
+                {
+                    "proc": proc,
+                    "formal": formal,
+                    "value": result.fs.entry_formals[(proc, formal)].const_value,
+                }
+                for proc, formal in result.fs.constant_formals()
+            ],
+            "session": {
+                "analyses": stats.analyses,
+                "dirty": stats.last_dirty,
+                "reused": stats.last_reused,
+                "cached": stats.last_cached,
+                "engine_runs": stats.last_engine_runs,
+                "reuse_rate": stats.reuse_rate,
+            },
+        }
+        if changed is not None:
+            payload["changed"] = changed
+        return payload
+
+    def _handle_load(
+        self, program_id: str, body: Dict[str, Any], deadline: float
+    ) -> Tuple[int, Dict[str, Any]]:
+        source = body.get("source")
+        if not isinstance(source, str) or not source.strip():
+            return 400, {"error": "body must carry a non-empty 'source'"}
+
+        def job() -> Tuple[int, Dict[str, Any]]:
+            try:
+                existing = self._get_program(program_id)
+            except KeyError:
+                existing = None
+            if existing is not None:
+                with existing.lock:
+                    changed = existing.session.sync(source)
+                    existing.source = source
+                    if changed or existing.session.result is None:
+                        existing.session.analyze()
+                    return 200, self._analyze_payload(existing, changed)
+            session = AnalysisSession(
+                source, self.config, obs=self.obs, cache=self._session_cache()
+            )
+            program = _Program(session, source)
+            with program.lock:
+                session.analyze()
+                self._put_program(program_id, program)
+                return 200, self._analyze_payload(program, None)
+
+        try:
+            return self._execute(job, deadline)
+        except _Deadline:
+            self.stats.degraded += 1
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter("serve.degraded").inc()
+            return 200, self._fi_solution(source)
+
+    def _handle_edit(
+        self, program_id: str, body: Dict[str, Any], deadline: float
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            program = self._get_program(program_id)
+        except KeyError:
+            return 404, {"error": f"unknown program {program_id!r}"}
+        source = body.get("source")
+        procedure = body.get("procedure")
+        if not isinstance(source, str) or not source.strip():
+            return 400, {"error": "body must carry a non-empty 'source'"}
+
+        def job() -> Tuple[int, Dict[str, Any]]:
+            with program.lock:
+                if procedure is not None:
+                    changed = int(program.session.update(procedure, source))
+                else:
+                    changed = program.session.sync(source)
+                    program.source = source
+                if changed or program.session.result is None:
+                    program.session.analyze()
+                return 200, self._analyze_payload(program, changed)
+
+        try:
+            return self._execute(job, deadline)
+        except _Deadline:
+            self.stats.degraded += 1
+            if self.obs.metrics.enabled:
+                self.obs.metrics.counter("serve.degraded").inc()
+            # The edit is already applied to the session (or will be when
+            # the abandoned job lands); answer from the edited source.
+            fallback = source if procedure is None else program.source
+            return 200, self._fi_solution(fallback)
+
+    def _handle_report(
+        self, program_id: str, deadline: float
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            program = self._get_program(program_id)
+        except KeyError:
+            return 404, {"error": f"unknown program {program_id!r}"}
+
+        def job() -> Tuple[int, Dict[str, Any]]:
+            with program.lock:
+                if program.session.result is None:
+                    program.session.analyze()
+                return 200, {
+                    "program": program_id,
+                    "report": program.session.report(),
+                }
+
+        return self._execute(job, deadline)
+
+    def _handle_diagnostics(
+        self, program_id: str, deadline: float
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            program = self._get_program(program_id)
+        except KeyError:
+            return 404, {"error": f"unknown program {program_id!r}"}
+
+        def job() -> Tuple[int, Dict[str, Any]]:
+            with program.lock:
+                diag = program.session.diagnostics()
+            return 200, {
+                "program": program_id,
+                "counts": diag.counts,
+                "findings": [
+                    {
+                        "rule": f.rule_id,
+                        "severity": f.severity,
+                        "message": f.message,
+                        "proc": f.proc,
+                        "line": f.line,
+                        "column": f.column,
+                    }
+                    for f in diag.findings
+                ],
+            }
+
+        return self._execute(job, deadline)
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        with self._programs_lock:
+            programs = list(self._programs)
+        payload: Dict[str, Any] = {
+            "programs": programs,
+            "requests": self.stats.requests,
+            "completed": self.stats.completed,
+            "rejected": self.stats.rejected,
+            "degraded": self.stats.degraded,
+            "timeouts": self.stats.timeouts,
+            "errors": self.stats.errors,
+            "sessions_evicted": self.stats.sessions_evicted,
+            "config": {
+                "workers": self.config.serve_workers,
+                "max_queue": self.config.serve_max_queue,
+                "timeout_seconds": self.config.serve_timeout_seconds,
+                "max_sessions": self.config.serve_max_sessions,
+            },
+        }
+        if self.store is not None:
+            s = self.store.stats
+            payload["store"] = {
+                "dir": self.store.root,
+                "hits": s.hits,
+                "misses": s.misses,
+                "writes": s.writes,
+                "evictions": s.evictions,
+                "corrupt_dropped": s.corrupt_dropped,
+                "bytes": s.bytes,
+                "entries": s.entries,
+            }
+        return payload
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Route one request; returns (status, payload, extra headers)."""
+        body = body or {}
+        parsed = urlparse(path)
+        query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+        parts = [p for p in parsed.path.split("/") if p]
+        self.stats.requests += 1
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("serve.requests").inc()
+
+        try:
+            deadline = self._deadline_of(body, query)
+        except ValueError as error:
+            self.stats.errors += 1
+            return 400, {"error": str(error)}, {}
+
+        span = (
+            self.obs.tracer.span(
+                "serve.request", cat="serve", method=method, path=parsed.path
+            )
+            if self.obs.tracer.enabled
+            else None
+        )
+        try:
+            if span is not None:
+                span.__enter__()
+            status, payload = self._route(method, parts, body, deadline)
+        except _Rejected:
+            self.stats.rejected += 1
+            if metrics.enabled:
+                metrics.counter("serve.rejected").inc()
+            return (
+                503,
+                {
+                    "error": "analysis queue is full",
+                    "retry_after": RETRY_AFTER_SECONDS,
+                },
+                {"Retry-After": str(RETRY_AFTER_SECONDS)},
+            )
+        except _Deadline:
+            self.stats.timeouts += 1
+            if metrics.enabled:
+                metrics.counter("serve.timeouts").inc()
+            return 504, {"error": "deadline exceeded"}, {}
+        except (ReproError, ValueError) as error:
+            self.stats.errors += 1
+            if metrics.enabled:
+                metrics.counter("serve.errors").inc()
+            return 400, {"error": str(error)}, {}
+        except Exception as error:  # noqa: BLE001 - the daemon must survive
+            self.stats.errors += 1
+            if metrics.enabled:
+                metrics.counter("serve.errors").inc()
+            return 500, {"error": f"{type(error).__name__}: {error}"}, {}
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
+        if 200 <= status < 300:
+            self.stats.completed += 1
+            if metrics.enabled:
+                metrics.counter("serve.completed").inc()
+        else:
+            self.stats.errors += 1
+        return status, payload, {}
+
+    def _route(
+        self,
+        method: str,
+        parts,
+        body: Dict[str, Any],
+        deadline: float,
+    ) -> Tuple[int, Dict[str, Any]]:
+        if method == "GET" and parts == ["healthz"]:
+            with self._programs_lock:
+                count = len(self._programs)
+            return 200, {"ok": True, "programs": count}
+        if method == "GET" and parts == ["stats"]:
+            return 200, self._stats_payload()
+        if len(parts) == 2 and parts[0] == "programs":
+            program_id = parts[1]
+            if method == "POST":
+                return self._handle_load(program_id, body, deadline)
+            if method == "DELETE":
+                with self._programs_lock:
+                    dropped = self._programs.pop(program_id, None)
+                if dropped is None:
+                    return 404, {"error": f"unknown program {program_id!r}"}
+                return 200, {"ok": True, "program": program_id}
+        if len(parts) == 3 and parts[0] == "programs":
+            program_id, action = parts[1], parts[2]
+            if method == "POST" and action == "edits":
+                return self._handle_edit(program_id, body, deadline)
+            if method == "GET" and action == "report":
+                return self._handle_report(program_id, deadline)
+            if method == "GET" and action == "diagnostics":
+                return self._handle_diagnostics(program_id, deadline)
+        return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing.
+    # ------------------------------------------------------------------
+
+    def _make_httpd(self) -> ThreadingHTTPServer:
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _finish(self, status, payload, headers):
+                data = (json.dumps(payload, sort_keys=True) + "\n").encode(
+                    "utf-8"
+                )
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(data)
+
+            def _body(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                if not length:
+                    return {}
+                raw = self.rfile.read(length)
+                blob = json.loads(raw.decode("utf-8"))
+                if not isinstance(blob, dict):
+                    raise ValueError("request body must be a JSON object")
+                return blob
+
+            def _serve(self, method):
+                try:
+                    body = self._body()
+                except (ValueError, UnicodeDecodeError) as error:
+                    self._finish(
+                        400, {"error": f"malformed JSON body: {error}"}, {}
+                    )
+                    return
+                status, payload, headers = server.dispatch(
+                    method, self.path, body
+                )
+                self._finish(status, payload, headers)
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                self._serve("GET")
+
+            def do_POST(self):  # noqa: N802
+                self._serve("POST")
+
+            def do_DELETE(self):  # noqa: N802
+                self._serve("DELETE")
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass  # request logging goes through metrics, not stderr
+
+        httpd = ThreadingHTTPServer(
+            (self.config.serve_host, self.config.serve_port), Handler
+        )
+        httpd.daemon_threads = True
+        return httpd
+
+    def start(self) -> Tuple[str, int]:
+        """Serve on a background thread; returns the bound (host, port)."""
+        self.httpd = self._make_httpd()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    def serve(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self.httpd = self._make_httpd()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.httpd.server_close()
+
+    def close(self) -> None:
+        if self.httpd is not None:
+            self.httpd.shutdown()
+            self.httpd.server_close()
+            self.httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._pool.shutdown(wait=False)

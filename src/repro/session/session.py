@@ -117,7 +117,10 @@ class AnalysisSession:
         source: Union[str, ast.Program],
         config: Union[ICPConfig, Mapping[str, Any], None] = None,
         obs: Optional[Observability] = None,
+        cache: Optional[SummaryCache] = None,
     ):
+        from repro.store import cache_from_config
+
         if isinstance(config, Mapping):
             config = ICPConfig.from_dict(config)
         config = config or ICPConfig()
@@ -125,7 +128,13 @@ class AnalysisSession:
             config = replace(config, cache=True)
         self.config = config
         self.obs = obs or NULL_OBS
-        self.cache = SummaryCache()
+        # An injected cache (the serve daemon hands every session one view
+        # of its shared store) wins; otherwise the config decides between
+        # the persistent two-tier cache and the process-local one.  An
+        # empty SummaryCache is falsy (len == 0), so test against None.
+        if cache is None:
+            cache = cache_from_config(self.config, obs=self.obs)
+        self.cache = cache
         self.program = (
             parse_program(source) if isinstance(source, str) else source
         )

@@ -1,0 +1,68 @@
+"""Persistent, crash-safe storage of content-addressed procedure summaries.
+
+The in-memory :class:`~repro.sched.cache.SummaryCache` dies with its
+process; this package gives it a durable backing tier so summaries
+survive restarts — the same content-addressed keys, persisted as one
+JSON blob per entry under a size-bounded, version-stamped directory.
+
+- :class:`SummaryStore` — the on-disk tier (atomic writes, corruption-
+  tolerant reads, LRU eviction under ``max_bytes``).
+- :class:`PersistentCache` — a drop-in :class:`SummaryCache` whose misses
+  fall through to a store and whose stores write through to it.
+- :func:`cache_from_config` — the one construction path the pipeline,
+  sessions, and the serve daemon share.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs import Observability
+from repro.sched.cache import SummaryCache
+from repro.store.codec import CODEC_VERSION, decode_intra, encode_intra
+from repro.store.persist import PersistentCache
+from repro.store.store import (
+    DEFAULT_MAX_BYTES,
+    STORE_VERSION,
+    StoreStats,
+    SummaryStore,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "DEFAULT_MAX_BYTES",
+    "STORE_VERSION",
+    "PersistentCache",
+    "StoreStats",
+    "SummaryStore",
+    "cache_from_config",
+    "decode_intra",
+    "encode_intra",
+]
+
+
+def cache_from_config(
+    config,
+    obs: Optional[Observability] = None,
+    store: Optional[SummaryStore] = None,
+) -> Optional[SummaryCache]:
+    """The summary cache an :class:`ICPConfig`-shaped object asks for.
+
+    ``store_dir`` implies caching (a persistent tier is useless without
+    the memory tier in front of it); plain ``cache`` without a store dir
+    yields the process-local cache; neither yields ``None``.  An already
+    open ``store`` (the serve daemon shares one across sessions) is used
+    as-is.
+    """
+    store_dir = getattr(config, "store_dir", None)
+    if store is None and store_dir:
+        store = SummaryStore(
+            store_dir,
+            max_bytes=getattr(config, "store_max_bytes", DEFAULT_MAX_BYTES),
+            obs=obs,
+        )
+    if store is not None:
+        return PersistentCache(store)
+    if getattr(config, "cache", False):
+        return SummaryCache()
+    return None

@@ -1,0 +1,276 @@
+"""Crash-safe on-disk backing tier for the procedure-summary cache.
+
+Layout (one directory per store)::
+
+    <root>/
+        VERSION            format stamp; a mismatch wipes the store
+        entries/<key>.json one JSON blob per cache entry (sha256-hex key)
+
+Durability and tolerance guarantees:
+
+- **Atomic writes.**  Every entry lands via a same-directory tempfile and
+  ``os.replace``, so a reader never observes a half-written blob and a
+  crash mid-write leaves at worst an orphaned ``.tmp`` file (swept on the
+  next open).
+- **Version stamping.**  ``VERSION`` carries the store format plus the
+  codec version; opening a store written by an incompatible build clears
+  it instead of misreading entries.
+- **Corruption-tolerant reads.**  A truncated, garbage, or mis-keyed
+  entry (kill -9 mid-write on filesystems without atomic rename, manual
+  tampering, cosmic rays) is treated as a miss, deleted, and naturally
+  rewritten by the write-through cache — never an exception.
+- **Bounded size.**  ``max_bytes`` caps the entries' aggregate size;
+  inserts evict least-recently-used entries (mtime order — reads bump
+  mtime) until the budget holds.
+
+Concurrent readers/writers across processes are safe in the crash sense
+(atomic replace, tolerated disappearing files); two daemons sharing one
+store behave as a shared cache with last-write-wins entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.analysis.base import IntraResult
+from repro.lang.symbols import ProcedureSymbols
+from repro.obs import NULL_OBS, Observability
+from repro.store.codec import CODEC_VERSION, decode_intra, encode_intra
+
+#: Store format stamp; includes the codec version so either layer's format
+#: change invalidates persisted state.
+STORE_VERSION = f"repro-icp-store/v1+codec{CODEC_VERSION}"
+
+#: Default size budget (bytes) when a store is opened without one.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class StoreStats:
+    """Counters of one :class:`SummaryStore` since open."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    #: Unreadable/mis-keyed entries dropped (and later rewritten).
+    corrupt_dropped: int = 0
+    #: Aggregate entry bytes currently on disk.
+    bytes: int = 0
+    #: Entry files currently on disk.
+    entries: int = 0
+
+
+class SummaryStore:
+    """A size-bounded, crash-safe directory of persisted summaries."""
+
+    def __init__(
+        self,
+        root: str,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        obs: Optional[Observability] = None,
+    ):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.root = root
+        self.max_bytes = max_bytes
+        self.obs = obs or NULL_OBS
+        self._entries_dir = os.path.join(root, "entries")
+        self._lock = threading.Lock()
+        self._sizes: Dict[str, int] = {}
+        self.stats = StoreStats()
+        self._open()
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+
+    def _open(self) -> None:
+        os.makedirs(self._entries_dir, exist_ok=True)
+        version_path = os.path.join(self.root, "VERSION")
+        stamp = None
+        try:
+            with open(version_path, "r", encoding="utf-8") as handle:
+                stamp = handle.read().strip()
+        except OSError:
+            pass
+        if stamp != STORE_VERSION:
+            if stamp is not None:
+                self._wipe_entries()
+            self._write_atomic(version_path, STORE_VERSION + "\n")
+        self._scan()
+
+    def _wipe_entries(self) -> None:
+        for name in self._listdir():
+            try:
+                os.remove(os.path.join(self._entries_dir, name))
+            except OSError:
+                pass
+
+    def _listdir(self):
+        try:
+            return os.listdir(self._entries_dir)
+        except OSError:
+            return []
+
+    def _scan(self) -> None:
+        """Rebuild size accounting; sweep tempfiles a crash left behind."""
+        self._sizes.clear()
+        for name in self._listdir():
+            path = os.path.join(self._entries_dir, name)
+            if not name.endswith(".json"):
+                try:
+                    os.remove(path)  # orphaned tempfile from a crash
+                except OSError:
+                    pass
+                continue
+            try:
+                self._sizes[name[: -len(".json")]] = os.stat(path).st_size
+            except OSError:
+                pass
+        self._refresh_gauges()
+
+    def _refresh_gauges(self) -> None:
+        self.stats.bytes = sum(self._sizes.values())
+        self.stats.entries = len(self._sizes)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.gauge("store.bytes").set(self.stats.bytes)
+            metrics.gauge("store.entries").set(self.stats.entries)
+
+    # ------------------------------------------------------------------
+    # Entry IO.
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self._entries_dir, key + ".json")
+
+    def _write_atomic(self, path: str, text: str) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _drop(self, key: str, corrupt: bool = False) -> None:
+        try:
+            os.remove(self._path(key))
+        except OSError:
+            pass
+        self._sizes.pop(key, None)
+        if corrupt:
+            self.stats.corrupt_dropped += 1
+            metrics = self.obs.metrics
+            if metrics.enabled:
+                metrics.counter("store.corrupt_dropped").inc()
+        self._refresh_gauges()
+
+    def get(self, key: str, symbols: ProcedureSymbols) -> Optional[IntraResult]:
+        """Load one entry, rebinding it to ``symbols``; None on any miss.
+
+        Unreadable or mismatched entries are dropped so the write-through
+        cache rewrites them with a good blob.
+        """
+        metrics = self.obs.metrics
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            with self._lock:
+                self.stats.misses += 1
+            if metrics.enabled:
+                metrics.counter("store.misses").inc()
+            return None
+        intra: Optional[IntraResult] = None
+        try:
+            blob = json.loads(raw.decode("utf-8"))
+            if (
+                isinstance(blob, dict)
+                and blob.get("version") == STORE_VERSION
+                and blob.get("key") == key
+            ):
+                intra = decode_intra(blob.get("payload", {}), symbols)
+        except (ValueError, TypeError, UnicodeDecodeError):
+            intra = None
+        with self._lock:
+            if intra is None:
+                self.stats.misses += 1
+                self._drop(key, corrupt=True)
+            else:
+                self.stats.hits += 1
+                try:
+                    os.utime(path)  # bump mtime: LRU recency
+                except OSError:
+                    pass
+        if metrics.enabled:
+            metrics.counter("store.hits" if intra is not None else "store.misses").inc()
+        return intra
+
+    def put(self, key: str, pass_label: str, intra: IntraResult) -> None:
+        """Persist one entry atomically, then enforce the size budget."""
+        blob = {
+            "version": STORE_VERSION,
+            "key": key,
+            "pass": pass_label,
+            "payload": encode_intra(intra),
+        }
+        text = json.dumps(blob, sort_keys=True, separators=(",", ":")) + "\n"
+        with self._lock:
+            try:
+                self._write_atomic(self._path(key), text)
+            except OSError:
+                return  # disk trouble degrades to a smaller/no cache
+            self._sizes[key] = len(text.encode("utf-8"))
+            self.stats.writes += 1
+            self._evict_over_budget()
+            self._refresh_gauges()
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("store.writes").inc()
+
+    def _evict_over_budget(self) -> None:
+        """Drop least-recently-used entries until the budget holds."""
+        if sum(self._sizes.values()) <= self.max_bytes:
+            return
+        aged = []
+        for key in self._sizes:
+            try:
+                aged.append((os.stat(self._path(key)).st_mtime_ns, key))
+            except OSError:
+                aged.append((0, key))
+        aged.sort()
+        metrics = self.obs.metrics
+        for _, key in aged:
+            if sum(self._sizes.values()) <= self.max_bytes:
+                break
+            self._drop(key)
+            self.stats.evictions += 1
+            if metrics.enabled:
+                metrics.counter("store.evictions").inc()
+
+    # ------------------------------------------------------------------
+    # Maintenance.
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Remove every entry (the version stamp stays)."""
+        with self._lock:
+            self._wipe_entries()
+            self._sizes.clear()
+            self._refresh_gauges()
+
+    def __len__(self) -> int:
+        return len(self._sizes)

@@ -45,6 +45,16 @@ class TestTaskPool:
         assert pool.map(_square, [7]) == [49]
         pool.close()
 
+    def test_process_pool_uses_spawn_start_method(self):
+        # A fork-started child clones the parent's held locks and dies in
+        # deadlock when the parent runs threads (serve daemon, tracing);
+        # the pool must pin the spawn method rather than trust the
+        # platform default.
+        with TaskPool(2, "process") as pool:
+            pool.map(_square, [1, 2])  # force executor creation
+            executor = pool._executor
+            assert executor._mp_context.get_start_method() == "spawn"
+
 
 class TestSchedulerStats:
     def test_wavefront_stats_recorded(self):

@@ -312,6 +312,98 @@ class TestWatch:
         assert main(["watch", source_file, "--jobs", "2", "--no-floats",
                      "--interval", "0.01", "--max-iterations", "1"]) == 0
 
+    def test_same_stamp_edit_detected_by_content_hash(
+        self, source_file, capsys, monkeypatch
+    ):
+        # An edit that keeps both st_mtime and st_size (same-length text,
+        # mtime pinned back) is invisible to a stat-stamp comparison; the
+        # content-hash fallback must still catch it.
+        import os
+
+        import repro.cli as cli
+
+        original = os.stat(source_file)
+        edits = iter([FIG1.replace("f2 + f3", "f2 * f3"), None])
+
+        def sleeping_edit(seconds):
+            new_source = next(edits, None)
+            if new_source is not None:
+                assert len(new_source) == len(FIG1)
+                with open(source_file, "w", encoding="utf-8") as handle:
+                    handle.write(new_source)
+                os.utime(
+                    source_file,
+                    ns=(original.st_atime_ns, original.st_mtime_ns),
+                )
+
+        monkeypatch.setattr(cli.time, "sleep", sleeping_edit)
+        assert main(["watch", source_file, "--interval", "0.01",
+                     "--max-iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "re-analyzing" in out
+        assert out.count("session:") == 2
+
+    def test_vanished_file_keeps_watching(
+        self, source_file, capsys, monkeypatch
+    ):
+        # Editors replace files non-atomically: a tick may stat the gap
+        # between unlink and rename.  The watcher reports and retries.
+        import os
+
+        import repro.cli as cli
+
+        steps = iter(["remove", "restore", None])
+
+        def sleeping_edit(seconds):
+            step = next(steps, None)
+            if step == "remove":
+                os.remove(source_file)
+            elif step == "restore":
+                with open(source_file, "w", encoding="utf-8") as handle:
+                    handle.write(FIG1.replace("f2 + f3", "f2 * f3"))
+
+        monkeypatch.setattr(cli.time, "sleep", sleeping_edit)
+        assert main(["watch", source_file, "--interval", "0.01",
+                     "--max-iterations", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "watch:" in captured.err  # the missing-file tick reported
+        assert "re-analyzing" in captured.out  # and recovery re-analyzed
+
+    def test_interrupt_before_first_result_skips_obs_emit(
+        self, source_file, tmp_path, capsys, monkeypatch
+    ):
+        # ^C during the initial analysis leaves session.result unset; the
+        # exit path must not render observability from a result that never
+        # happened.
+        import os
+
+        import repro.api
+
+        class InterruptedSession:
+            def __init__(self, *args, **kwargs):
+                self.result = None
+
+            def analyze(self):
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(repro.api, "AnalysisSession", InterruptedSession)
+        metrics_out = str(tmp_path / "metrics.json")
+        assert main(["watch", source_file, "--metrics-json", metrics_out,
+                     "--interval", "0.01", "--max-iterations", "1"]) == 0
+        assert not os.path.exists(metrics_out)
+
+
+class TestServe:
+    def test_bounded_run_exits_cleanly(self, capsys):
+        assert main(["serve", "--port", "0", "--max-seconds", "0.3"]) == 0
+        banner = capsys.readouterr().err
+        assert "repro-icp serve listening on http://127.0.0.1:" in banner
+
+    def test_rejects_bad_knobs(self, capsys):
+        assert main(["serve", "--port", "0", "--max-queue", "0",
+                     "--max-seconds", "0.1"]) == 1
+        assert "serve_max_queue" in capsys.readouterr().err
+
 
 class TestCheck:
     NOISY = """\
