@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
+import threading
 import time
 from typing import List, Optional
 
@@ -429,9 +431,89 @@ def _write_bench_json(
             "tasks_cached": warm.tasks_cached,
             "reports_identical": not mismatched,
         }
+    try:
+        # The serving benchmark (repro-icp loadgen) owns the "serve"
+        # section of the same file; a bench rewrite must not clobber it.
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and "serve" in existing:
+            payload["serve"] = existing["serve"]
+    except (OSError, ValueError):
+        pass
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Load-generate against serve deployments and record the results."""
+    from repro.bench.loadgen import (
+        merge_bench_json,
+        run_loadgen,
+        run_shard_comparison,
+    )
+
+    overrides = {"serve_max_sessions": args.max_sessions}
+    if args.clients is not None:
+        overrides["loadgen_clients"] = args.clients
+    if args.ops is not None:
+        overrides["loadgen_ops"] = args.ops
+    if args.programs is not None:
+        overrides["loadgen_programs"] = args.programs
+    if args.procs is not None:
+        overrides["loadgen_procs"] = args.procs
+    if args.seed is not None:
+        overrides["loadgen_seed"] = args.seed
+    try:
+        config = _config_from(args, **overrides)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.url:
+        result = run_loadgen(
+            args.url,
+            clients=config.loadgen_clients,
+            ops=config.loadgen_ops,
+            programs=config.loadgen_programs,
+            seed=config.loadgen_seed,
+            procs=config.loadgen_procs,
+        )
+        print(
+            f"{args.url}: {result.ok}/{result.ops} ok, "
+            f"{result.reloads} reloads, {result.rejected} rejected, "
+            f"p50 {result.percentile(50) * 1000:.1f}ms, "
+            f"p99 {result.percentile(99) * 1000:.1f}ms, "
+            f"{result.throughput:.1f} ops/s over {result.wall_seconds:.1f}s"
+        )
+        section = {
+            "schema": "repro-icp/loadgen/v1",
+            "cpu_count": os.cpu_count(),
+            "clients": config.loadgen_clients,
+            "ops": config.loadgen_ops,
+            "programs": config.loadgen_programs,
+            "procs_per_program": config.loadgen_procs,
+            "seed": config.loadgen_seed,
+            "url": args.url,
+            "runs": {"external": result.to_dict()},
+        }
+    else:
+        try:
+            counts = sorted(
+                {int(part) for part in args.shards.split(",") if part.strip()}
+            )
+        except ValueError:
+            print(f"error: --shards must be a comma list of ints, "
+                  f"got {args.shards!r}", file=sys.stderr)
+            return 1
+        if not counts or any(count < 1 for count in counts):
+            print("error: --shards needs counts >= 1", file=sys.stderr)
+            return 1
+        section = run_shard_comparison(config, counts)
+    if args.json:
+        merge_bench_json(args.json, section)
+        print(f"serve bench merged into {args.json}", file=sys.stderr)
+    return 0
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -506,8 +588,8 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """Run the analysis daemon until interrupted."""
-    from repro.serve import AnalysisServer
+    """Run the analysis daemon (single-process or sharded) until interrupted."""
+    from repro.serve import create_server
 
     obs = _obs_from(args)
     try:
@@ -519,28 +601,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             serve_max_queue=args.max_queue,
             serve_timeout_seconds=args.request_timeout,
             serve_max_sessions=args.max_sessions,
+            serve_shards=args.shards,
+            serve_rebalance=args.rebalance,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    server = AnalysisServer(config, obs=obs)
+    server = create_server(config, obs=obs)
     host, port = server.start()
     store_note = f", store {config.store_dir}" if config.store_dir else ""
+    shard_note = (
+        f", {config.serve_shards} shard process(es)"
+        if config.serve_shards
+        else ""
+    )
     print(
         f"repro-icp serve listening on http://{host}:{port} "
         f"({config.serve_workers} worker(s), queue {config.serve_max_queue}, "
-        f"timeout {config.serve_timeout_seconds}s{store_note})",
+        f"timeout {config.serve_timeout_seconds}s{shard_note}{store_note})",
         file=sys.stderr,
     )
     sys.stderr.flush()
+    # A SIGTERM (systemd stop, process supervisor, `kill`) must run the
+    # same orderly shutdown as ^C: without it the front dies mid-sleep
+    # and leaves spawned shard workers orphaned.
+    stop = threading.Event()
+    try:
+        previous_term = signal.signal(
+            signal.SIGTERM, lambda signum, frame: stop.set()
+        )
+    except ValueError:  # not the main thread (embedded use)
+        previous_term = None
     deadline = time.monotonic() + args.max_seconds
     try:
-        while args.max_seconds <= 0 or time.monotonic() < deadline:
-            time.sleep(0.2)
+        while not stop.is_set() and (
+            args.max_seconds <= 0 or time.monotonic() < deadline
+        ):
+            stop.wait(0.2)
     except KeyboardInterrupt:
         pass
     finally:
         server.close()
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
     if obs is not None:
         _emit_observability(args, obs, [])
     return 0
@@ -714,7 +817,52 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="max_seconds",
                        help="exit after S seconds (default: 0 = until ^C); "
                             "for smoke tests and CI")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="shard the daemon across N worker processes "
+                            "behind a consistent-hash router; shards share "
+                            "the --store-dir store (default: 0 = single "
+                            "process)")
+    serve.add_argument("--rebalance", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="router health-sweep interval; a dead shard is "
+                            "respawned within roughly this many seconds "
+                            "(default: 0.5)")
     serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", parents=[common, obs_flags],
+        help="drive a serve deployment with concurrent mixed traffic and "
+             "record p50/p99 latency + saturation throughput",
+    )
+    loadgen.add_argument("--clients", type=int, default=None, metavar="N",
+                         help="concurrent client threads (default: 8)")
+    loadgen.add_argument("--ops", type=int, default=None, metavar="N",
+                         help="total operations across clients "
+                              "(default: 400)")
+    loadgen.add_argument("--programs", type=int, default=None, metavar="N",
+                         help="distinct programs in the working set "
+                              "(default: 20)")
+    loadgen.add_argument("--procs", type=int, default=None, metavar="N",
+                         help="procedures per generated program "
+                              "(default: 20)")
+    loadgen.add_argument("--seed", type=int, default=None, metavar="N",
+                         help="corpus/traffic RNG seed (default: 0)")
+    loadgen.add_argument("--shards", default="1,4", metavar="LIST",
+                         help="comma list of shard counts to boot and "
+                              "compare; 1 = single-process daemon "
+                              "(default: 1,4)")
+    loadgen.add_argument("--max-sessions", type=int, default=7, metavar="N",
+                         dest="max_sessions",
+                         help="resident sessions per serving process; the "
+                              "workload's capacity-pressure knob "
+                              "(default: 7)")
+    loadgen.add_argument("--url", metavar="URL",
+                         help="drive an already-running daemon at URL "
+                              "instead of booting deployments")
+    loadgen.add_argument("--json", metavar="OUT.json",
+                         help="merge the results into OUT.json's \"serve\" "
+                              "section (e.g. BENCH_icp.json)")
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     watch = sub.add_parser(
         "watch", parents=[common, obs_flags],
@@ -733,7 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
 #: flag) is treated as a file to analyze.
 _SUBCOMMANDS = (
     "analyze", "check", "graph", "optimize", "run", "tables", "bench",
-    "serve", "watch",
+    "serve", "watch", "loadgen",
 )
 
 

@@ -57,6 +57,23 @@ class ICPConfig:
         request that exceeds it degrades to the flow-insensitive solution.
     :param serve_max_sessions: resident :class:`AnalysisSession` bound;
         beyond it the least-recently-used program's session is dropped.
+    :param serve_shards: worker *processes* behind the serve front router.
+        ``0`` (the default) keeps the single-process daemon; ``N >= 1``
+        spawns N shard processes that consistent-hash program ids and
+        coordinate only through the shared persistent store.
+    :param serve_rebalance: seconds between the router's shard health
+        sweeps; a shard found dead is respawned (and warm-starts from the
+        store) within roughly this interval.
+    :param loadgen_clients: concurrent client threads ``repro-icp
+        loadgen`` drives against the daemon.
+    :param loadgen_ops: total operations the load generator issues across
+        all of its clients.
+    :param loadgen_programs: distinct programs in the load generator's
+        working set (its session-pool pressure knob).
+    :param loadgen_procs: procedures per generated loadgen program; sizes
+        the cost of a cold load relative to a warm query.
+    :param loadgen_seed: RNG seed of the generated loadgen corpus, edit
+        scripts, and traffic mix.
     :param diag_rules: rule IDs the diagnostics engine should run (``None``
         enables every rule; see ``repro.diag.findings.RULES``).
     :param diag_severity_floor: weakest finding severity to report
@@ -83,6 +100,13 @@ class ICPConfig:
     serve_max_queue: int = 8
     serve_timeout_seconds: float = 10.0
     serve_max_sessions: int = 32
+    serve_shards: int = 0
+    serve_rebalance: float = 0.5
+    loadgen_clients: int = 8
+    loadgen_ops: int = 400
+    loadgen_programs: int = 20
+    loadgen_procs: int = 20
+    loadgen_seed: int = 0
     diag_rules: Optional[Tuple[str, ...]] = None
     diag_severity_floor: str = "note"
     diag_sarif: bool = False
@@ -170,6 +194,39 @@ class ICPConfig:
             raise ValueError(
                 f"serve_timeout_seconds must be positive, "
                 f"got {config.serve_timeout_seconds!r}"
+            )
+        if (
+            not isinstance(config.serve_shards, int)
+            or isinstance(config.serve_shards, bool)
+            or config.serve_shards < 0
+        ):
+            raise ValueError(
+                f"serve_shards must be an int >= 0 (0 = single process), "
+                f"got {config.serve_shards!r}"
+            )
+        if (
+            not isinstance(config.serve_rebalance, (int, float))
+            or isinstance(config.serve_rebalance, bool)
+            or config.serve_rebalance <= 0
+        ):
+            raise ValueError(
+                f"serve_rebalance must be a positive number of seconds, "
+                f"got {config.serve_rebalance!r}"
+            )
+        for knob in ("loadgen_clients", "loadgen_ops", "loadgen_programs",
+                     "loadgen_procs"):
+            value = getattr(config, knob)
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 1
+            ):
+                raise ValueError(f"{knob} must be an int >= 1, got {value!r}")
+        if not isinstance(config.loadgen_seed, int) or isinstance(
+            config.loadgen_seed, bool
+        ):
+            raise ValueError(
+                f"loadgen_seed must be an int, got {config.loadgen_seed!r}"
             )
         from repro.diag.findings import RULES, SEVERITIES
 

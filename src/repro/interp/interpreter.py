@@ -7,7 +7,10 @@ The interpreter is the ground truth against which every analysis is tested:
   fresh cell (Fortran temporary);
 - globals live in one shared frame, initialized from ``init`` blocks;
 - reading an uninitialized variable is a runtime error;
-- a step budget and a call-depth limit bound execution of generated programs.
+- a step budget, a call-depth limit, and the evaluator's integer-magnitude
+  cap (``repro.ir.eval.MAX_INT_BITS``) bound execution of generated
+  programs — the last one bounds the *cost of each step*: without it a
+  repeated-multiplication loop exhausts no budget yet never finishes.
 
 The :class:`Recorder` trace hook observes the concrete value of every formal
 and every global at each procedure entry, and of every argument at each call,

@@ -18,6 +18,11 @@ Semantics (Fortran-flavoured):
   short-circuiting is observable only through runtime errors in ``e``.
 - Division or remainder by zero is a runtime error (:class:`EvalError`); the
   abstract semantics therefore never folds it and yields BOTTOM.
+- Integer results are capped at :data:`MAX_INT_BITS` bits (far beyond any
+  Fortran integer kind); exceeding the cap is ``EvalError`` overflow, like
+  a non-finite float.  Without the cap a repeated-multiplication loop grows
+  values whose single operations cost unbounded time, so neither a step
+  budget (interpreter) nor a fixpoint bound (propagators) would terminate.
 """
 
 from __future__ import annotations
@@ -119,10 +124,22 @@ def apply_unary(op: str, a: Value) -> Value:
     raise ValueError(f"unknown unary operator {op!r}")
 
 
+#: Magnitude cap for integer results.  Any real Fortran integer kind fits
+#: in 64 bits; 4096 keeps every single arithmetic operation cheap while
+#: leaving astronomical headroom for legitimate constants.
+MAX_INT_BITS = 4096
+
+
 def _check_finite(value: Value) -> Value:
-    """Reject non-finite float results so folding never bakes in inf/NaN."""
+    """Reject non-finite float and oversized int results.
+
+    Folding must never bake in inf/NaN, and execution must never grow an
+    integer to the point where one multiplication dominates the run time.
+    """
     if isinstance(value, float) and not math.isfinite(value):
         raise EvalError("floating-point overflow")
+    if isinstance(value, int) and value.bit_length() > MAX_INT_BITS:
+        raise EvalError("integer overflow")
     return value
 
 

@@ -17,7 +17,7 @@ analyzed concurrently.  This package turns that observation into machinery:
 """
 
 from repro.sched.cache import CacheStats, SummaryCache
-from repro.sched.pool import TaskPool, resolve_workers
+from repro.sched.pool import TaskPool, resolve_workers, spawn_context
 from repro.sched.scheduler import AnalysisTask, Scheduler, SchedulerStats
 from repro.sched.wavefront import WavefrontSchedule
 
@@ -30,4 +30,5 @@ __all__ = [
     "TaskPool",
     "WavefrontSchedule",
     "resolve_workers",
+    "spawn_context",
 ]

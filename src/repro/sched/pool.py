@@ -25,6 +25,22 @@ _R = TypeVar("_R")
 _EXECUTOR_KINDS = ("thread", "process")
 
 
+def spawn_context():
+    """The ``spawn`` multiprocessing context every repro process uses.
+
+    The platform default start method may be fork (POSIX Python < 3.14),
+    which clones whatever locks and threads the parent holds mid-analysis —
+    the serve daemon and the observability layer both run threads, so a
+    forked child can inherit a locked lock and deadlock.  Spawn is safe
+    everywhere; shared by the process :class:`TaskPool` executor and the
+    serve shard supervisor (:mod:`repro.serve.router`), whose entrypoints
+    are module-level picklables by construction.
+    """
+    import multiprocessing
+
+    return multiprocessing.get_context("spawn")
+
+
 def resolve_workers(workers: Optional[int]) -> int:
     """Normalize a worker-count knob: ``0``/``None`` means all CPU cores."""
     if workers is None or workers == 0:
@@ -104,17 +120,9 @@ class TaskPool:
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
             if self.kind == "process":
-                import multiprocessing
-
-                # The platform default start method may be fork (POSIX
-                # Python < 3.14), which clones whatever locks and threads
-                # the parent holds mid-analysis — the serve daemon and the
-                # observability layer both run threads, so a forked child
-                # can inherit a locked lock and deadlock.  Spawn is safe
-                # everywhere; our tasks are module-level picklables.
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.workers,
-                    mp_context=multiprocessing.get_context("spawn"),
+                    mp_context=spawn_context(),
                 )
             else:
                 self._executor = ThreadPoolExecutor(

@@ -1,16 +1,42 @@
-"""The ``repro-icp serve`` analysis daemon.
+"""The ``repro-icp serve`` analysis daemon — single-process or sharded.
 
 A long-lived HTTP front end over :class:`~repro.session.AnalysisSession`:
 programs are loaded once, edits re-analyze incrementally, and summaries
 persist in the shared :class:`~repro.store.SummaryStore` so restarts stay
 warm.  See :mod:`repro.serve.daemon` for the endpoint catalog and the
-backpressure/degradation model.
+backpressure/degradation model, and :mod:`repro.serve.router` for the
+process-per-shard deployment (``serve_shards >= 1``): a consistent-hash
+front router over disposable worker processes that coordinate only
+through the shared store.  :func:`create_server` picks the right front
+for a config.
 """
 
 from repro.serve.daemon import (
     RETRY_AFTER_SECONDS,
     AnalysisServer,
+    JSONHTTPFront,
     ServeStats,
 )
+from repro.serve.hashring import HashRing
+from repro.serve.router import (
+    LocalShard,
+    ProcessShard,
+    RouterStats,
+    ShardRouter,
+    ShardUnavailable,
+    create_server,
+)
 
-__all__ = ["AnalysisServer", "ServeStats", "RETRY_AFTER_SECONDS"]
+__all__ = [
+    "AnalysisServer",
+    "HashRing",
+    "JSONHTTPFront",
+    "LocalShard",
+    "ProcessShard",
+    "RETRY_AFTER_SECONDS",
+    "RouterStats",
+    "ServeStats",
+    "ShardRouter",
+    "ShardUnavailable",
+    "create_server",
+]

@@ -29,7 +29,7 @@ Production behaviors:
 
 Endpoints (all JSON)::
 
-    GET    /healthz                    liveness + program count
+    GET    /healthz                    liveness, shard identity, store stats
     GET    /stats                      server/store/session counters
     POST   /programs/<id>              {source[, timeout]}: (re)load + analyze
     POST   /programs/<id>/edits       {source | procedure+source[, timeout]}
@@ -41,6 +41,7 @@ Endpoints (all JSON)::
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from concurrent.futures import CancelledError, ThreadPoolExecutor
@@ -96,20 +97,131 @@ class _Program:
         self.lock = threading.Lock()
 
 
-class AnalysisServer:
+class JSONHTTPFront:
+    """Shared HTTP plumbing of the daemon and the shard router.
+
+    Subclasses provide ``self.config`` (for the bind address) and a
+    ``dispatch(method, path, body) -> (status, payload, headers)`` method;
+    this base turns it into a :class:`ThreadingHTTPServer` with JSON
+    request/response framing.  Tests drive :meth:`dispatch` directly or
+    over a real socket via :meth:`start`; the CLI calls :meth:`serve`
+    (blocking).
+    """
+
+    config: ICPConfig
+    httpd: Optional[ThreadingHTTPServer] = None
+    _thread: Optional[threading.Thread] = None
+
+    def dispatch(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        raise NotImplementedError
+
+    def _make_httpd(self) -> ThreadingHTTPServer:
+        front = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _finish(self, status, payload, headers):
+                data = (json.dumps(payload, sort_keys=True) + "\n").encode(
+                    "utf-8"
+                )
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(data)))
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.end_headers()
+                self.wfile.write(data)
+
+            def _body(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                if not length:
+                    return {}
+                raw = self.rfile.read(length)
+                blob = json.loads(raw.decode("utf-8"))
+                if not isinstance(blob, dict):
+                    raise ValueError("request body must be a JSON object")
+                return blob
+
+            def _serve(self, method):
+                try:
+                    body = self._body()
+                except (ValueError, UnicodeDecodeError) as error:
+                    self._finish(
+                        400, {"error": f"malformed JSON body: {error}"}, {}
+                    )
+                    return
+                status, payload, headers = front.dispatch(
+                    method, self.path, body
+                )
+                self._finish(status, payload, headers)
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                self._serve("GET")
+
+            def do_POST(self):  # noqa: N802
+                self._serve("POST")
+
+            def do_DELETE(self):  # noqa: N802
+                self._serve("DELETE")
+
+            def log_message(self, format, *args):  # noqa: A002
+                pass  # request logging goes through metrics, not stderr
+
+        httpd = ThreadingHTTPServer(
+            (self.config.serve_host, self.config.serve_port), Handler
+        )
+        httpd.daemon_threads = True
+        return httpd
+
+    def start(self) -> Tuple[str, int]:
+        """Serve on a background thread; returns the bound (host, port)."""
+        self.httpd = self._make_httpd()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name=f"{type(self).__name__}-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.httpd.server_address[0], self.httpd.server_address[1]
+
+    def serve(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self.httpd = self._make_httpd()
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.httpd.server_close()
+
+    def close(self) -> None:
+        if self.httpd is not None:
+            self.httpd.shutdown()
+            self.httpd.server_close()
+            self.httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+class AnalysisServer(JSONHTTPFront):
     """The daemon's engine room, independent of the HTTP plumbing.
 
-    Tests drive :meth:`dispatch` directly or over a real socket via
-    :meth:`start`; the CLI calls :meth:`serve` (blocking).
+    With ``shard_index`` set, this server is one shard of a
+    :class:`~repro.serve.router.ShardRouter` deployment and reports its
+    identity through ``/healthz``.
     """
 
     def __init__(
         self,
         config: Optional[ICPConfig] = None,
         obs: Optional[Observability] = None,
+        shard_index: Optional[int] = None,
     ):
         self.config = config or ICPConfig()
         self.obs = obs or NULL_OBS
+        self.shard_index = shard_index
         self.stats = ServeStats()
         self.store: Optional[SummaryStore] = None
         if self.config.store_dir:
@@ -401,6 +513,43 @@ class AnalysisServer:
 
         return self._execute(job, deadline)
 
+    def _store_payload(self) -> Optional[Dict[str, Any]]:
+        """Store stats for ``/healthz`` and ``/stats`` (None = no store)."""
+        if self.store is None:
+            return None
+        s = self.store.stats
+        return {
+            "dir": self.store.root,
+            "hits": s.hits,
+            "misses": s.misses,
+            "writes": s.writes,
+            "evictions": s.evictions,
+            "corrupt_dropped": s.corrupt_dropped,
+            "bytes": s.bytes,
+            "entries": s.entries,
+        }
+
+    def _healthz_payload(self) -> Dict[str, Any]:
+        """Liveness, shard identity, session residency, and store stats.
+
+        The router aggregates one of these per shard; a single-process
+        daemon reports itself with ``"shard": null``.
+        """
+        with self._programs_lock:
+            resident = len(self._programs)
+        return {
+            "ok": True,
+            "programs": resident,
+            "pid": os.getpid(),
+            "shard": self.shard_index,
+            "sessions": {
+                "resident": resident,
+                "max": self.config.serve_max_sessions,
+                "evicted": self.stats.sessions_evicted,
+            },
+            "store": self._store_payload(),
+        }
+
     def _stats_payload(self) -> Dict[str, Any]:
         with self._programs_lock:
             programs = list(self._programs)
@@ -420,18 +569,9 @@ class AnalysisServer:
                 "max_sessions": self.config.serve_max_sessions,
             },
         }
-        if self.store is not None:
-            s = self.store.stats
-            payload["store"] = {
-                "dir": self.store.root,
-                "hits": s.hits,
-                "misses": s.misses,
-                "writes": s.writes,
-                "evictions": s.evictions,
-                "corrupt_dropped": s.corrupt_dropped,
-                "bytes": s.bytes,
-                "entries": s.entries,
-            }
+        store = self._store_payload()
+        if store is not None:
+            payload["store"] = store
         return payload
 
     # ------------------------------------------------------------------
@@ -514,9 +654,7 @@ class AnalysisServer:
         deadline: float,
     ) -> Tuple[int, Dict[str, Any]]:
         if method == "GET" and parts == ["healthz"]:
-            with self._programs_lock:
-                count = len(self._programs)
-            return 200, {"ok": True, "programs": count}
+            return 200, self._healthz_payload()
         if method == "GET" and parts == ["stats"]:
             return 200, self._stats_payload()
         if len(parts) == 2 and parts[0] == "programs":
@@ -539,94 +677,6 @@ class AnalysisServer:
                 return self._handle_diagnostics(program_id, deadline)
         return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}
 
-    # ------------------------------------------------------------------
-    # HTTP plumbing.
-    # ------------------------------------------------------------------
-
-    def _make_httpd(self) -> ThreadingHTTPServer:
-        server = self
-
-        class Handler(BaseHTTPRequestHandler):
-            protocol_version = "HTTP/1.1"
-
-            def _finish(self, status, payload, headers):
-                data = (json.dumps(payload, sort_keys=True) + "\n").encode(
-                    "utf-8"
-                )
-                self.send_response(status)
-                self.send_header("Content-Type", "application/json")
-                self.send_header("Content-Length", str(len(data)))
-                for name, value in headers.items():
-                    self.send_header(name, value)
-                self.end_headers()
-                self.wfile.write(data)
-
-            def _body(self):
-                length = int(self.headers.get("Content-Length") or 0)
-                if not length:
-                    return {}
-                raw = self.rfile.read(length)
-                blob = json.loads(raw.decode("utf-8"))
-                if not isinstance(blob, dict):
-                    raise ValueError("request body must be a JSON object")
-                return blob
-
-            def _serve(self, method):
-                try:
-                    body = self._body()
-                except (ValueError, UnicodeDecodeError) as error:
-                    self._finish(
-                        400, {"error": f"malformed JSON body: {error}"}, {}
-                    )
-                    return
-                status, payload, headers = server.dispatch(
-                    method, self.path, body
-                )
-                self._finish(status, payload, headers)
-
-            def do_GET(self):  # noqa: N802 - http.server API
-                self._serve("GET")
-
-            def do_POST(self):  # noqa: N802
-                self._serve("POST")
-
-            def do_DELETE(self):  # noqa: N802
-                self._serve("DELETE")
-
-            def log_message(self, format, *args):  # noqa: A002
-                pass  # request logging goes through metrics, not stderr
-
-        httpd = ThreadingHTTPServer(
-            (self.config.serve_host, self.config.serve_port), Handler
-        )
-        httpd.daemon_threads = True
-        return httpd
-
-    def start(self) -> Tuple[str, int]:
-        """Serve on a background thread; returns the bound (host, port)."""
-        self.httpd = self._make_httpd()
-        self._thread = threading.Thread(
-            target=self.httpd.serve_forever,
-            name="repro-serve-accept",
-            daemon=True,
-        )
-        self._thread.start()
-        return self.httpd.server_address[0], self.httpd.server_address[1]
-
-    def serve(self) -> None:
-        """Serve on the calling thread until interrupted."""
-        self.httpd = self._make_httpd()
-        try:
-            self.httpd.serve_forever()
-        finally:
-            self.httpd.server_close()
-
     def close(self) -> None:
-        if self.httpd is not None:
-            self.httpd.shutdown()
-            self.httpd.server_close()
-            self.httpd = None
-        if self._thread is not None:
-            self._thread.join(timeout=5)
-            self._thread = None
+        super().close()
         self._pool.shutdown(wait=False)

@@ -1,0 +1,73 @@
+"""Consistent hashing of program ids onto serve shards.
+
+The front router (:mod:`repro.serve.router`) owns program placement: every
+request for ``/programs/<id>`` must land on the one shard whose session
+holds that program, and the mapping must survive router restarts and shard
+respawns without a coordination service.  A consistent-hash ring over
+SHA-256 gives exactly that:
+
+- **Deterministic.**  Points are ``sha256(f"shard-{index}-{replica}")``;
+  the same shard count always yields the same ring, in every process —
+  Python's salted ``hash()`` is deliberately *not* used.
+- **Stable under respawn.**  A shard's identity is its *index*, so a
+  respawned shard re-occupies its old arc and warm-starts the same
+  programs from the shared persistent store.
+- **Gentle under resize.**  Growing ``N`` shards to ``N + 1`` remaps only
+  the arcs the new shard's points claim (roughly ``1/(N+1)`` of keys);
+  every other program stays put, its session still warm.
+
+``replicas`` virtual points per shard smooth the arc lengths so load
+spreads evenly even at small shard counts.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Tuple
+
+#: Virtual points per shard; 64 keeps the max/min arc ratio small without
+#: making ring construction or lookup measurable.
+DEFAULT_REPLICAS = 64
+
+
+def _point(label: str) -> int:
+    """A ring position in [0, 2**64) derived from a stable label."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring mapping string keys to shard indices."""
+
+    def __init__(self, shards: int, replicas: int = DEFAULT_REPLICAS):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for index in range(shards):
+            for replica in range(replicas):
+                points.append((_point(f"shard-{index}-{replica}"), index))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def shard_for(self, key: str) -> int:
+        """The shard index owning ``key`` (the next point clockwise)."""
+        where = bisect.bisect_right(self._points, _point(key))
+        if where == len(self._points):
+            where = 0  # wrap past the last point to the ring's start
+        return self._owners[where]
+
+    def distribution(self, keys) -> List[int]:
+        """Per-shard key counts for ``keys`` (balance introspection)."""
+        counts = [0] * self.shards
+        for key in keys:
+            counts[self.shard_for(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(shards={self.shards}, replicas={self.replicas})"

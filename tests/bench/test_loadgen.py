@@ -1,0 +1,138 @@
+"""The serve load generator: corpus determinism, stats math, bench merge."""
+
+import json
+
+import pytest
+
+from repro.bench.loadgen import (
+    LoadgenCorpus,
+    LoadgenResult,
+    edit_script,
+    merge_bench_json,
+    run_loadgen,
+)
+from repro.core.config import ICPConfig
+from repro.lang.parser import parse_program
+from repro.serve import AnalysisServer
+
+
+class TestEditScript:
+    def test_deterministic(self):
+        assert edit_script(11, 3) == edit_script(11, 3)
+
+    def test_versions_parse_and_differ(self):
+        versions = edit_script(5, 4)
+        assert len(versions) == 5
+        for version in versions:
+            parse_program(version)  # every version is a valid program
+        # Mutations retry until they change something, so consecutive
+        # versions differ.
+        for before, after in zip(versions, versions[1:]):
+            assert before != after
+
+    def test_procs_knob_sizes_the_program(self):
+        versions = edit_script(3, 1, procs=8)
+        assert len(parse_program(versions[0]).procedures) == 8
+        # The knob changes the generated program, not just its length.
+        assert versions[0] != edit_script(3, 1, procs=4)[0]
+
+    def test_corpus_builds_distinct_programs(self):
+        corpus = LoadgenCorpus.build(programs=4, seed=0, edits=2)
+        assert corpus.ids == ["lg000", "lg001", "lg002", "lg003"]
+        pristine = {corpus.versions[pid][0] for pid in corpus.ids}
+        assert len(pristine) == 4
+        rebuilt = LoadgenCorpus.build(programs=4, seed=0, edits=2)
+        assert rebuilt.versions == corpus.versions
+
+
+class TestResultMath:
+    def test_percentiles_interpolate(self):
+        result = LoadgenResult()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            result.record("report", value)
+        assert result.percentile(0) == pytest.approx(0.1)
+        assert result.percentile(50) == pytest.approx(0.25)
+        assert result.percentile(100) == pytest.approx(0.4)
+        assert result.percentile(50, "report") == pytest.approx(0.25)
+        assert result.percentile(50, "missing") == 0.0
+
+    def test_throughput_and_to_dict(self):
+        result = LoadgenResult(ops=10, ok=8, wall_seconds=2.0)
+        result.record("report", 0.05)
+        assert result.throughput == pytest.approx(4.0)
+        data = result.to_dict()
+        assert data["ok"] == 8
+        assert data["throughput_ops_per_s"] == pytest.approx(4.0)
+        assert data["latency"]["all"]["count"] == 1
+        assert data["latency"]["report"]["p50_ms"] == pytest.approx(50.0)
+
+    def test_empty_result_is_zeroed(self):
+        result = LoadgenResult()
+        assert result.throughput == 0.0
+        assert result.percentile(99) == 0.0
+
+
+class TestMergeBenchJson:
+    def test_preserves_existing_sections(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        path.write_text(
+            json.dumps({"schema": "repro-icp/bench/v1", "cold": {"x": 1}})
+        )
+        merge_bench_json(str(path), {"runs": {}})
+        data = json.loads(path.read_text())
+        assert data["cold"] == {"x": 1}
+        assert data["serve"] == {"runs": {}}
+        # Re-merging replaces only the serve section.
+        merge_bench_json(str(path), {"runs": {"1": {}}})
+        data = json.loads(path.read_text())
+        assert data["cold"] == {"x": 1}
+        assert data["serve"] == {"runs": {"1": {}}}
+
+    def test_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "new.json"
+        merge_bench_json(str(path), {"runs": {}})
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro-icp/bench/v1"
+        assert data["serve"] == {"runs": {}}
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{nope")
+        merge_bench_json(str(path), {"runs": {}})
+        data = json.loads(path.read_text())
+        assert data["serve"] == {"runs": {}}
+
+
+@pytest.mark.slow
+class TestRunLoadgen:
+    def test_short_run_against_a_live_daemon(self, tmp_path):
+        config = ICPConfig.from_dict(
+            {
+                "serve_port": 0,
+                "serve_workers": 1,
+                "store_dir": str(tmp_path / "store"),
+            }
+        )
+        server = AnalysisServer(config)
+        try:
+            host, port = server.start()
+            result = run_loadgen(
+                f"http://{host}:{port}",
+                clients=2,
+                ops=20,
+                programs=3,
+                seed=1,
+                edits=2,
+            )
+        finally:
+            server.close()
+        assert result.ops == 20
+        assert result.ok + result.rejected + result.errors == 20
+        assert result.errors == 0
+        assert result.wall_seconds > 0
+        assert result.throughput > 0
+        data = result.to_dict()
+        assert data["latency"]["all"]["count"] == result.ok
+        assert data["latency"]["all"]["p99_ms"] >= data["latency"]["all"][
+            "p50_ms"
+        ]

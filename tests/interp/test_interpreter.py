@@ -168,6 +168,23 @@ class TestErrors:
                 max_depth=50,
             )
 
+    def test_int_squaring_loop_terminates_fast(self):
+        # Regression: before the integer-magnitude cap this program burned
+        # CPU indefinitely — the step budget bounds how many multiplications
+        # run, not how big (and therefore how slow) each one is.  Hypothesis
+        # found it by generating exactly this shape.
+        with pytest.raises(InterpreterError, match="integer overflow"):
+            run(
+                """
+                proc main() {
+                    x = 3;
+                    i = 0;
+                    while (i < 100000) { x = x * x; i = i + 1; }
+                    print(x);
+                }
+                """
+            )
+
     def test_float_overflow(self):
         with pytest.raises(InterpreterError, match="overflow"):
             run(

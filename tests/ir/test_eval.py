@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.ir.eval import (
+    MAX_INT_BITS,
     EvalError,
     abstract_binary,
     abstract_unary,
@@ -64,6 +65,20 @@ class TestConcreteArithmetic:
         with pytest.raises(EvalError):
             apply_binary("*", 1e308, 1e308)
 
+    def test_int_magnitude_capped(self):
+        # Unbounded python ints must not escape the evaluator: a squaring
+        # chain would otherwise make single multiplications arbitrarily
+        # expensive (the step budget bounds the count of operations, not
+        # their cost).
+        big = 1 << MAX_INT_BITS
+        with pytest.raises(EvalError, match="integer overflow"):
+            apply_binary("*", big, big)
+        with pytest.raises(EvalError, match="integer overflow"):
+            apply_binary("+", big, 1)
+        # Values at or under the cap still compute exactly.
+        assert apply_binary("+", big - 1, 0) == big - 1
+        assert apply_binary("<", big, big + 0) == 0
+
     def test_comparisons_yield_int(self):
         assert apply_binary("<", 1, 2) == 1
         assert apply_binary(">=", 1, 2) == 0
@@ -99,6 +114,11 @@ class TestAbstractEvaluation:
 
     def test_bottom_propagates(self):
         assert abstract_binary("+", BOTTOM, Const(1)) == BOTTOM
+
+    def test_int_overflow_is_bottom(self):
+        big = Const(1 << MAX_INT_BITS)
+        assert abstract_binary("*", big, big) == BOTTOM
+        assert abstract_binary("==", big, big).is_const  # comparisons fold
 
     def test_division_by_zero_is_bottom(self):
         assert abstract_binary("/", Const(1), Const(0)) == BOTTOM

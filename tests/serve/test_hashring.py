@@ -1,0 +1,76 @@
+"""Consistent-hash ring invariants the router's placement relies on."""
+
+import pytest
+
+from repro.serve.hashring import DEFAULT_REPLICAS, HashRing
+
+
+class TestDeterminism:
+    def test_same_ring_same_mapping(self):
+        a = HashRing(4)
+        b = HashRing(4)
+        keys = [f"prog{i}" for i in range(200)]
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+    def test_repeated_lookups_stable(self):
+        ring = HashRing(3)
+        assert ring.shard_for("main") == ring.shard_for("main")
+
+
+class TestCoverage:
+    def test_all_keys_land_on_valid_shards(self):
+        ring = HashRing(5)
+        for i in range(500):
+            assert 0 <= ring.shard_for(f"k{i}") < 5
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert all(ring.shard_for(f"k{i}") == 0 for i in range(100))
+
+    def test_every_shard_gets_some_keys(self):
+        ring = HashRing(4)
+        counts = ring.distribution(f"prog{i:04d}" for i in range(1000))
+        assert all(count > 0 for count in counts)
+        assert sum(counts) == 1000
+
+
+class TestBalance:
+    def test_virtual_replicas_smooth_the_arcs(self):
+        counts = HashRing(4).distribution(f"p{i}" for i in range(4000))
+        # With 64 virtual points per shard the spread stays well inside
+        # 3x between the heaviest and lightest shard.
+        assert max(counts) < 3 * min(counts)
+
+
+class TestResize:
+    def test_growing_the_ring_remaps_only_a_fraction(self):
+        keys = [f"prog{i:04d}" for i in range(2000)]
+        before = HashRing(4)
+        after = HashRing(5)
+        moved = sum(
+            1 for key in keys if before.shard_for(key) != after.shard_for(key)
+        )
+        # Ideal churn is 1/5 of keys; allow generous slack but require
+        # far less movement than a modulo rehash (~4/5).
+        assert moved < len(keys) * 0.45
+
+    def test_moved_keys_only_move_to_the_new_shard(self):
+        before = HashRing(3)
+        after = HashRing(4)
+        for i in range(1000):
+            key = f"prog{i}"
+            if before.shard_for(key) != after.shard_for(key):
+                assert after.shard_for(key) == 3
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError, match="shards"):
+            HashRing(0)
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(2, replicas=0)
+
+    def test_default_replicas(self):
+        assert HashRing(2).replicas == DEFAULT_REPLICAS

@@ -1,6 +1,7 @@
 """The analysis daemon: routing, backpressure, degradation, warm starts."""
 
 import json
+import os
 import threading
 import urllib.error
 import urllib.request
@@ -41,7 +42,37 @@ class TestRouting:
     def test_healthz(self, server):
         status, payload, _ = server.dispatch("GET", "/healthz")
         assert status == 200
-        assert payload == {"ok": True, "programs": 0}
+        # Regression: the per-shard liveness JSON shape.  A single-process
+        # daemon reports itself (shard null) plus its session pool and
+        # (absent) store, so the router can aggregate the same payload
+        # per shard.
+        assert sorted(payload) == [
+            "ok", "pid", "programs", "sessions", "shard", "store",
+        ]
+        assert payload["ok"] is True
+        assert payload["programs"] == 0
+        assert payload["pid"] == os.getpid()
+        assert payload["shard"] is None
+        assert payload["store"] is None
+        assert payload["sessions"] == {
+            "resident": 0,
+            "max": server.config.serve_max_sessions,
+            "evicted": 0,
+        }
+
+    def test_healthz_reports_store_stats(self, tmp_path):
+        srv = _server(tmp_path)
+        try:
+            srv.dispatch("POST", "/programs/p1", {"source": SOURCE})
+            _, payload, _ = srv.dispatch("GET", "/healthz")
+            assert payload["programs"] == 1
+            assert payload["sessions"]["resident"] == 1
+            store = payload["store"]
+            assert store["writes"] > 0
+            assert store["entries"] > 0
+            assert store["dir"] == str(tmp_path / "store")
+        finally:
+            srv.close()
 
     def test_load_analyzes(self, server):
         status, payload, _ = server.dispatch(

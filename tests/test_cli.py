@@ -404,6 +404,51 @@ class TestServe:
                      "--max-seconds", "0.1"]) == 1
         assert "serve_max_queue" in capsys.readouterr().err
 
+    def test_rejects_bad_shard_knobs(self, capsys):
+        assert main(["serve", "--port", "0", "--shards", "-1",
+                     "--max-seconds", "0.1"]) == 1
+        assert "serve_shards" in capsys.readouterr().err
+        assert main(["serve", "--port", "0", "--rebalance", "0",
+                     "--max-seconds", "0.1"]) == 1
+        assert "serve_rebalance" in capsys.readouterr().err
+
+
+class TestLoadgen:
+    def test_rejects_bad_shard_list(self, capsys):
+        assert main(["loadgen", "--shards", "1,banana"]) == 1
+        assert "--shards" in capsys.readouterr().err
+
+    def test_rejects_bad_knobs(self, capsys):
+        assert main(["loadgen", "--clients", "0"]) == 1
+        assert "loadgen_clients" in capsys.readouterr().err
+        assert main(["loadgen", "--procs", "0"]) == 1
+        assert "loadgen_procs" in capsys.readouterr().err
+
+    def test_url_mode_drives_an_external_daemon(self, tmp_path, capsys):
+        from repro.core.config import ICPConfig
+        from repro.serve import AnalysisServer
+
+        server = AnalysisServer(
+            ICPConfig.from_dict(
+                {"serve_port": 0, "store_dir": str(tmp_path / "store")}
+            )
+        )
+        host, port = server.start()
+        out_json = str(tmp_path / "bench.json")
+        try:
+            assert main(
+                ["loadgen", "--url", f"http://{host}:{port}",
+                 "--clients", "2", "--ops", "12", "--programs", "2",
+                 "--procs", "4", "--json", out_json]
+            ) == 0
+        finally:
+            server.close()
+        assert "ops/s" in capsys.readouterr().out
+        data = json.loads(open(out_json).read())
+        serve = data["serve"]
+        assert serve["procs_per_program"] == 4
+        assert serve["runs"]["external"]["ops"] == 12
+
 
 class TestCheck:
     NOISY = """\
