@@ -152,6 +152,58 @@ def _http_request(
         return error.code, payload
 
 
+#: Server-side truths scraped from ``/metrics`` around a run, keyed by the
+#: result-dict name.  Client-facing counters (requests, 503/504) prefer the
+#: router's own registry (``{process="router"}``) when present; shard-side
+#: counters (degradations, store traffic) read the unlabeled fleet
+#: aggregate, which is also what a single-process daemon exposes.
+_SCRAPE_COUNTERS: Tuple[Tuple[str, str, bool], ...] = (
+    ("requests", "repro_http_requests_total", True),
+    ("rejected_503", "repro_http_status_503_total", True),
+    ("timeout_504", "repro_http_status_504_total", True),
+    ("degraded", "repro_serve_degraded_total", False),
+    ("store_hits", "repro_store_hits_total", False),
+    ("store_misses", "repro_store_misses_total", False),
+)
+
+
+def scrape_server_counters(base_url: str) -> Optional[Dict[str, float]]:
+    """The server's own counters, from ``GET /metrics`` (None on failure).
+
+    Loadgen scrapes before and after a run; the delta is the server-side
+    ledger of the run — degradations and rejections as the *server*
+    counted them, cross-checkable against what clients observed.
+    """
+    from repro.obs.promexport import parse_prometheus_text
+
+    try:
+        with urllib.request.urlopen(
+            base_url + "/metrics", timeout=CLIENT_TIMEOUT_SECONDS
+        ) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, ValueError):
+        return None  # metrics disabled (404) or no server: scrape is best-effort
+    parsed = parse_prometheus_text(text)
+    router = (("process", "router"),)
+    counters: Dict[str, float] = {}
+    for key, name, prefer_front in _SCRAPE_COUNTERS:
+        value = parsed.get((name, ()), 0.0)
+        if prefer_front and (name, router) in parsed:
+            value = parsed[(name, router)]
+        counters[key] = float(value)
+    return counters
+
+
+def _scrape_delta(
+    before: Optional[Dict[str, float]], after: Optional[Dict[str, float]]
+) -> Optional[Dict[str, float]]:
+    if before is None or after is None:
+        return None
+    return {
+        key: after.get(key, 0.0) - before.get(key, 0.0) for key in after
+    }
+
+
 @dataclass
 class LoadgenResult:
     """What one loadgen run observed, end to end."""
@@ -165,6 +217,9 @@ class LoadgenResult:
     wall_seconds: float = 0.0
     #: Completed-op latencies, per op kind and overall, in seconds.
     latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: Server-side counter delta over the timed window (scraped from
+    #: ``/metrics`` before and after; None when the scrape failed).
+    server: Optional[Dict[str, float]] = None
 
     @property
     def throughput(self) -> float:
@@ -206,6 +261,7 @@ class LoadgenResult:
             "wall_seconds": self.wall_seconds,
             "throughput_ops_per_s": self.throughput,
             "latency": kinds,
+            "server": self.server,
         }
 
 
@@ -331,12 +387,16 @@ def run_loadgen(
         for index, count in enumerate(per_client)
         if count
     ]
+    # Bracket the timed window with /metrics scrapes: the delta is the
+    # server's own account of the run (degradations, 503s, store traffic).
+    before = scrape_server_counters(base_url)
     started = time.perf_counter()
     for worker in workers:
         worker.start()
     for worker in workers:
         worker.join()
     result.wall_seconds = time.perf_counter() - started
+    result.server = _scrape_delta(before, scrape_server_counters(base_url))
     return result
 
 

@@ -8,6 +8,9 @@ Subcommands::
     run FILE       execute the program with the reference interpreter
     tables [N..]   regenerate the paper's tables over the synthetic suite
     bench [NAME..] analyze the synthetic suite in one batched pipeline run
+    serve          run the analysis daemon (single-process or sharded)
+    loadgen        drive a serve deployment with concurrent mixed traffic
+    top            live dashboard over a fleet's /healthz + /metrics
     watch FILE     keep an analysis session alive, re-analyzing on change
 
 A bare ``repro-icp FILE`` (no subcommand) is shorthand for
@@ -589,9 +592,10 @@ def _cmd_watch(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the analysis daemon (single-process or sharded) until interrupted."""
+    import json as json_module
+
     from repro.serve import create_server
 
-    obs = _obs_from(args)
     try:
         config = _config_from(
             args,
@@ -603,11 +607,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             serve_max_sessions=args.max_sessions,
             serve_shards=args.shards,
             serve_rebalance=args.rebalance,
+            # The serving obs knobs: the server self-constructs its
+            # registry/tracer/logger from these (each shard its own).
+            serve_metrics=not args.no_metrics,
+            serve_trace=bool(args.trace),
+            serve_log_enabled=not args.quiet,
+            serve_log_slow_ms=args.slow_ms,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
-    server = create_server(config, obs=obs)
+    server = create_server(config)
     host, port = server.start()
     store_note = f", store {config.store_dir}" if config.store_dir else ""
     shard_note = (
@@ -641,12 +651,49 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        # Export the fleet artifacts BEFORE closing: the merged trace and
+        # the metrics snapshot need the shard processes still answering.
+        if args.trace:
+            try:
+                trace = server.export_trace()
+                with open(args.trace, "w", encoding="utf-8") as handle:
+                    json_module.dump(trace, handle, indent=1)
+                    handle.write("\n")
+                print(
+                    f"fleet trace written to {args.trace} "
+                    f"({len(trace['traceEvents'])} events)",
+                    file=sys.stderr,
+                )
+            except OSError as error:
+                print(f"error writing trace: {error}", file=sys.stderr)
+        if args.metrics_json and server.obs.metrics.enabled:
+            try:
+                server.obs.metrics.write(args.metrics_json)
+                print(
+                    f"metrics snapshot written to {args.metrics_json}",
+                    file=sys.stderr,
+                )
+            except OSError as error:
+                print(f"error writing metrics: {error}", file=sys.stderr)
         server.close()
         if previous_term is not None:
             signal.signal(signal.SIGTERM, previous_term)
-    if obs is not None:
-        _emit_observability(args, obs, [])
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live fleet dashboard over /healthz + /metrics."""
+    from repro.obs.top import run_top
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 1
+    return run_top(
+        args.url,
+        interval=args.interval,
+        frames=args.frames,
+        clear=not args.no_clear,
+    )
 
 
 def _analysis_parent() -> argparse.ArgumentParser:
@@ -827,7 +874,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="router health-sweep interval; a dead shard is "
                             "respawned within roughly this many seconds "
                             "(default: 0.5)")
+    serve.add_argument("--quiet", action="store_true",
+                       help="silence the structured JSON access log "
+                            "(the /debug/last ring keeps filling)")
+    serve.add_argument("--no-metrics", action="store_true", dest="no_metrics",
+                       help="disable the metrics registry and GET /metrics")
+    serve.add_argument("--slow-ms", type=float, default=500.0, metavar="MS",
+                       dest="slow_ms",
+                       help="access-log lines for requests slower than MS "
+                            "are logged at warning level (default: 500)")
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard over a serve fleet's /healthz + /metrics",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8100",
+                     help="serve front to poll "
+                          "(default: http://127.0.0.1:8100)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                     help="poll interval (default: 2)")
+    top.add_argument("--frames", type=int, default=0, metavar="N",
+                     help="render N frames then exit (default: 0 = forever); "
+                          "for smoke tests and CI")
+    top.add_argument("--no-clear", action="store_true", dest="no_clear",
+                     help="append frames instead of clearing the screen "
+                          "(useful when piping)")
+    top.set_defaults(func=_cmd_top)
 
     loadgen = sub.add_parser(
         "loadgen", parents=[common, obs_flags],
@@ -881,7 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
 #: flag) is treated as a file to analyze.
 _SUBCOMMANDS = (
     "analyze", "check", "graph", "optimize", "run", "tables", "bench",
-    "serve", "watch", "loadgen",
+    "serve", "watch", "loadgen", "top",
 )
 
 

@@ -64,6 +64,24 @@ class ICPConfig:
     :param serve_rebalance: seconds between the router's shard health
         sweeps; a shard found dead is respawned (and warm-starts from the
         store) within roughly this interval.
+    :param serve_metrics: keep a live metrics registry in every serving
+        process and expose it at ``GET /metrics`` (Prometheus text; the
+        router aggregates its shards under per-shard labels).  Off, the
+        endpoint answers 404 and instrumentation costs one boolean check.
+    :param serve_trace: keep a live span tracer in every serving process
+        and expose its buffered events at ``GET /debug/trace`` (the
+        router merges shard traces into one Chrome export).  A debugging
+        mode: buffers grow with traffic, so leave it off in production.
+    :param trace_propagate: mint a request id per request, honor incoming
+        ``X-Repro-Request-Id``/``X-Repro-Trace`` headers, propagate them
+        router → shard, and echo the id on every response (error paths
+        included).  Off, requests carry no identity at all.
+    :param serve_log_enabled: emit one structured JSON access-log line
+        per request to stderr and keep the ``/debug/last`` ring
+        (``repro-icp serve --quiet`` turns this off).
+    :param serve_log_slow_ms: requests slower than this log at
+        ``warning`` severity with ``"slow": true``.
+    :param serve_log_ring: entries retained for ``GET /debug/last``.
     :param loadgen_clients: concurrent client threads ``repro-icp
         loadgen`` drives against the daemon.
     :param loadgen_ops: total operations the load generator issues across
@@ -102,6 +120,12 @@ class ICPConfig:
     serve_max_sessions: int = 32
     serve_shards: int = 0
     serve_rebalance: float = 0.5
+    serve_metrics: bool = True
+    serve_trace: bool = False
+    trace_propagate: bool = True
+    serve_log_enabled: bool = True
+    serve_log_slow_ms: float = 500.0
+    serve_log_ring: int = 256
     loadgen_clients: int = 8
     loadgen_ops: int = 400
     loadgen_programs: int = 20
@@ -212,6 +236,29 @@ class ICPConfig:
             raise ValueError(
                 f"serve_rebalance must be a positive number of seconds, "
                 f"got {config.serve_rebalance!r}"
+            )
+        for knob in ("serve_metrics", "serve_trace", "trace_propagate",
+                     "serve_log_enabled"):
+            value = getattr(config, knob)
+            if not isinstance(value, bool):
+                raise ValueError(f"{knob} must be a bool, got {value!r}")
+        if (
+            not isinstance(config.serve_log_slow_ms, (int, float))
+            or isinstance(config.serve_log_slow_ms, bool)
+            or config.serve_log_slow_ms < 0
+        ):
+            raise ValueError(
+                f"serve_log_slow_ms must be a number >= 0, "
+                f"got {config.serve_log_slow_ms!r}"
+            )
+        if (
+            not isinstance(config.serve_log_ring, int)
+            or isinstance(config.serve_log_ring, bool)
+            or config.serve_log_ring < 1
+        ):
+            raise ValueError(
+                f"serve_log_ring must be an int >= 1, "
+                f"got {config.serve_log_ring!r}"
             )
         for knob in ("loadgen_clients", "loadgen_ops", "loadgen_programs",
                      "loadgen_procs"):

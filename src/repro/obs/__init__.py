@@ -10,6 +10,12 @@ that the pipeline threads through its phases:
 - :mod:`repro.obs.profile` — per-phase wall/CPU timings and the
   hot-procedure report (``--profile``).
 
+Around them, the fleet-facing pieces: :mod:`repro.obs.log` (structured
+JSON-lines request logging with a ``/debug/last`` ring),
+:mod:`repro.obs.promexport` (Prometheus text exposition of registry
+snapshots for ``GET /metrics``), and :mod:`repro.obs.top` (the
+``repro-icp top`` live fleet dashboard).
+
 Everything is disabled by default: :data:`NULL_OBS` carries the no-op
 singleton of each instrument, so the instrumented hot paths cost a
 truthiness check and nothing else when observability is off.
@@ -19,23 +25,42 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.log import NULL_LOG, StructuredLog
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    merge_snapshots,
+    merge_summaries,
+    summary_quantile,
+)
 from repro.obs.profile import NULL_PROFILER, Profiler
+from repro.obs.promexport import parse_prometheus_text, render_prometheus
 from repro.obs.trace import (
     NULL_TRACER,
     Tracer,
+    count_cross_process_links,
     validate_chrome_trace,
     validate_trace_file,
+    validate_trace_links,
 )
 
 __all__ = [
     "Observability",
     "NULL_OBS",
+    "NULL_LOG",
+    "StructuredLog",
     "Tracer",
     "MetricsRegistry",
     "Profiler",
+    "merge_snapshots",
+    "merge_summaries",
+    "summary_quantile",
+    "parse_prometheus_text",
+    "render_prometheus",
+    "count_cross_process_links",
     "validate_chrome_trace",
     "validate_trace_file",
+    "validate_trace_links",
 ]
 
 

@@ -1,0 +1,116 @@
+"""Structured JSON-lines logging for the serve fleet.
+
+One :class:`StructuredLog` per serving process replaces the silenced
+``BaseHTTPRequestHandler.log_message``: every request becomes one JSON
+object on stderr — timestamp, level, request id, shard, method, path,
+status, latency, degradation flag — machine-parseable and greppable,
+never an unstructured access-log line.
+
+Behaviors:
+
+- **Slow-request escalation.**  A request slower than the configured
+  threshold (``serve_log_slow_ms``) logs at ``warning`` with
+  ``"slow": true``, so a plain severity filter surfaces tail latency.
+- **Bounded ring.**  The last ``serve_log_ring`` entries stay in memory
+  and are served at ``GET /debug/last`` — the first stop when a fleet
+  misbehaves and nobody was tailing stderr.
+- **Zero-cost when off.**  :data:`NULL_LOG` short-circuits before
+  building the entry dict; ``--quiet`` (``serve_log_enabled = false``)
+  restores the old silence exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+#: Default slow-request threshold, milliseconds.
+DEFAULT_SLOW_MS = 500.0
+
+#: Default bound of the in-memory ring behind ``GET /debug/last``.
+DEFAULT_RING = 256
+
+
+class StructuredLog:
+    """A thread-safe JSON-lines logger with a bounded in-memory ring."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        stream=None,
+        slow_ms: float = DEFAULT_SLOW_MS,
+        ring: int = DEFAULT_RING,
+        shard: Optional[Any] = None,
+    ):
+        self.enabled = enabled
+        #: None resolves to ``sys.stderr`` at emit time, so pytest's
+        #: capture and late redirection both see the lines.
+        self._stream = stream
+        self.slow_ms = slow_ms
+        self.shard = shard
+        self._ring: "deque[Dict[str, Any]]" = deque(maxlen=max(1, int(ring)))
+        self._lock = threading.Lock()
+
+    def log(self, level: str, event: str, **fields) -> Optional[Dict[str, Any]]:
+        """Emit one JSON line; returns the entry dict (None when off)."""
+        if not self.enabled:
+            return None
+        entry: Dict[str, Any] = {"ts": time.time(), "level": level, "event": event}
+        if self.shard is not None and "shard" not in fields:
+            entry["shard"] = self.shard
+        entry.update(fields)
+        line = json.dumps(entry, sort_keys=True, default=str)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            self._ring.append(entry)
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except (OSError, ValueError):
+                pass  # a closed/redirected stderr must never kill a request
+        return entry
+
+    def access(
+        self,
+        *,
+        method: str,
+        path: str,
+        status: int,
+        latency_ms: float,
+        request_id: Optional[str] = None,
+        shard: Optional[Any] = None,
+        degraded: bool = False,
+        **fields,
+    ) -> Optional[Dict[str, Any]]:
+        """The per-request access-log line (one per served request)."""
+        if not self.enabled:
+            return None
+        slow = latency_ms >= self.slow_ms
+        level = "warning" if slow or status >= 500 else "info"
+        return self.log(
+            level,
+            "http.request",
+            request_id=request_id,
+            shard=shard if shard is not None else self.shard,
+            method=method,
+            path=path,
+            status=status,
+            latency_ms=round(latency_ms, 3),
+            degraded=degraded,
+            slow=slow,
+            **fields,
+        )
+
+    def last(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """The most recent entries, oldest first (the ``/debug/last`` body)."""
+        with self._lock:
+            entries = list(self._ring)
+        return entries[-limit:] if limit else entries
+
+
+#: Shared disabled logger (no entries, no ring, no output).
+NULL_LOG = StructuredLog(enabled=False, ring=1)

@@ -15,6 +15,13 @@ A registry snapshot is a plain nested dict, serializable to JSON for the
 ``--metrics-json`` CLI flag.  The disabled registry hands out shared
 no-op instruments, so instrumented code paths cost an attribute check and
 nothing else when metrics are off.
+
+Snapshots compose: :func:`merge_snapshots` sums counters, sums gauges,
+and merges histogram summaries bucket-wise, which is how the shard
+router's ``GET /metrics`` aggregates a fleet.  Quantiles are estimated
+from (possibly merged) bucket counts by :func:`summary_quantile`, with
+the degenerate cases — empty histogram, a single sample, all samples in
+one bucket — handled exactly rather than by interpolation artifacts.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
 class _NullTimer:
@@ -70,6 +77,11 @@ class Gauge:
     def set(self, value) -> None:
         with self._lock:
             self._value = value
+
+    def add(self, delta) -> None:
+        """Adjust the value by ``delta`` (e.g. an in-flight request count)."""
+        with self._lock:
+            self._value += delta
 
     def max(self, value) -> None:
         """Keep the maximum of all reported values."""
@@ -168,6 +180,10 @@ class Histogram:
                 },
             }
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th percentile (0..100) from the bucket counts."""
+        return summary_quantile(self.summary(), q)
+
 
 class _NullCounter(Counter):
     __slots__ = ()
@@ -186,6 +202,9 @@ class _NullGauge(Gauge):
         super().__init__("null")
 
     def set(self, value) -> None:
+        return None
+
+    def add(self, delta) -> None:
         return None
 
     def max(self, value) -> None:
@@ -283,3 +302,136 @@ class MetricsRegistry:
 
 #: Shared disabled registry (hands out no-op instruments).
 NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra: merging and quantile estimation.
+#
+# The shard router aggregates one registry snapshot per worker process;
+# everything below operates on the plain-dict snapshot format so it works
+# identically on live registries, JSON round-trips, and merged fleets.
+# ----------------------------------------------------------------------
+
+
+def _bucket_bound(key: str) -> float:
+    """The upper bound a summary bucket key encodes (overflow = +inf)."""
+    if key == "overflow":
+        return float("inf")
+    return float(key[3:])  # strip the "le_" prefix
+
+
+def merge_summaries(summaries: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge histogram summaries bucket-wise (count/sum/min/max add up).
+
+    Summaries with disjoint bucket keys merge fine — a missing bucket is
+    a zero count.  The result is in the same format ``Histogram.summary``
+    produces, so it nests in snapshots and renders to exposition text.
+    """
+    count = 0
+    total = 0.0
+    low: Optional[float] = None
+    high: Optional[float] = None
+    buckets: Dict[str, int] = {}
+    for summary in summaries:
+        count += summary.get("count", 0)
+        total += summary.get("sum", 0.0)
+        for edge, picker in (("min", min), ("max", max)):
+            value = summary.get(edge)
+            if value is None:
+                continue
+            current = low if edge == "min" else high
+            merged = value if current is None else picker(current, value)
+            if edge == "min":
+                low = merged
+            else:
+                high = merged
+        for key, n in (summary.get("buckets") or {}).items():
+            buckets[key] = buckets.get(key, 0) + n
+    return {
+        "count": count,
+        "sum": total,
+        "mean": total / count if count else 0.0,
+        "min": low,
+        "max": high,
+        "buckets": dict(
+            sorted(buckets.items(), key=lambda item: _bucket_bound(item[0]))
+        ),
+    }
+
+
+def summary_quantile(summary: Dict[str, Any], q: float) -> float:
+    """Estimate the q-th percentile (0..100) of a histogram summary.
+
+    Works on single and merged summaries alike.  Edge cases are exact
+    rather than interpolated: an empty histogram answers 0.0, a single
+    sample answers that sample, and every estimate is clamped into the
+    observed [min, max] envelope (so the overflow bucket never invents a
+    value beyond the true maximum).
+    """
+    count = summary.get("count", 0)
+    if not count:
+        return 0.0
+    low = summary.get("min")
+    high = summary.get("max")
+    if count == 1 or low == high:
+        return low if low is not None else 0.0
+    q = min(max(q, 0.0), 100.0)
+    target = q / 100.0 * count
+    buckets = sorted(
+        ((_bucket_bound(key), n) for key, n in (summary.get("buckets") or {}).items()),
+        key=lambda item: item[0],
+    )
+    if not buckets:  # summary without bucket detail: fall back to the envelope
+        return high if high is not None else 0.0
+    cumulative = 0
+    previous_bound = low if low is not None else 0.0
+    for bound, n in buckets:
+        if not n:
+            previous_bound = min(bound, high) if high is not None else bound
+            continue
+        if cumulative + n >= target:
+            upper = bound
+            if upper == float("inf") or (high is not None and upper > high):
+                upper = high if high is not None else previous_bound
+            fraction = (target - cumulative) / n
+            estimate = previous_bound + (upper - previous_bound) * fraction
+            break
+        cumulative += n
+        previous_bound = min(bound, high) if high is not None else bound
+    else:  # target beyond every bucket (numeric fuzz): answer the max
+        estimate = high if high is not None else previous_bound
+    if low is not None:
+        estimate = max(estimate, low)
+    if high is not None:
+        estimate = min(estimate, high)
+    return estimate
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge registry snapshots: sum counters and gauges, merge histograms.
+
+    Gauges add up because every serve gauge is an occupancy (resident
+    sessions, in-flight requests, live shards) — fleet totals are the
+    meaningful aggregation.  Histograms merge bucket-wise via
+    :func:`merge_summaries`, preserving quantile estimation.
+    """
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, List[Dict[str, Any]]] = {}
+    for snapshot in snapshots:
+        if not isinstance(snapshot, dict):
+            continue
+        for name, value in (snapshot.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in (snapshot.get("gauges") or {}).items():
+            gauges[name] = gauges.get(name, 0) + value
+        for name, summary in (snapshot.get("histograms") or {}).items():
+            histograms.setdefault(name, []).append(summary)
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {
+            name: merge_summaries(histograms[name])
+            for name in sorted(histograms)
+        },
+    }

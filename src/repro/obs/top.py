@@ -1,0 +1,247 @@
+"""``repro-icp top`` — a live terminal dashboard over a serve fleet.
+
+Polls a serving front's ``/healthz`` and ``/metrics`` endpoints (single
+daemon or shard router alike, they expose the same surface) and renders
+a compact ANSI frame per interval: per-shard request rates, latency
+percentiles reconstructed from the exposition's histogram buckets,
+in-flight requests, degradations/rejections/timeouts, and supervisor
+respawns.
+
+The renderer is a pure function of two consecutive samples (rates are
+deltas), so the whole display logic is unit-testable without sockets;
+only :func:`fetch_sample` and :func:`run_top` touch the network and the
+terminal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.promexport import parse_prometheus_text
+
+#: Socket budget per poll; a front slower than this is reported as down.
+FETCH_TIMEOUT_SECONDS = 5.0
+
+_BOLD = "\x1b[1m"
+_DIM = "\x1b[2m"
+_RED = "\x1b[31m"
+_YELLOW = "\x1b[33m"
+_GREEN = "\x1b[32m"
+_RESET = "\x1b[0m"
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_sample(base_url: str, timeout: float = FETCH_TIMEOUT_SECONDS) -> Dict[str, Any]:
+    """One poll: healthz JSON + parsed /metrics, wall-clock stamped."""
+    base = base_url.rstrip("/")
+    with urllib.request.urlopen(f"{base}/healthz", timeout=timeout) as response:
+        healthz = json.loads(response.read().decode("utf-8"))
+    with urllib.request.urlopen(f"{base}/metrics", timeout=timeout) as response:
+        metrics = parse_prometheus_text(response.read().decode("utf-8"))
+    return {"ts": time.time(), "healthz": healthz, "metrics": metrics}
+
+
+# ----------------------------------------------------------------------
+# Sample math (pure).
+# ----------------------------------------------------------------------
+
+
+def _value(
+    metrics: Dict[Tuple[str, tuple], float],
+    name: str,
+    labels: Tuple[Tuple[str, str], ...] = (),
+) -> float:
+    return metrics.get((name, labels), 0.0)
+
+
+def _rate(prev: Optional[Dict[str, Any]], cur: Dict[str, Any], name: str, labels=()) -> float:
+    """Per-second increase of a counter between two samples."""
+    if prev is None:
+        return 0.0
+    dt = cur["ts"] - prev["ts"]
+    if dt <= 0:
+        return 0.0
+    delta = _value(cur["metrics"], name, labels) - _value(
+        prev["metrics"], name, labels
+    )
+    return max(0.0, delta / dt)
+
+
+def latency_quantile(
+    metrics: Dict[Tuple[str, tuple], float],
+    q: float,
+    labels: Tuple[Tuple[str, str], ...] = (),
+) -> float:
+    """A latency percentile (ms) from the ``http.latency.*`` buckets.
+
+    Merges the cumulative bucket counts of every endpoint-class histogram
+    carrying ``labels`` and interpolates inside the target bucket — the
+    standard Prometheus ``histogram_quantile`` estimate.
+    """
+    buckets: Dict[float, float] = {}
+    for (name, sample_labels), value in metrics.items():
+        if not name.startswith("repro_http_latency_"):
+            continue
+        if not name.endswith("_bucket"):
+            continue
+        pairs = dict(sample_labels)
+        le = pairs.pop("le", None)
+        if le is None or tuple(sorted(pairs.items())) != tuple(sorted(labels)):
+            continue
+        bound = math.inf if le in ("+Inf", "inf") else float(le)
+        buckets[bound] = buckets.get(bound, 0.0) + value
+    if not buckets:
+        return 0.0
+    ordered = sorted(buckets.items())
+    total = ordered[-1][1]
+    if total <= 0:
+        return 0.0
+    target = (q / 100.0) * total
+    prev_bound, prev_count = 0.0, 0.0
+    for bound, count in ordered:
+        if count >= target:
+            if math.isinf(bound):
+                return prev_bound
+            span = count - prev_count
+            fraction = (target - prev_count) / span if span > 0 else 1.0
+            return prev_bound + (bound - prev_bound) * fraction
+        if not math.isinf(bound):
+            prev_bound = bound
+        prev_count = count
+    return prev_bound
+
+
+def _shard_rows(prev, cur) -> List[Dict[str, Any]]:
+    """One row per serving process (the fleet's shards, or the daemon)."""
+    healthz = cur["healthz"]
+    rows: List[Dict[str, Any]] = []
+    shards = healthz.get("shards")
+    if not isinstance(shards, list):  # single-process daemon
+        labels = ()
+        rows.append(
+            {
+                "name": "daemon",
+                "alive": bool(healthz.get("ok")),
+                "pid": healthz.get("pid"),
+                "programs": healthz.get("programs", 0),
+                "respawns": 0,
+                "rps": _rate(prev, cur, "repro_http_requests_total", labels),
+                "p50": latency_quantile(cur["metrics"], 50.0, labels),
+                "p99": latency_quantile(cur["metrics"], 99.0, labels),
+                "in_flight": _value(
+                    cur["metrics"], "repro_http_in_flight", labels
+                ),
+            }
+        )
+        return rows
+    for shard in shards:
+        index = shard.get("shard")
+        labels = (("shard", str(index)),)
+        rows.append(
+            {
+                "name": f"shard-{index}",
+                "alive": bool(shard.get("alive")),
+                "pid": shard.get("pid"),
+                "programs": shard.get("programs", 0),
+                "respawns": shard.get("respawns", 0),
+                "rps": _rate(prev, cur, "repro_http_requests_total", labels),
+                "p50": latency_quantile(cur["metrics"], 50.0, labels),
+                "p99": latency_quantile(cur["metrics"], 99.0, labels),
+                "in_flight": _value(
+                    cur["metrics"], "repro_http_in_flight", labels
+                ),
+            }
+        )
+    return rows
+
+
+def render_frame(
+    prev: Optional[Dict[str, Any]],
+    cur: Dict[str, Any],
+    url: str = "",
+    color: bool = True,
+) -> str:
+    """One dashboard frame from two consecutive samples (prev may be None)."""
+
+    def paint(code: str, text: str) -> str:
+        return f"{code}{text}{_RESET}" if color else text
+
+    metrics = cur["metrics"]
+    healthz = cur["healthz"]
+    ok = bool(healthz.get("ok"))
+    # Unlabeled series: the shard aggregate (or everything, single-daemon).
+    degraded = _value(metrics, "repro_serve_degraded_total")
+    rejected = _value(metrics, "repro_http_status_503_total")
+    timeouts = _value(metrics, "repro_http_status_504_total")
+    store_hits = _value(metrics, "repro_store_hits_total")
+    store_misses = _value(metrics, "repro_store_misses_total")
+    rps = _rate(prev, cur, "repro_http_requests_total")
+
+    lines = [
+        paint(_BOLD, f"repro-icp top — {url or 'serve fleet'}")
+        + "  "
+        + (paint(_GREEN, "ok") if ok else paint(_RED, "DEGRADED"))
+        + f"  {time.strftime('%H:%M:%S', time.localtime(cur['ts']))}",
+        f"fleet: {rps:7.1f} req/s   degraded {degraded:.0f}   "
+        f"503 {rejected:.0f}   504 {timeouts:.0f}   "
+        f"store {store_hits:.0f}h/{store_misses:.0f}m",
+        "",
+        paint(
+            _DIM,
+            f"{'process':<10} {'alive':<6} {'pid':>8} {'progs':>6} "
+            f"{'req/s':>8} {'p50ms':>8} {'p99ms':>8} {'infl':>5} {'resp':>5}",
+        ),
+    ]
+    for row in _shard_rows(prev, cur):
+        alive = (
+            paint(_GREEN, "yes   ") if row["alive"] else paint(_RED, "DEAD  ")
+        )
+        respawns = row["respawns"]
+        resp_cell = (
+            paint(_YELLOW, f"{respawns:>5}") if respawns else f"{respawns:>5}"
+        )
+        lines.append(
+            f"{row['name']:<10} {alive} {str(row['pid'] or '-'):>8} "
+            f"{row['programs']:>6} {row['rps']:>8.1f} {row['p50']:>8.2f} "
+            f"{row['p99']:>8.2f} {row['in_flight']:>5.0f} {resp_cell}"
+        )
+    return "\n".join(lines)
+
+
+def run_top(
+    url: str,
+    interval: float = 2.0,
+    frames: int = 0,
+    clear: bool = True,
+    stream=None,
+) -> int:
+    """Poll-and-render loop; ``frames == 0`` runs until interrupted."""
+    stream = stream or sys.stdout
+    color = clear and stream.isatty()
+    prev: Optional[Dict[str, Any]] = None
+    rendered = 0
+    while True:
+        try:
+            cur = fetch_sample(url)
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            print(f"top: {url}: {error}", file=sys.stderr)
+            return 1
+        frame = render_frame(prev, cur, url=url, color=color)
+        if clear and stream.isatty():
+            stream.write(_CLEAR)
+        stream.write(frame + "\n")
+        stream.flush()
+        prev = cur
+        rendered += 1
+        if frames and rendered >= frames:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0

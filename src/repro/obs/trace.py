@@ -103,6 +103,10 @@ class Tracer:
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self._epoch = time.perf_counter()
+        #: Wall-clock instant of the epoch; lets a coordinator rebase
+        #: another process's events onto its own timeline when merging
+        #: per-shard traces into one fleet export.
+        self.epoch_wall = time.time()
         self._lock = threading.Lock()
         #: (label, events) per registered buffer, in registration order.
         self._buffers: List[Tuple[str, List[dict]]] = []
@@ -138,6 +142,32 @@ class Tracer:
                 self._buffers.append((label, buffer))
         return buffer
 
+    # ------------------------------------------------------------------
+    # Per-thread attribute binding (request identity propagation).
+    # ------------------------------------------------------------------
+
+    def bind(self, **attrs) -> None:
+        """Stamp every span/instant this thread records with ``attrs``.
+
+        The serve fleet binds ``trace``/``request_id`` around request
+        handling, so engine-phase spans recorded deep inside the pipeline
+        carry the request's trace id without the pipeline knowing about
+        HTTP.  Explicit span attributes win over bound ones.
+        """
+        if self.enabled:
+            self._local.bound = attrs or None
+
+    def unbind(self) -> None:
+        """Drop this thread's bound attributes."""
+        if self.enabled:
+            self._local.bound = None
+
+    def bound(self) -> Optional[Dict[str, Any]]:
+        """This thread's bound attributes (None when nothing is bound)."""
+        if not self.enabled:
+            return None
+        return getattr(self._local, "bound", None)
+
     def span(self, name: str, cat: str = "pipeline", **attrs):
         """A context manager recording one nested span.
 
@@ -146,12 +176,18 @@ class Tracer:
         """
         if not self.enabled:
             return _NULL_SPAN
+        bound = getattr(self._local, "bound", None)
+        if bound:
+            attrs = {**bound, **attrs}
         return _Span(self, name, cat, attrs)
 
     def instant(self, name: str, cat: str = "pipeline", **attrs) -> None:
         """A zero-duration marker event (e.g. a cache hit)."""
         if not self.enabled:
             return
+        bound = getattr(self._local, "bound", None)
+        if bound:
+            attrs = {**bound, **attrs}
         self._thread_buffer().append(
             {
                 "name": name,
@@ -351,6 +387,90 @@ def validate_chrome_trace(data: Any) -> List[str]:
     return problems
 
 
+def validate_trace_links(data: Any) -> List[str]:
+    """Check the cross-process span links of a (possibly merged) trace.
+
+    Spans participating in distributed request tracing carry link
+    attributes in ``args``: ``span`` (this span's id), ``parent`` (the
+    upstream span's id), and ``trace`` (the request's trace id).  The
+    checks:
+
+    - every ``parent`` must resolve to some event whose ``args.span``
+      matches — a dangling parent means a broken stitch;
+    - a linked child and its parent must agree on ``trace``;
+    - duplicate ``span`` ids are flagged (links would be ambiguous).
+
+    Traces without link attributes validate vacuously; use
+    :func:`count_cross_process_links` to assert a fleet trace actually
+    stitched across pids.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict) or not isinstance(
+        data.get("traceEvents"), list
+    ):
+        return ["top level is not a trace object with 'traceEvents'"]
+    by_span: Dict[str, dict] = {}
+    for index, event in enumerate(data["traceEvents"]):
+        if not isinstance(event, dict):
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        span_id = args.get("span")
+        if span_id is None:
+            continue
+        if span_id in by_span:
+            problems.append(f"duplicate span id {span_id!r} (event #{index})")
+        else:
+            by_span[span_id] = event
+    for index, event in enumerate(data["traceEvents"]):
+        if not isinstance(event, dict):
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict):
+            continue
+        parent_id = args.get("parent")
+        if parent_id is None:
+            continue
+        parent = by_span.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"event #{index} ('{event.get('name')}'): parent span "
+                f"{parent_id!r} does not exist in the trace"
+            )
+            continue
+        child_trace = args.get("trace")
+        parent_trace = (parent.get("args") or {}).get("trace")
+        if child_trace != parent_trace:
+            problems.append(
+                f"event #{index} ('{event.get('name')}'): trace id "
+                f"{child_trace!r} does not match parent's {parent_trace!r}"
+            )
+    return problems
+
+
+def count_cross_process_links(data: Any) -> int:
+    """Resolved parent links whose two spans live in different pids."""
+    if not isinstance(data, dict) or not isinstance(
+        data.get("traceEvents"), list
+    ):
+        return 0
+    by_span: Dict[str, dict] = {}
+    for event in data["traceEvents"]:
+        if isinstance(event, dict) and isinstance(event.get("args"), dict):
+            span_id = event["args"].get("span")
+            if span_id is not None and span_id not in by_span:
+                by_span[span_id] = event
+    links = 0
+    for event in data["traceEvents"]:
+        if not (isinstance(event, dict) and isinstance(event.get("args"), dict)):
+            continue
+        parent = by_span.get(event["args"].get("parent"))
+        if parent is not None and parent.get("pid") != event.get("pid"):
+            links += 1
+    return links
+
+
 def validate_trace_file(path: str) -> List[str]:
     """Load ``path`` and validate it; JSON errors become problems too."""
     try:
@@ -358,4 +478,4 @@ def validate_trace_file(path: str) -> List[str]:
             data = json.load(handle)
     except (OSError, ValueError) as error:
         return [f"cannot load trace: {error}"]
-    return validate_chrome_trace(data)
+    return validate_chrome_trace(data) + validate_trace_links(data)

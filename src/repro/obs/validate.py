@@ -1,10 +1,16 @@
 """Trace-artifact validator: ``python -m repro.obs.validate TRACE.json``.
 
-Exits non-zero (printing each problem) when the Chrome trace is malformed
-— missing keys, unknown phases, negative timestamps, or unbalanced /
-badly nested ``B``/``E`` span events.  CI runs this over the trace the
-bench smoke job exports, so a regression that breaks the trace format
-fails the build rather than silently shipping unreadable artifacts.
+Exits non-zero (printing each problem) when a Chrome trace is malformed
+— missing keys, unknown phases, negative timestamps, unbalanced / badly
+nested ``B``/``E`` span events — or when its distributed-tracing links
+are broken (a span's ``args.parent`` that resolves to no span, or a
+child whose ``args.trace`` disagrees with its parent's).
+
+``--require-links`` additionally fails a trace that contains no
+*cross-process* parent link at all: the fleet smoke job uses it to
+assert that a request really stitched router → shard → engine spans
+across pids, not just that the file parses.  CI runs this over both the
+single-process bench trace and the merged fleet trace.
 """
 
 from __future__ import annotations
@@ -13,29 +19,49 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.obs.trace import validate_trace_file
+from repro.obs.trace import (
+    count_cross_process_links,
+    validate_trace_file,
+)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+    argv = list(sys.argv[1:] if argv is None else argv)
+    require_links = False
+    if "--require-links" in argv:
+        require_links = True
+        argv = [arg for arg in argv if arg != "--require-links"]
     if not argv:
-        print("usage: python -m repro.obs.validate TRACE.json [...]", file=sys.stderr)
+        print(
+            "usage: python -m repro.obs.validate [--require-links] "
+            "TRACE.json [...]",
+            file=sys.stderr,
+        )
         return 2
     failures = 0
     for path in argv:
         problems = validate_trace_file(path)
+        links = 0
+        count = 0
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            count = len(data.get("traceEvents", []))
+            links = count_cross_process_links(data)
+        except (OSError, ValueError, AttributeError):
+            pass
+        if require_links and not problems and links == 0:
+            problems = ["no cross-process span links (--require-links)"]
         if problems:
             failures += 1
             print(f"{path}: INVALID ({len(problems)} problem(s))")
             for problem in problems:
                 print(f"  - {problem}")
         else:
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    count = len(json.load(handle).get("traceEvents", []))
-            except (OSError, ValueError):
-                count = 0
-            print(f"{path}: ok ({count} events)")
+            suffix = (
+                f", {links} cross-process link(s)" if links else ""
+            )
+            print(f"{path}: ok ({count} events{suffix})")
     return 1 if failures else 0
 
 

@@ -9,13 +9,25 @@ process-per-shard deployment (``serve_shards >= 1``): a consistent-hash
 front router over disposable worker processes that coordinate only
 through the shared store.  :func:`create_server` picks the right front
 for a config.
+
+Every front wraps its dispatch in the fleet observability envelope
+(:mod:`repro.serve.context`): per-request ids echoed in
+``X-Repro-Request-Id``, cross-process trace propagation over
+``X-Repro-Trace``, Prometheus ``/metrics``, and a structured JSON
+access log with a ``/debug/last`` ring.
 """
 
+from repro.serve.context import (
+    REQUEST_ID_HEADER,
+    TRACE_HEADER,
+    RequestContext,
+)
 from repro.serve.daemon import (
     RETRY_AFTER_SECONDS,
     AnalysisServer,
     JSONHTTPFront,
     ServeStats,
+    serve_observability,
 )
 from repro.serve.hashring import HashRing
 from repro.serve.router import (
@@ -33,10 +45,14 @@ __all__ = [
     "JSONHTTPFront",
     "LocalShard",
     "ProcessShard",
+    "REQUEST_ID_HEADER",
     "RETRY_AFTER_SECONDS",
+    "RequestContext",
     "RouterStats",
     "ServeStats",
     "ShardRouter",
     "ShardUnavailable",
+    "TRACE_HEADER",
     "create_server",
+    "serve_observability",
 ]

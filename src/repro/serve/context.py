@@ -1,0 +1,152 @@
+"""Request identity and distributed trace context for the serve fleet.
+
+Every request admitted by a serve front (router or single-process
+daemon) carries a :class:`RequestContext`:
+
+- ``request_id`` — minted at the edge (or honored from an incoming
+  ``X-Repro-Request-Id`` header, so clients and upstream proxies can
+  supply their own) and echoed on **every** response, error paths
+  included;
+- ``trace_id`` — the distributed trace this request belongs to; equal to
+  the request id when the request starts a new trace;
+- ``parent`` — the span id of the upstream caller (the router's proxy
+  span, when the request arrived at a shard), carried in the
+  ``X-Repro-Trace: <trace_id>:<parent_span_id>`` header;
+- ``span`` — the span id minted for *this* process's request span.
+
+The context travels intra-process in a thread-local (set by the HTTP
+front before dispatch, copied onto analysis-pool threads by the daemon's
+executor), so deep code — span creation, degraded-answer logging —
+reaches it without signature plumbing.  Span ids are ``pid.counter`` so
+a merged fleet trace never collides.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+#: Request-identity header, echoed on every response.
+REQUEST_ID_HEADER = "X-Repro-Request-Id"
+
+#: Trace-context header: ``<trace_id>:<parent_span_id>``.
+TRACE_HEADER = "X-Repro-Trace"
+
+_SPAN_COUNTER = itertools.count(1)
+_LOCAL = threading.local()
+
+
+@dataclass
+class RequestContext:
+    """One request's identity as seen by one serving process."""
+
+    request_id: str
+    trace_id: str
+    #: Span id of the upstream caller's span (None at the trace root).
+    parent: Optional[str]
+    #: Span id minted for this process's request span.
+    span: str
+
+    def span_args(self) -> Dict[str, Any]:
+        """The link attributes this process's request span records."""
+        args: Dict[str, Any] = {
+            "request_id": self.request_id,
+            "trace": self.trace_id,
+            "span": self.span,
+        }
+        if self.parent is not None:
+            args["parent"] = self.parent
+        return args
+
+    def child_headers(self, parent_span: str) -> Dict[str, str]:
+        """Propagation headers for a downstream hop parented at ``parent_span``."""
+        return {
+            REQUEST_ID_HEADER: self.request_id,
+            TRACE_HEADER: f"{self.trace_id}:{parent_span}",
+        }
+
+
+def mint_request_id() -> str:
+    """A fresh 16-hex request id."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A process-unique span id (``pid.counter`` in hex)."""
+    return f"{os.getpid():x}.{next(_SPAN_COUNTER):x}"
+
+
+def _header(headers: Optional[Mapping[str, str]], name: str) -> Optional[str]:
+    """Case-insensitive header lookup over dicts and HTTPMessage alike."""
+    if headers is None:
+        return None
+    getter = getattr(headers, "get", None)
+    if getter is None:
+        return None
+    value = getter(name)
+    if value is not None:
+        return value
+    # Plain dicts are case-sensitive; fall back to a scan.
+    lowered = name.lower()
+    try:
+        for key in headers:
+            if str(key).lower() == lowered:
+                return headers[key]
+    except TypeError:
+        return None
+    return None
+
+
+def _clean(value: Optional[str], limit: int = 128) -> Optional[str]:
+    """A header value safe to echo and log (printable, bounded)."""
+    if not value or not isinstance(value, str):
+        return None
+    value = value.strip()
+    if not value or len(value) > limit or not value.isprintable():
+        return None
+    return value
+
+
+def from_headers(headers: Optional[Mapping[str, str]]) -> RequestContext:
+    """Build this hop's context from incoming headers (minting as needed)."""
+    request_id = _clean(_header(headers, REQUEST_ID_HEADER))
+    trace_raw = _clean(_header(headers, TRACE_HEADER))
+    trace_id: Optional[str] = None
+    parent: Optional[str] = None
+    if trace_raw:
+        trace_id, _, parent = trace_raw.partition(":")
+        trace_id = trace_id or None
+        parent = parent or None
+        if trace_id is None:
+            # A parent span without a trace id is meaningless and would
+            # register as a dangling link in the merged trace; drop both.
+            parent = None
+    if request_id is None:
+        request_id = mint_request_id()
+    if trace_id is None:
+        trace_id = request_id
+    return RequestContext(
+        request_id=request_id,
+        trace_id=trace_id,
+        parent=parent,
+        span=new_span_id(),
+    )
+
+
+def set_current(ctx: Optional[RequestContext]) -> None:
+    """Install ``ctx`` as this thread's request context."""
+    _LOCAL.ctx = ctx
+
+
+def current() -> Optional[RequestContext]:
+    """This thread's request context (None outside a request)."""
+    return getattr(_LOCAL, "ctx", None)
+
+
+def clear_current() -> None:
+    """Remove this thread's request context."""
+    _LOCAL.ctx = None

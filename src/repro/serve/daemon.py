@@ -27,10 +27,25 @@ Production behaviors:
   resident; the least-recently-used program is dropped beyond that (its
   summaries survive in the store).
 
-Endpoints (all JSON)::
+- **Observability.**  Every admitted request gets a fleet-unique
+  ``request_id`` (honored from ``X-Repro-Request-Id`` when the caller —
+  a client or the shard router — supplies one) echoed on every response,
+  error paths included.  ``GET /metrics`` exposes the Prometheus text
+  rendering of the server's metrics registry; a structured JSON-lines
+  access log replaces the silenced ``http.server`` stderr chatter, with
+  the most recent lines readable at ``GET /debug/last``.  With tracing
+  on (``serve_trace``), request spans carry distributed-tracing link
+  attributes and ``GET /debug/trace`` exports this process's Chrome
+  trace for the router to merge into one fleet timeline.
+
+Endpoints (JSON unless noted)::
 
     GET    /healthz                    liveness, shard identity, store stats
     GET    /stats                      server/store/session counters
+    GET    /metrics                    Prometheus text exposition
+    GET    /debug/last                 recent structured access-log lines
+    GET    /debug/metrics              raw registry snapshot (for the router)
+    GET    /debug/trace                Chrome trace export (serve_trace only)
     POST   /programs/<id>              {source[, timeout]}: (re)load + analyze
     POST   /programs/<id>/edits       {source | procedure+source[, timeout]}
     GET    /programs/<id>/report      deterministic analysis report
@@ -43,22 +58,69 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import CancelledError, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.config import ICPConfig
 from repro.errors import ReproError
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_LOG, NULL_OBS, Observability, StructuredLog
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.promexport import CONTENT_TYPE, render_prometheus
+from repro.obs.trace import NULL_TRACER, Tracer
+from repro.serve import context as request_context
+from repro.serve.context import REQUEST_ID_HEADER
 from repro.session import AnalysisSession
 from repro.store import PersistentCache, SummaryStore
 
 #: Seconds clients should wait before retrying a 503-rejected request.
 RETRY_AFTER_SECONDS = 1
+
+#: Response payloads are JSON objects, except ``/metrics`` which is text.
+Payload = Union[Dict[str, Any], str]
+
+
+def serve_observability(config: ICPConfig) -> Observability:
+    """The observability context a serving process builds for itself.
+
+    Metrics and tracing are per-process concerns in the fleet (each
+    worker owns its registry; the router aggregates), so servers
+    self-construct from the ``serve_metrics`` / ``serve_trace`` knobs
+    instead of receiving a context from the caller.
+    """
+    if not (config.serve_metrics or config.serve_trace):
+        return NULL_OBS
+    return Observability(
+        tracer=Tracer() if config.serve_trace else NULL_TRACER,
+        metrics=MetricsRegistry() if config.serve_metrics else NULL_REGISTRY,
+    )
+
+
+def _endpoint_class(method: str, path: str) -> str:
+    """The latency-histogram bucket a request belongs to.
+
+    Low cardinality on purpose: program ids collapse into the action
+    (analyze/edits/report/...), unknown routes into ``other``.
+    """
+    parts = [p for p in urlparse(path).path.split("/") if p]
+    if not parts:
+        return "other"
+    head = parts[0]
+    if head in ("healthz", "stats", "metrics"):
+        return head
+    if head == "debug":
+        return "debug"
+    if head == "programs":
+        if len(parts) == 2:
+            return "delete" if method == "DELETE" else "analyze"
+        if len(parts) == 3 and parts[2] in ("edits", "report", "diagnostics"):
+            return parts[2]
+    return "other"
 
 
 class _Rejected(Exception):
@@ -103,12 +165,20 @@ class JSONHTTPFront:
     Subclasses provide ``self.config`` (for the bind address) and a
     ``dispatch(method, path, body) -> (status, payload, headers)`` method;
     this base turns it into a :class:`ThreadingHTTPServer` with JSON
-    request/response framing.  Tests drive :meth:`dispatch` directly or
-    over a real socket via :meth:`start`; the CLI calls :meth:`serve`
+    request/response framing.  The socket path goes through
+    :meth:`handle_request`, which wraps :meth:`dispatch` with the
+    fleet-wide observability envelope: request-id minting/propagation,
+    ``http.*`` metrics, the structured access log, and the shared
+    ``/metrics`` + ``/debug/*`` endpoints.  Tests drive :meth:`dispatch`
+    (bare routing) or :meth:`handle_request` (full envelope) directly, or
+    go over a real socket via :meth:`start`; the CLI calls :meth:`serve`
     (blocking).
     """
 
     config: ICPConfig
+    obs: Observability = NULL_OBS
+    log: StructuredLog = NULL_LOG
+    shard_index: Optional[int] = None
     httpd: Optional[ThreadingHTTPServer] = None
     _thread: Optional[threading.Thread] = None
 
@@ -117,6 +187,151 @@ class JSONHTTPFront:
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # The observability envelope around dispatch.
+    # ------------------------------------------------------------------
+
+    def handle_request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        headers: Optional[Any] = None,
+    ) -> Tuple[int, Payload, Dict[str, str]]:
+        """One request, end to end: identity, metrics, log, dispatch."""
+        ctx = None
+        # LocalShards nest a shard's handle_request inside the router's on
+        # one thread; restoring (not clearing) keeps the outer ctx intact.
+        prev_ctx = request_context.current()
+        if self.config.trace_propagate:
+            ctx = request_context.from_headers(headers)
+            request_context.set_current(ctx)
+            if self.obs.tracer.enabled:
+                self.obs.tracer.bind(
+                    trace=ctx.trace_id, request_id=ctx.request_id
+                )
+        metrics = self.obs.metrics
+        started = time.perf_counter()
+        if metrics.enabled:
+            metrics.counter("http.requests").inc()
+            metrics.gauge("http.in_flight").add(1)
+        status, payload, extra = 500, {"error": "internal"}, {}
+        try:
+            handled = self._handle_obs_endpoint(method, path)
+            if handled is not None:
+                status, payload, extra = handled
+            else:
+                status, payload, extra = self.dispatch(method, path, body)
+        except Exception as error:  # noqa: BLE001 - the front must survive
+            status, payload, extra = (
+                500,
+                {"error": f"{type(error).__name__}: {error}"},
+                {},
+            )
+        finally:
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            if metrics.enabled:
+                metrics.gauge("http.in_flight").add(-1)
+                metrics.counter(f"http.status.{status}").inc()
+                metrics.histogram(
+                    f"http.latency.{_endpoint_class(method, path)}"
+                ).observe(latency_ms)
+            if ctx is not None:
+                if self.obs.tracer.enabled:
+                    self.obs.tracer.unbind()
+                request_context.set_current(prev_ctx)
+        degraded = isinstance(payload, dict) and bool(payload.get("degraded"))
+        if self.log.enabled:
+            self.log.access(
+                method=method,
+                path=path,
+                status=status,
+                latency_ms=latency_ms,
+                request_id=ctx.request_id if ctx is not None else None,
+                degraded=degraded,
+            )
+        if ctx is not None:
+            extra = dict(extra)
+            extra[REQUEST_ID_HEADER] = ctx.request_id
+        return status, payload, extra
+
+    def _handle_obs_endpoint(
+        self, method: str, path: str
+    ) -> Optional[Tuple[int, Payload, Dict[str, str]]]:
+        """Route the shared ``/metrics`` + ``/debug/*`` endpoints (or None)."""
+        if method != "GET":
+            return None
+        parsed = urlparse(path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts == ["metrics"]:
+            if not self.obs.metrics.enabled:
+                return 404, {"error": "metrics disabled"}, {}
+            text = render_prometheus(self._metrics_series())
+            return 200, text, {"Content-Type": CONTENT_TYPE}
+        if parts == ["debug", "last"]:
+            query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
+            try:
+                limit = int(query["n"]) if "n" in query else None
+            except ValueError:
+                return 400, {"error": "n must be an integer"}, {}
+            return 200, {"entries": self.log.last(limit)}, {}
+        if parts == ["debug", "metrics"]:
+            if not self.obs.metrics.enabled:
+                return 404, {"error": "metrics disabled"}, {}
+            return (
+                200,
+                {
+                    "pid": os.getpid(),
+                    "shard": self.shard_index,
+                    "epoch_wall": self.obs.tracer.epoch_wall,
+                    "snapshot": self.obs.metrics.snapshot(),
+                },
+                {},
+            )
+        if parts == ["debug", "trace"]:
+            if not self.obs.tracer.enabled:
+                return 404, {"error": "tracing disabled"}, {}
+            return 200, self.export_trace(), {}
+        return None
+
+    def _process_label(self) -> str:
+        if self.shard_index is not None:
+            return f"shard-{self.shard_index}"
+        return type(self).__name__
+
+    def _metrics_series(self):
+        """(labels, snapshot) pairs for ``/metrics``; routers override."""
+        return [({}, self.obs.metrics.snapshot())]
+
+    def export_trace(self) -> Dict[str, Any]:
+        """This process's Chrome trace, pid-stamped for fleet merging."""
+        tracer = self.obs.tracer
+        pid = os.getpid()
+        events: list = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "tid": "meta",
+                "args": {"name": f"repro-icp {self._process_label()}"},
+            }
+        ]
+        for event in tracer.events():
+            stamped = dict(event)
+            stamped["pid"] = pid
+            events.append(stamped)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro-icp",
+                "pid": pid,
+                "shard": self.shard_index,
+                "epoch_wall": tracer.epoch_wall,
+            },
+        }
+
     def _make_httpd(self) -> ThreadingHTTPServer:
         front = self
 
@@ -124,11 +339,21 @@ class JSONHTTPFront:
             protocol_version = "HTTP/1.1"
 
             def _finish(self, status, payload, headers):
-                data = (json.dumps(payload, sort_keys=True) + "\n").encode(
-                    "utf-8"
-                )
+                headers = dict(headers)
+                if isinstance(payload, str):
+                    data = payload.encode("utf-8")
+                    content_type = headers.pop(
+                        "Content-Type", "text/plain; charset=utf-8"
+                    )
+                else:
+                    data = (
+                        json.dumps(payload, sort_keys=True) + "\n"
+                    ).encode("utf-8")
+                    content_type = headers.pop(
+                        "Content-Type", "application/json"
+                    )
                 self.send_response(status)
-                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(data)))
                 for name, value in headers.items():
                     self.send_header(name, value)
@@ -153,8 +378,8 @@ class JSONHTTPFront:
                         400, {"error": f"malformed JSON body: {error}"}, {}
                     )
                     return
-                status, payload, headers = front.dispatch(
-                    method, self.path, body
+                status, payload, headers = front.handle_request(
+                    method, self.path, body, self.headers
                 )
                 self._finish(status, payload, headers)
 
@@ -168,7 +393,9 @@ class JSONHTTPFront:
                 self._serve("DELETE")
 
             def log_message(self, format, *args):  # noqa: A002
-                pass  # request logging goes through metrics, not stderr
+                # Silenced: the structured JSON access log emitted by
+                # handle_request replaces http.server's stderr lines.
+                pass
 
         httpd = ThreadingHTTPServer(
             (self.config.serve_host, self.config.serve_port), Handler
@@ -220,8 +447,18 @@ class AnalysisServer(JSONHTTPFront):
         shard_index: Optional[int] = None,
     ):
         self.config = config or ICPConfig()
-        self.obs = obs or NULL_OBS
+        # Callers with an instrumented context (tests, embedding) pass one;
+        # otherwise the server builds its own per the serve_* obs knobs.
+        if obs is None or obs is NULL_OBS:
+            obs = serve_observability(self.config)
+        self.obs = obs
         self.shard_index = shard_index
+        self.log = StructuredLog(
+            enabled=self.config.serve_log_enabled,
+            slow_ms=self.config.serve_log_slow_ms,
+            ring=self.config.serve_log_ring,
+            shard=shard_index,
+        )
         self.stats = ServeStats()
         self.store: Optional[SummaryStore] = None
         if self.config.store_dir:
@@ -279,11 +516,21 @@ class AnalysisServer(JSONHTTPFront):
         """Run ``job`` on the worker pool under backpressure + deadline."""
         if not self._slots.acquire(blocking=False):
             raise _Rejected()
+        # Carry the request identity onto the pool thread so engine-phase
+        # spans recorded deep in the pipeline keep the trace/request ids.
+        ctx = request_context.current()
+        bound = self.obs.tracer.bound()
 
         def run():
+            request_context.set_current(ctx)
+            if bound:
+                self.obs.tracer.bind(**bound)
             try:
                 return job()
             finally:
+                if bound:
+                    self.obs.tracer.unbind()
+                request_context.clear_current()
                 self._slots.release()
 
         try:
@@ -597,9 +844,14 @@ class AnalysisServer(JSONHTTPFront):
             self.stats.errors += 1
             return 400, {"error": str(error)}, {}
 
+        ctx = request_context.current()
         span = (
             self.obs.tracer.span(
-                "serve.request", cat="serve", method=method, path=parsed.path
+                "serve.request",
+                cat="serve",
+                method=method,
+                path=parsed.path,
+                **(ctx.span_args() if ctx is not None else {}),
             )
             if self.obs.tracer.enabled
             else None

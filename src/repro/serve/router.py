@@ -44,12 +44,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.config import ICPConfig
-from repro.obs import NULL_OBS, Observability
+from repro.obs import NULL_OBS, Observability, StructuredLog, merge_snapshots
 from repro.sched.pool import spawn_context
+from repro.serve import context as request_context
 from repro.serve.daemon import (
     RETRY_AFTER_SECONDS,
     AnalysisServer,
     JSONHTTPFront,
+    serve_observability,
 )
 from repro.serve.hashring import HashRing
 from repro.serve.worker import run_worker, worker_config
@@ -113,9 +115,14 @@ class LocalShard:
         return True
 
     def request(
-        self, method: str, path: str, body: Dict[str, Any], timeout: float
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
-        return self.server.dispatch(method, path, body)
+        self,
+        method: str,
+        path: str,
+        body: Dict[str, Any],
+        timeout: float,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        return self.server.handle_request(method, path, body, headers)
 
     def healthz(self, timeout: float = PROBE_TIMEOUT_SECONDS) -> Dict[str, Any]:
         _, payload, _ = self.server.dispatch("GET", "/healthz")
@@ -190,7 +197,12 @@ class ProcessShard:
             return True
 
     def request(
-        self, method: str, path: str, body: Dict[str, Any], timeout: float
+        self,
+        method: str,
+        path: str,
+        body: Dict[str, Any],
+        timeout: float,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         port = self.port
         if port is None:
@@ -198,8 +210,10 @@ class ProcessShard:
         conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
         try:
             data = json.dumps(body).encode("utf-8") if body else None
-            headers = {"Content-Type": "application/json"} if data else {}
-            conn.request(method, path, body=data, headers=headers)
+            send_headers = dict(headers or {})
+            if data:
+                send_headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=data, headers=send_headers)
             response = conn.getresponse()
             raw = response.read()
             payload = json.loads(raw.decode("utf-8"))
@@ -265,7 +279,16 @@ class ShardRouter(JSONHTTPFront):
         shards: Optional[Sequence] = None,
     ):
         self.config = config or ICPConfig()
-        self.obs = obs or NULL_OBS
+        # Like the daemon: without an injected context the router builds
+        # its own per the serve_* obs knobs (each shard builds one too).
+        if obs is None or obs is NULL_OBS:
+            obs = serve_observability(self.config)
+        self.obs = obs
+        self.log = StructuredLog(
+            enabled=self.config.serve_log_enabled,
+            slow_ms=self.config.serve_log_slow_ms,
+            ring=self.config.serve_log_ring,
+        )
         self.stats = RouterStats()
         if shards is not None:
             self._shards: List = list(shards)
@@ -358,13 +381,35 @@ class ShardRouter(JSONHTTPFront):
         self.stats.requests += 1
         if self.obs.metrics.enabled:
             self.obs.metrics.counter("serve.shard.requests").inc()
-        if method == "GET" and parts == ["healthz"]:
-            return 200, self._healthz_payload(), {}
-        if method == "GET" and parts == ["stats"]:
-            return 200, self._stats_payload(), {}
-        if parts and parts[0] == "programs" and len(parts) in (2, 3):
-            return self._proxy(method, path, parts[1], body, parsed.query)
-        return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}, {}
+        ctx = request_context.current()
+        span = (
+            self.obs.tracer.span(
+                "serve.request",
+                cat="serve",
+                method=method,
+                path=parsed.path,
+                **(ctx.span_args() if ctx is not None else {}),
+            )
+            if self.obs.tracer.enabled
+            else None
+        )
+        try:
+            if span is not None:
+                span.__enter__()
+            if method == "GET" and parts == ["healthz"]:
+                return 200, self._healthz_payload(), {}
+            if method == "GET" and parts == ["stats"]:
+                return 200, self._stats_payload(), {}
+            if parts and parts[0] == "programs" and len(parts) in (2, 3):
+                return self._proxy(method, path, parts[1], body, parsed.query)
+            return (
+                404,
+                {"error": f"no route for {method} /{'/'.join(parts)}"},
+                {},
+            )
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
 
     def _unavailable(
         self, reason: str
@@ -407,6 +452,21 @@ class ShardRouter(JSONHTTPFront):
             return self._unavailable("router queue is full")
         try:
             timeout = self._proxy_timeout(body, query)
+            # The proxy hop gets its own span id; the shard's request span
+            # parents onto it via the X-Repro-Trace header, stitching the
+            # cross-process trace: router request → proxy → shard request.
+            ctx = request_context.current()
+            hop_headers: Optional[Dict[str, str]] = None
+            link: Dict[str, Any] = {}
+            if ctx is not None:
+                hop_span = request_context.new_span_id()
+                hop_headers = ctx.child_headers(hop_span)
+                link = {
+                    "request_id": ctx.request_id,
+                    "trace": ctx.trace_id,
+                    "span": hop_span,
+                    "parent": ctx.span,
+                }
             if self.obs.tracer.enabled:
                 with self.obs.tracer.span(
                     "serve.shard.proxy",
@@ -414,13 +474,14 @@ class ShardRouter(JSONHTTPFront):
                     shard=index,
                     method=method,
                     path=path,
+                    **link,
                 ):
                     status, payload, headers = shard.request(
-                        method, path, body, timeout
+                        method, path, body, timeout, headers=hop_headers
                     )
             else:
                 status, payload, headers = shard.request(
-                    method, path, body, timeout
+                    method, path, body, timeout, headers=hop_headers
                 )
             self.stats.proxied += 1
             if 200 <= status < 300:
@@ -438,6 +499,94 @@ class ShardRouter(JSONHTTPFront):
     # ------------------------------------------------------------------
     # Aggregated introspection.
     # ------------------------------------------------------------------
+
+    def _process_label(self) -> str:
+        return "router"
+
+    def _metrics_series(self):
+        """Fleet exposition: router counters, per-shard series, aggregate.
+
+        Three label shapes so one scrape answers every question:
+        ``{process="router"}`` is the router's own registry, ``{shard=N}``
+        is each live worker's, and the *unlabeled* series is the
+        fleet-wide aggregate of the shards (counters summed, histograms
+        merged) — the same shape a single-process daemon exposes.
+        """
+        series = [({"process": "router"}, self.obs.metrics.snapshot())]
+        shard_snaps = []
+        for shard in self._shards:
+            if not shard.alive():
+                continue
+            try:
+                status, payload, _ = shard.request(
+                    "GET", "/debug/metrics", {}, PROBE_TIMEOUT_SECONDS
+                )
+            except ShardUnavailable:
+                self._wake.set()
+                continue
+            if status != 200 or not isinstance(payload, dict):
+                continue
+            snapshot = payload.get("snapshot")
+            if not isinstance(snapshot, dict):
+                continue
+            shard_snaps.append(snapshot)
+            series.append(({"shard": str(shard.index)}, snapshot))
+        if shard_snaps:
+            series.append(({}, merge_snapshots(shard_snaps)))
+        return series
+
+    def export_trace(self) -> Dict[str, Any]:
+        """One Chrome trace for the whole fleet.
+
+        Merges each live shard's ``/debug/trace`` export into the
+        router's own: shard events keep their pid (or get a synthetic one
+        when the shard shares the router's pid, as LocalShards do, so
+        per-track nesting stays balanced), and their timestamps are
+        rebased from the shard's clock onto the router's via the
+        exported ``epoch_wall`` instants.
+        """
+        merged = super().export_trace()
+        events = merged["traceEvents"]
+        own_pid = os.getpid()
+        own_epoch = self.obs.tracer.epoch_wall
+        for shard in self._shards:
+            if not shard.alive():
+                continue
+            try:
+                status, payload, _ = shard.request(
+                    "GET", "/debug/trace", {}, PROBE_TIMEOUT_SECONDS
+                )
+            except ShardUnavailable:
+                self._wake.set()
+                continue
+            if status != 200 or not isinstance(payload, dict):
+                continue
+            shard_events = payload.get("traceEvents")
+            if not isinstance(shard_events, list):
+                continue
+            other = payload.get("otherData") or {}
+            shard_pid = other.get("pid")
+            pid = (
+                shard_pid
+                if isinstance(shard_pid, int) and shard_pid != own_pid
+                else 1_000_000 + shard.index
+            )
+            epoch = other.get("epoch_wall")
+            offset = (
+                max(0.0, (epoch - own_epoch) * 1_000_000.0)
+                if isinstance(epoch, (int, float))
+                else 0.0
+            )
+            for event in shard_events:
+                if not isinstance(event, dict):
+                    continue
+                stamped = dict(event)
+                stamped["pid"] = pid
+                ts = stamped.get("ts")
+                if stamped.get("ph") != "M" and isinstance(ts, (int, float)):
+                    stamped["ts"] = ts + offset
+                events.append(stamped)
+        return merged
 
     def _healthz_payload(self) -> Dict[str, Any]:
         """Per-shard liveness + store stats, aggregated for the fleet."""

@@ -33,6 +33,11 @@ def worker_config(config: ICPConfig) -> Dict[str, Any]:
     pool per shard would just oversubscribe the cores the shards already
     divide).  The executor is a throughput knob, never a results knob, so
     reports stay byte-identical.
+
+    The observability knobs (``serve_metrics``, ``serve_trace``,
+    ``trace_propagate``, ``serve_log_*``) ride along unchanged: each
+    worker self-constructs its own registry/tracer/logger from them, and
+    the router aggregates over ``/debug/metrics`` and ``/debug/trace``.
     """
     data = config.to_dict()
     data.update(

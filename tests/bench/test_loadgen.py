@@ -7,9 +7,11 @@ import pytest
 from repro.bench.loadgen import (
     LoadgenCorpus,
     LoadgenResult,
+    _scrape_delta,
     edit_script,
     merge_bench_json,
     run_loadgen,
+    scrape_server_counters,
 )
 from repro.core.config import ICPConfig
 from repro.lang.parser import parse_program
@@ -103,6 +105,57 @@ class TestMergeBenchJson:
         assert data["serve"] == {"runs": {}}
 
 
+class TestServerScrape:
+    def test_scrape_reads_the_live_metrics_endpoint(self, tmp_path):
+        config = ICPConfig.from_dict(
+            {"serve_port": 0, "serve_workers": 1}
+        )
+        server = AnalysisServer(config)
+        try:
+            host, port = server.start()
+            base_url = f"http://{host}:{port}"
+            counters = scrape_server_counters(base_url)
+            assert counters is not None
+            assert set(counters) == {
+                "requests", "rejected_503", "timeout_504",
+                "degraded", "store_hits", "store_misses",
+            }
+            again = scrape_server_counters(base_url)
+        finally:
+            server.close()
+        # The second scrape saw the first one's own request.
+        assert again["requests"] > counters["requests"]
+
+    def test_scrape_is_none_without_a_server(self):
+        assert scrape_server_counters("http://127.0.0.1:9") is None
+
+    def test_scrape_is_none_when_metrics_are_disabled(self):
+        config = ICPConfig.from_dict(
+            {"serve_port": 0, "serve_workers": 1, "serve_metrics": False}
+        )
+        server = AnalysisServer(config)
+        try:
+            host, port = server.start()
+            assert scrape_server_counters(f"http://{host}:{port}") is None
+        finally:
+            server.close()
+
+    def test_delta_math_and_failed_scrapes(self):
+        before = {"requests": 5.0, "degraded": 1.0}
+        after = {"requests": 9.0, "degraded": 1.0, "store_hits": 2.0}
+        assert _scrape_delta(before, after) == {
+            "requests": 4.0, "degraded": 0.0, "store_hits": 2.0,
+        }
+        assert _scrape_delta(None, after) is None
+        assert _scrape_delta(before, None) is None
+
+    def test_result_dict_carries_the_server_section(self):
+        result = LoadgenResult(ops=1, ok=1, wall_seconds=1.0)
+        assert result.to_dict()["server"] is None
+        result.server = {"requests": 3.0}
+        assert result.to_dict()["server"] == {"requests": 3.0}
+
+
 @pytest.mark.slow
 class TestRunLoadgen:
     def test_short_run_against_a_live_daemon(self, tmp_path):
@@ -136,3 +189,6 @@ class TestRunLoadgen:
         assert data["latency"]["all"]["p99_ms"] >= data["latency"]["all"][
             "p50_ms"
         ]
+        # The bracketing /metrics scrape recorded the server-side ledger.
+        assert result.server is not None
+        assert result.server["requests"] >= result.ops

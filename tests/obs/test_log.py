@@ -1,0 +1,73 @@
+"""Structured JSON-lines logger tests: emission, levels, and the ring."""
+
+import io
+import json
+
+from repro.obs.log import NULL_LOG, StructuredLog
+
+
+def _lines(stream: io.StringIO):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_access_line_is_json_with_the_request_fields(self):
+        stream = io.StringIO()
+        log = StructuredLog(stream=stream, shard=3)
+        log.access(
+            method="GET",
+            path="/programs/p1/report",
+            status=200,
+            latency_ms=12.3456,
+            request_id="abc123",
+        )
+        (line,) = _lines(stream)
+        assert line["event"] == "http.request"
+        assert line["method"] == "GET"
+        assert line["path"] == "/programs/p1/report"
+        assert line["status"] == 200
+        assert line["latency_ms"] == 12.346
+        assert line["request_id"] == "abc123"
+        assert line["shard"] == 3
+        assert line["level"] == "info"
+        assert line["degraded"] is False and line["slow"] is False
+
+    def test_slow_and_5xx_requests_log_at_warning(self):
+        stream = io.StringIO()
+        log = StructuredLog(stream=stream, slow_ms=10.0)
+        log.access(method="GET", path="/x", status=200, latency_ms=50.0)
+        log.access(method="GET", path="/x", status=503, latency_ms=1.0)
+        log.access(method="GET", path="/x", status=200, latency_ms=1.0)
+        slow, rejected, fine = _lines(stream)
+        assert slow["level"] == "warning" and slow["slow"] is True
+        assert rejected["level"] == "warning"
+        assert fine["level"] == "info"
+
+    def test_disabled_log_emits_nothing(self):
+        stream = io.StringIO()
+        log = StructuredLog(enabled=False, stream=stream)
+        log.access(method="GET", path="/x", status=200, latency_ms=1.0)
+        assert stream.getvalue() == ""
+        assert log.last() == []
+
+    def test_null_log_is_disabled(self):
+        assert NULL_LOG.enabled is False
+
+    def test_non_serializable_fields_are_stringified(self):
+        stream = io.StringIO()
+        log = StructuredLog(stream=stream)
+        log.log("info", "custom", payload=object())
+        (line,) = _lines(stream)
+        assert "object" in line["payload"]
+
+
+class TestRing:
+    def test_last_returns_oldest_first_and_bounded(self):
+        log = StructuredLog(stream=io.StringIO(), ring=3)
+        for index in range(5):
+            log.access(
+                method="GET", path=f"/{index}", status=200, latency_ms=1.0
+            )
+        entries = log.last()
+        assert [entry["path"] for entry in entries] == ["/2", "/3", "/4"]
+        assert [entry["path"] for entry in log.last(2)] == ["/3", "/4"]

@@ -10,6 +10,9 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NULL_REGISTRY,
+    merge_snapshots,
+    merge_summaries,
+    summary_quantile,
 )
 
 
@@ -111,3 +114,109 @@ class TestDisabledRegistry:
 
     def test_default_buckets_are_increasing(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestSummaryQuantile:
+    def test_empty_histogram_answers_zero(self):
+        assert summary_quantile(Histogram("h").summary(), 50) == 0.0
+
+    def test_single_sample_answers_that_sample(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        hist.observe(7.0)
+        for q in (0, 50, 99, 100):
+            assert summary_quantile(hist.summary(), q) == 7.0
+
+    def test_identical_samples_skip_interpolation(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for _ in range(5):
+            hist.observe(3.0)
+        assert summary_quantile(hist.summary(), 50) == 3.0
+        assert summary_quantile(hist.summary(), 99) == 3.0
+
+    def test_estimate_is_clamped_into_the_observed_envelope(self):
+        # Both samples land in the overflow bucket; the estimate must not
+        # invent a value beyond the true maximum.
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(50.0)
+        hist.observe(90.0)
+        assert summary_quantile(hist.summary(), 99) <= 90.0
+        assert summary_quantile(hist.summary(), 1) >= 50.0
+
+    def test_out_of_range_q_is_clamped(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        hist.observe(2.0)
+        hist.observe(8.0)
+        assert summary_quantile(hist.summary(), -5) >= 2.0
+        assert summary_quantile(hist.summary(), 500) <= 8.0
+
+    def test_bucketless_summary_falls_back_to_the_max(self):
+        summary = {"count": 4, "sum": 10.0, "min": 1.0, "max": 4.0}
+        assert summary_quantile(summary, 99) == 4.0
+
+
+class TestMergeSummaries:
+    def test_counts_sums_and_envelopes_add_up(self):
+        a = Histogram("h", buckets=(1.0, 10.0))
+        b = Histogram("h", buckets=(1.0, 10.0))
+        a.observe(0.5)
+        a.observe(5.0)
+        b.observe(2.0)
+        b.observe(60.0)
+        merged = merge_summaries([a.summary(), b.summary()])
+        assert merged["count"] == 4
+        assert merged["sum"] == 67.5
+        assert merged["min"] == 0.5
+        assert merged["max"] == 60.0
+        assert merged["buckets"]["le_1"] == 1
+        assert merged["buckets"]["le_10"] == 2
+        assert merged["buckets"]["overflow"] == 1
+        # Quantiles still work on the merged summary.
+        assert 0.5 <= summary_quantile(merged, 50) <= 60.0
+
+    def test_disjoint_bucket_keys_merge(self):
+        a = {"count": 1, "sum": 0.5, "min": 0.5, "max": 0.5,
+             "buckets": {"le_1": 1}}
+        b = {"count": 1, "sum": 20.0, "min": 20.0, "max": 20.0,
+             "buckets": {"overflow": 1}}
+        merged = merge_summaries([a, b])
+        assert merged["buckets"] == {"le_1": 1, "overflow": 1}
+        assert list(merged["buckets"]) == ["le_1", "overflow"]
+
+    def test_merging_nothing_is_an_empty_summary(self):
+        merged = merge_summaries([])
+        assert merged["count"] == 0
+        assert merged["mean"] == 0.0
+        assert merged["min"] is None and merged["max"] is None
+
+
+class TestMergeSnapshots:
+    def test_counters_gauges_and_histograms_aggregate(self):
+        one = MetricsRegistry()
+        two = MetricsRegistry()
+        one.counter("serve.requests").inc(3)
+        two.counter("serve.requests").inc(4)
+        two.counter("serve.degraded").inc()
+        one.gauge("sessions.resident").set(2)
+        two.gauge("sessions.resident").set(5)
+        one.histogram("lat", buckets=(1.0,)).observe(0.5)
+        two.histogram("lat", buckets=(1.0,)).observe(9.0)
+        merged = merge_snapshots([one.snapshot(), two.snapshot()])
+        assert merged["counters"] == {
+            "serve.degraded": 1, "serve.requests": 7,
+        }
+        assert merged["gauges"]["sessions.resident"] == 7
+        assert merged["histograms"]["lat"]["count"] == 2
+        assert merged["histograms"]["lat"]["max"] == 9.0
+
+    def test_non_dict_snapshots_are_skipped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        merged = merge_snapshots([None, "garbage", registry.snapshot()])
+        assert merged["counters"] == {"c": 1}
+
+    def test_merged_names_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        merged = merge_snapshots([registry.snapshot()])
+        assert list(merged["counters"]) == ["a", "z"]

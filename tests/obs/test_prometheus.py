@@ -1,0 +1,98 @@
+"""Prometheus exposition tests: rendering, parsing, and the round trip."""
+
+import math
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    CONTENT_TYPE,
+    metric_name,
+    parse_prometheus_text,
+    render_prometheus,
+    sample_value,
+    series_values,
+)
+
+
+def _registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("http.requests").inc(7)
+    registry.gauge("http.in_flight").set(2)
+    hist = registry.histogram("http.latency.report", buckets=(1.0, 5.0, 10.0))
+    for value in (0.5, 2.0, 99.0):
+        hist.observe(value)
+    return registry
+
+
+class TestRender:
+    def test_metric_name_sanitizes_and_prefixes(self):
+        assert metric_name("http.latency.report") == "repro_http_latency_report"
+        assert metric_name("weird-name!x") == "repro_weird_name_x"
+
+    def test_counter_gets_total_suffix(self):
+        text = render_prometheus([({}, _registry().snapshot())])
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert "repro_http_requests_total 7" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_prometheus([({}, _registry().snapshot())])
+        parsed = parse_prometheus_text(text)
+        bucket = "repro_http_latency_report_bucket"
+        assert sample_value(parsed, bucket, {"le": "1.0"}) == 1
+        assert sample_value(parsed, bucket, {"le": "5.0"}) == 2
+        # The overflow observation lands only in +Inf.
+        assert sample_value(parsed, bucket, {"le": "+Inf"}) == 3
+        assert sample_value(parsed, "repro_http_latency_report_count") == 3
+        assert sample_value(parsed, "repro_http_latency_report_sum") == 101.5
+
+    def test_one_type_line_per_metric_across_label_sets(self):
+        snap = _registry().snapshot()
+        text = render_prometheus([({"shard": "0"}, snap), ({"shard": "1"}, snap)])
+        assert text.count("# TYPE repro_http_requests_total counter") == 1
+        parsed = parse_prometheus_text(text)
+        values = series_values(parsed, "repro_http_requests_total")
+        assert ({"shard": "0"}, 7.0) in values
+        assert ({"shard": "1"}, 7.0) in values
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        text = render_prometheus([({"path": 'a"b\\c'}, registry.snapshot())])
+        parsed = parse_prometheus_text(text)
+        assert sample_value(parsed, "repro_c_total", {"path": 'a"b\\c'}) == 1
+
+    def test_empty_series_renders_empty(self):
+        assert render_prometheus([]) == ""
+        assert render_prometheus([({}, {"counters": {}})]) == ""
+
+    def test_content_type_is_the_prometheus_text_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestParse:
+    def test_skips_comments_and_garbage(self):
+        text = (
+            "# HELP x y\n"
+            "not a metric line at all {{{\n"
+            "repro_ok_total 3\n"
+            "repro_bad_value{a=\"b\"} notanumber\n"
+        )
+        parsed = parse_prometheus_text(text)
+        assert parsed == {("repro_ok_total", ()): 3.0}
+
+    def test_parses_inf(self):
+        parsed = parse_prometheus_text('h_bucket{le="+Inf"} 4\n')
+        assert parsed[("h_bucket", (("le", "+Inf"),))] == 4.0
+
+    def test_round_trip(self):
+        snap = _registry().snapshot()
+        text = render_prometheus([({"shard": "2"}, snap)])
+        parsed = parse_prometheus_text(text)
+        assert sample_value(
+            parsed, "repro_http_requests_total", {"shard": "2"}
+        ) == 7.0
+        assert sample_value(
+            parsed, "repro_http_in_flight", {"shard": "2"}
+        ) == 2.0
+        assert not math.isnan(
+            sample_value(parsed, "repro_http_latency_report_sum", {"shard": "2"})
+        )

@@ -1,0 +1,158 @@
+"""The ``repro-icp top`` dashboard: sample math and frame rendering.
+
+The renderer is a pure function of two consecutive samples, so most of
+this file runs without sockets; one test drives :func:`run_top` against
+a live single-process daemon for a single frame.
+"""
+
+import io
+
+from repro.obs.top import (
+    _rate,
+    _shard_rows,
+    latency_quantile,
+    render_frame,
+    run_top,
+)
+
+
+def _sample(ts, metrics=None, healthz=None):
+    return {
+        "ts": ts,
+        "metrics": metrics or {},
+        "healthz": healthz if healthz is not None else {"ok": True, "pid": 1},
+    }
+
+
+class TestRates:
+    def test_rate_is_the_counter_delta_over_dt(self):
+        prev = _sample(10.0, {("repro_http_requests_total", ()): 100.0})
+        cur = _sample(12.0, {("repro_http_requests_total", ()): 150.0})
+        assert _rate(prev, cur, "repro_http_requests_total") == 25.0
+
+    def test_rate_without_a_previous_sample_is_zero(self):
+        cur = _sample(12.0, {("repro_http_requests_total", ()): 150.0})
+        assert _rate(None, cur, "repro_http_requests_total") == 0.0
+
+    def test_counter_reset_clamps_to_zero(self):
+        prev = _sample(10.0, {("repro_http_requests_total", ()): 500.0})
+        cur = _sample(12.0, {("repro_http_requests_total", ()): 3.0})
+        assert _rate(prev, cur, "repro_http_requests_total") == 0.0
+
+
+class TestLatencyQuantile:
+    def _metrics(self, labels=()):
+        name = "repro_http_latency_report_bucket"
+        return {
+            (name, labels + (("le", "1.0"),)): 2.0,
+            (name, labels + (("le", "10.0"),)): 8.0,
+            (name, labels + (("le", "+Inf"),)): 10.0,
+        }
+
+    def test_interpolates_inside_the_target_bucket(self):
+        # p50: target 5 of 10, bucket (1, 10] holds counts 3..8.
+        value = latency_quantile(self._metrics(), 50.0)
+        assert 1.0 < value < 10.0
+
+    def test_overflow_bucket_answers_the_last_finite_bound(self):
+        assert latency_quantile(self._metrics(), 99.9) == 10.0
+
+    def test_labels_select_the_series(self):
+        labels = (("shard", "1"),)
+        metrics = self._metrics(labels)
+        assert latency_quantile(metrics, 50.0, labels) > 0.0
+        assert latency_quantile(metrics, 50.0, ()) == 0.0
+
+    def test_merges_every_endpoint_class(self):
+        metrics = {
+            ("repro_http_latency_report_bucket", (("le", "+Inf"),)): 4.0,
+            ("repro_http_latency_analyze_bucket", (("le", "+Inf"),)): 6.0,
+            ("repro_http_latency_report_bucket", (("le", "1.0"),)): 4.0,
+            ("repro_http_latency_analyze_bucket", (("le", "1.0"),)): 6.0,
+        }
+        assert latency_quantile(metrics, 50.0) <= 1.0
+
+    def test_no_buckets_is_zero(self):
+        assert latency_quantile({}, 50.0) == 0.0
+
+
+class TestRows:
+    def test_single_daemon_renders_one_row(self):
+        cur = _sample(
+            1.0,
+            {("repro_http_in_flight", ()): 2.0},
+            {"ok": True, "pid": 77, "programs": 3},
+        )
+        (row,) = _shard_rows(None, cur)
+        assert row["name"] == "daemon"
+        assert row["pid"] == 77
+        assert row["programs"] == 3
+        assert row["in_flight"] == 2.0
+
+    def test_fleet_renders_one_row_per_shard(self):
+        cur = _sample(
+            1.0,
+            {("repro_http_in_flight", (("shard", "1"),)): 4.0},
+            {
+                "ok": True,
+                "shards": [
+                    {"shard": 0, "alive": True, "pid": 10, "programs": 1},
+                    {"shard": 1, "alive": False, "pid": None, "respawns": 2},
+                ],
+            },
+        )
+        rows = _shard_rows(None, cur)
+        assert [row["name"] for row in rows] == ["shard-0", "shard-1"]
+        assert rows[1]["alive"] is False
+        assert rows[1]["respawns"] == 2
+        assert rows[1]["in_flight"] == 4.0
+
+
+class TestRenderFrame:
+    def test_frame_contains_fleet_line_and_rows(self):
+        cur = _sample(
+            1.0,
+            {
+                ("repro_serve_degraded_total", ()): 3.0,
+                ("repro_http_status_503_total", ()): 1.0,
+            },
+            {"ok": True, "pid": 9, "programs": 0},
+        )
+        frame = render_frame(None, cur, url="http://x", color=False)
+        assert "repro-icp top — http://x" in frame
+        assert "degraded 3" in frame
+        assert "503 1" in frame
+        assert "daemon" in frame
+        assert "\x1b[" not in frame  # color off ⇒ no ANSI codes
+
+    def test_unhealthy_fleet_is_flagged(self):
+        cur = _sample(1.0, {}, {"ok": False, "pid": 9})
+        assert "DEGRADED" in render_frame(None, cur, color=False)
+
+
+class TestRunTop:
+    def test_one_frame_against_a_live_daemon(self):
+        from repro.core.config import ICPConfig
+        from repro.serve import AnalysisServer
+
+        server = AnalysisServer(
+            ICPConfig.from_dict({"serve_port": 0, "serve_workers": 1})
+        )
+        try:
+            host, port = server.start()
+            stream = io.StringIO()
+            code = run_top(
+                f"http://{host}:{port}", interval=0.01, frames=1,
+                clear=False, stream=stream,
+            )
+        finally:
+            server.close()
+        assert code == 0
+        out = stream.getvalue()
+        assert "repro-icp top" in out
+        assert "daemon" in out
+
+    def test_unreachable_front_exits_nonzero(self, capsys):
+        code = run_top("http://127.0.0.1:9", frames=1, clear=False)
+        assert code == 1
+        assert "top:" in capsys.readouterr().err

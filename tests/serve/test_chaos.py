@@ -20,7 +20,11 @@ import urllib.request
 import pytest
 
 from repro.core.config import ICPConfig
-from repro.serve import RETRY_AFTER_SECONDS, ShardRouter
+from repro.serve import (
+    REQUEST_ID_HEADER,
+    RETRY_AFTER_SECONDS,
+    ShardRouter,
+)
 
 SOURCE = """\
 proc main() { call sub1(0); }
@@ -99,11 +103,15 @@ class TestShardCrash:
                 )
 
             # With the shard dead, requests keep failing clean until the
-            # supervisor (rebalance interval 0.2s) brings it back.
+            # supervisor (rebalance interval 0.2s) brings it back.  The
+            # client's request id is echoed even on the failure path.
             if not victim.alive():
-                status, payload, headers = router.dispatch(
-                    "GET", "/programs/victim/report"
+                status, payload, headers = router.handle_request(
+                    "GET",
+                    "/programs/victim/report",
+                    headers={REQUEST_ID_HEADER: "chaos-dead"},
                 )
+                assert headers[REQUEST_ID_HEADER] == "chaos-dead"
                 if status == 503:
                     assert "shard" in payload["error"]
                     assert "Retry-After" in headers
@@ -111,6 +119,15 @@ class TestShardCrash:
             _wait_for_respawn(router, victim, old_pid)
             assert victim.respawns >= 1
             assert router.stats.respawns >= 1
+
+            # Request identity is stable across the respawn: the same
+            # client-supplied id round-trips through the replacement.
+            status, _, headers = router.handle_request(
+                "GET",
+                "/programs/victim/report",
+                headers={REQUEST_ID_HEADER: "chaos-dead"},
+            )
+            assert headers[REQUEST_ID_HEADER] == "chaos-dead"
 
             # The respawned worker owns the same arc: re-POSTing the same
             # source warm-starts entirely from the shared store.

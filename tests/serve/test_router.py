@@ -135,7 +135,7 @@ class TestBackpressure:
 
     def test_shard_failure_maps_to_clean_503(self):
         class DoomedShard(LocalShard):
-            def request(self, method, path, body, timeout):
+            def request(self, method, path, body, timeout, headers=None):
                 raise ShardUnavailable("shard 0: connection refused")
 
         config = _config()

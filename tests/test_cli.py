@@ -412,6 +412,62 @@ class TestServe:
                      "--max-seconds", "0.1"]) == 1
         assert "serve_rebalance" in capsys.readouterr().err
 
+    def test_obs_flags_parse(self, capsys):
+        assert main(["serve", "--port", "0", "--max-seconds", "0.2",
+                     "--quiet", "--no-metrics", "--slow-ms", "100"]) == 0
+        assert "listening" in capsys.readouterr().err
+        assert main(["serve", "--port", "0", "--max-seconds", "0.1",
+                     "--slow-ms", "-1"]) == 1
+        assert "serve_log_slow_ms" in capsys.readouterr().err
+
+    def test_trace_flag_writes_a_fleet_trace(self, tmp_path, capsys):
+        from repro.obs.trace import validate_chrome_trace
+
+        trace_out = str(tmp_path / "fleet-trace.json")
+        assert main(["serve", "--port", "0", "--max-seconds", "0.2",
+                     "--trace", trace_out]) == 0
+        assert "fleet trace written" in capsys.readouterr().err
+        trace = json.loads(open(trace_out).read())
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["producer"] == "repro-icp"
+
+    def test_metrics_json_writes_a_snapshot(self, tmp_path, capsys):
+        metrics_out = str(tmp_path / "serve-metrics.json")
+        assert main(["serve", "--port", "0", "--max-seconds", "0.2",
+                     "--metrics-json", metrics_out]) == 0
+        assert "metrics snapshot written" in capsys.readouterr().err
+        data = json.loads(open(metrics_out).read())
+        assert "counters" in data and "histograms" in data
+
+
+class TestTop:
+    def test_one_frame_against_a_live_daemon(self, capsys):
+        from repro.core.config import ICPConfig
+        from repro.serve import AnalysisServer
+
+        server = AnalysisServer(
+            ICPConfig.from_dict({"serve_port": 0, "serve_workers": 1})
+        )
+        try:
+            host, port = server.start()
+            assert main(["top", "--url", f"http://{host}:{port}",
+                         "--frames", "1", "--no-clear",
+                         "--interval", "0.01"]) == 0
+        finally:
+            server.close()
+        out = capsys.readouterr().out
+        assert "repro-icp top" in out
+        assert "daemon" in out
+
+    def test_rejects_bad_interval(self, capsys):
+        assert main(["top", "--interval", "0", "--frames", "1"]) == 1
+        assert "--interval" in capsys.readouterr().err
+
+    def test_unreachable_front_exits_nonzero(self, capsys):
+        assert main(["top", "--url", "http://127.0.0.1:9",
+                     "--frames", "1", "--no-clear"]) == 1
+        assert "top:" in capsys.readouterr().err
+
 
 class TestLoadgen:
     def test_rejects_bad_shard_list(self, capsys):
