@@ -31,9 +31,14 @@ from repro.api import (
     AnalysisSession,
     CompilationPipeline,
     ICPConfig,
+    PersistentCache,
     PipelineResult,
+    RemoteStore,
+    SummaryStore,
     analyze,
     analyze_program,
+    connect_store,
+    open_store,
     parse_program,
 )
 
@@ -41,9 +46,14 @@ __all__ = [
     "AnalysisSession",
     "CompilationPipeline",
     "ICPConfig",
+    "PersistentCache",
     "PipelineResult",
+    "RemoteStore",
+    "SummaryStore",
     "analyze",
     "analyze_program",
+    "connect_store",
+    "open_store",
     "parse_program",
 ]
 

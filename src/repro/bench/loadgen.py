@@ -132,9 +132,11 @@ def _http_request(
     path: str,
     body: Optional[Dict[str, Any]] = None,
 ) -> Tuple[int, Dict[str, Any]]:
+    # Loadgen speaks the current (versioned) surface; the unversioned
+    # aliases exist for old clients, not this one.
     data = json.dumps(body).encode("utf-8") if body is not None else None
     request = urllib.request.Request(
-        base_url + path,
+        base_url + "/v1" + path,
         data=data,
         method=method,
         headers={"Content-Type": "application/json"} if data else {},
@@ -178,7 +180,7 @@ def scrape_server_counters(base_url: str) -> Optional[Dict[str, float]]:
 
     try:
         with urllib.request.urlopen(
-            base_url + "/metrics", timeout=CLIENT_TIMEOUT_SECONDS
+            base_url + "/v1/metrics", timeout=CLIENT_TIMEOUT_SECONDS
         ) as response:
             text = response.read().decode("utf-8")
     except (urllib.error.URLError, OSError, ValueError):

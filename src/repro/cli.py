@@ -9,6 +9,7 @@ Subcommands::
     tables [N..]   regenerate the paper's tables over the synthetic suite
     bench [NAME..] analyze the synthetic suite in one batched pipeline run
     serve          run the analysis daemon (single-process or sharded)
+    summary-server run the fleet-shared remote summary tier
     loadgen        drive a serve deployment with concurrent mixed traffic
     top            live dashboard over a fleet's /healthz + /metrics
     watch FILE     keep an analysis session alive, re-analyzing on change
@@ -83,6 +84,11 @@ def _config_from(args: argparse.Namespace, **extra) -> ICPConfig:
     if getattr(args, "store_dir", None):
         data["store_dir"] = args.store_dir
         data["store_max_bytes"] = args.store_max_bytes
+    if getattr(args, "store_remote_url", None):
+        data["store_remote_url"] = args.store_remote_url
+        data["store_remote_timeout_ms"] = args.store_remote_timeout_ms
+    if getattr(args, "store_codec", None):
+        data["store_codec"] = args.store_codec
     data.update(extra)
     return ICPConfig.from_dict(data)
 
@@ -281,6 +287,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     obs = _obs_from(args)
     names = args.names or sorted(SUITE)
     tmp_store = None
+    service = None
+    service_tmp = None
     extra = {}
     if args.warm and not getattr(args, "store_dir", None):
         # A warm rerun needs a persistent tier to rerun against.
@@ -288,6 +296,38 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
         tmp_store = tempfile.TemporaryDirectory(prefix="repro-icp-store-")
         extra["store_dir"] = tmp_store.name
+    if args.warm and not getattr(args, "store_remote_url", None):
+        # The remote-warm leg needs a summary server.  Boot an ephemeral
+        # in-process one on an OS-assigned port; the cold pass write-through
+        # populates it alongside the local tier.
+        import tempfile
+
+        from repro.store.service import SummaryService
+
+        service_tmp = tempfile.TemporaryDirectory(
+            prefix="repro-icp-summaries-"
+        )
+        service = SummaryService(
+            ICPConfig.from_dict(
+                {
+                    "store_dir": service_tmp.name,
+                    "serve_port": 0,
+                    "serve_log_enabled": False,
+                }
+            ),
+            compact_interval=None,
+        )
+        host, port = service.start()
+        extra["store_remote_url"] = f"http://{host}:{port}"
+
+    def _cleanup() -> None:
+        if service is not None:
+            service.close()
+        if service_tmp is not None:
+            service_tmp.cleanup()
+        if tmp_store is not None:
+            tmp_store.cleanup()
+
     config = _config_from(args, **extra)
     try:
         run = analyze_suite(
@@ -296,8 +336,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
-        if tmp_store is not None:
-            tmp_store.cleanup()
+        _cleanup()
         return 1
     lint_header = f" {'lint':>5}" if args.check else ""
     print(
@@ -345,23 +384,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"(hit rate {cache.hit_rate:.0%}, {cache.entries} entries)"
         )
     warm = None
+    remote_warm = None
     mismatched: List[str] = []
+    remote_mismatched: List[str] = []
     if args.warm:
+        import tempfile
+
         from repro.core.report import analysis_report
 
-        # A second, independent pipeline over the same store: every
-        # summary should come back from disk, and the rendered analysis
-        # must not change by a byte.
+        cold_reports = {
+            name: analysis_report(result)
+            for name, result in run.results.items()
+        }
+        cold_wall = sum(run.wall_seconds.values())
+
+        # Local-warm: a second, independent pipeline over the same store.
+        # Every summary should come back from the local disk tier, and the
+        # rendered analysis must not change by a byte.
         warm = analyze_suite(
             names, config, scale=args.scale, obs=None, diagnostics=args.check
         )
         mismatched = [
             name
             for name in run.results
-            if analysis_report(run.results[name])
-            != analysis_report(warm.results[name])
+            if cold_reports[name] != analysis_report(warm.results[name])
         ]
-        cold_wall = sum(run.wall_seconds.values())
         warm_wall = sum(warm.wall_seconds.values())
         reduction = 1.0 - (warm_wall / cold_wall) if cold_wall else 0.0
         verdict = (
@@ -370,22 +417,73 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             else f"REPORT MISMATCH in {mismatched}"
         )
         print(
-            f"warm rerun: {warm_wall:.4f}s vs cold {cold_wall:.4f}s "
+            f"local-warm rerun: {warm_wall:.4f}s vs cold {cold_wall:.4f}s "
             f"({reduction:.0%} reduction; engine runs {run.tasks_run} -> "
             f"{warm.tasks_run}, cached {warm.tasks_cached}), {verdict}"
         )
+
+        # Remote-warm: a fresh, empty local store in front of the same
+        # summary server — every summary is fetched over HTTP and promoted
+        # to the new disk tier; the reports still must not change.
+        with tempfile.TemporaryDirectory(
+            prefix="repro-icp-store-remote-warm-"
+        ) as fresh_dir:
+            remote_config = ICPConfig.from_dict(
+                {**config.to_dict(), "store_dir": fresh_dir}
+            )
+            remote_warm = analyze_suite(
+                names,
+                remote_config,
+                scale=args.scale,
+                obs=None,
+                diagnostics=args.check,
+            )
+            remote_mismatched = [
+                name
+                for name in run.results
+                if cold_reports[name]
+                != analysis_report(remote_warm.results[name])
+            ]
+        remote_wall = sum(remote_warm.wall_seconds.values())
+        remote_reduction = (
+            1.0 - (remote_wall / cold_wall) if cold_wall else 0.0
+        )
+        remote_verdict = (
+            "reports byte-identical"
+            if not remote_mismatched
+            else f"REPORT MISMATCH in {remote_mismatched}"
+        )
+        print(
+            f"remote-warm rerun: {remote_wall:.4f}s vs cold {cold_wall:.4f}s "
+            f"({remote_reduction:.0%} reduction; engine runs "
+            f"{run.tasks_run} -> {remote_warm.tasks_run}, "
+            f"cached {remote_warm.tasks_cached}), {remote_verdict}"
+        )
     if args.json:
-        _write_bench_json(args.json, args, run, warm=warm, mismatched=mismatched)
+        _write_bench_json(
+            args.json,
+            args,
+            run,
+            warm=warm,
+            mismatched=mismatched,
+            remote_warm=remote_warm,
+            remote_mismatched=remote_mismatched,
+        )
         print(f"bench results written to {args.json}", file=sys.stderr)
     if obs is not None:
         _emit_observability(args, obs, run.results.values())
-    if tmp_store is not None:
-        tmp_store.cleanup()
-    return 1 if mismatched else 0
+    _cleanup()
+    return 1 if (mismatched or remote_mismatched) else 0
 
 
 def _write_bench_json(
-    path: str, args: argparse.Namespace, run, warm=None, mismatched=()
+    path: str,
+    args: argparse.Namespace,
+    run,
+    warm=None,
+    mismatched=(),
+    remote_warm=None,
+    remote_mismatched=(),
 ) -> None:
     """Machine-readable bench results (the per-PR perf trajectory record)."""
     import json
@@ -433,6 +531,18 @@ def _write_bench_json(
             "tasks_run": warm.tasks_run,
             "tasks_cached": warm.tasks_cached,
             "reports_identical": not mismatched,
+        }
+    if remote_warm is not None:
+        cold_wall = sum(run.wall_seconds.values())
+        remote_wall = sum(remote_warm.wall_seconds.values())
+        payload["remote_warm"] = {
+            "wall_seconds": remote_wall,
+            "reduction": (
+                1.0 - (remote_wall / cold_wall) if cold_wall else 0.0
+            ),
+            "tasks_run": remote_warm.tasks_run,
+            "tasks_cached": remote_warm.tasks_cached,
+            "reports_identical": not remote_mismatched,
         }
     try:
         # The serving benchmark (repro-icp loadgen) owns the "serve"
@@ -620,6 +730,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = create_server(config)
     host, port = server.start()
     store_note = f", store {config.store_dir}" if config.store_dir else ""
+    if config.store_remote_url:
+        store_note += f" + remote {config.store_remote_url}"
     shard_note = (
         f", {config.serve_shards} shard process(es)"
         if config.serve_shards
@@ -681,6 +793,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_summary_server(args: argparse.Namespace) -> int:
+    """Run the fleet-shared summary service until interrupted."""
+    from repro.store.service import SummaryService
+
+    try:
+        config = ICPConfig.from_dict(
+            {
+                "store_dir": args.store_dir,
+                "store_max_bytes": args.store_max_bytes,
+                "serve_host": args.host,
+                "serve_port": args.port,
+                "serve_metrics": not args.no_metrics,
+                "serve_log_enabled": not args.quiet,
+                "serve_log_slow_ms": args.slow_ms,
+            }
+        )
+        compact = (
+            None if args.compact_interval <= 0 else args.compact_interval
+        )
+        server = SummaryService(config, compact_interval=compact)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    host, port = server.start()
+    stats = server.blobs.stats
+    print(
+        f"repro-icp summary-server listening on http://{host}:{port} "
+        f"(store {config.store_dir}: {stats.entries} entries, "
+        f"{stats.bytes} bytes, budget {config.store_max_bytes})",
+        file=sys.stderr,
+    )
+    sys.stderr.flush()
+    stop = threading.Event()
+    try:
+        previous_term = signal.signal(
+            signal.SIGTERM, lambda signum, frame: stop.set()
+        )
+    except ValueError:  # not the main thread (embedded use)
+        previous_term = None
+    deadline = time.monotonic() + args.max_seconds
+    try:
+        while not stop.is_set() and (
+            args.max_seconds <= 0 or time.monotonic() < deadline
+        ):
+            stop.wait(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     """Live fleet dashboard over /healthz + /metrics."""
     from repro.obs.top import run_top
@@ -722,6 +888,21 @@ def _analysis_parent() -> argparse.ArgumentParser:
                         default=64 * 1024 * 1024, metavar="N",
                         help="size budget of the persistent store; LRU "
                              "entries are evicted beyond it (default: 64MiB)")
+    parent.add_argument("--store-remote-url", metavar="URL", default=None,
+                        dest="store_remote_url",
+                        help="fleet-shared summary tier: a repro-icp "
+                             "summary-server base URL behind the local "
+                             "--store-dir tier (misses fetch from it, "
+                             "writes replicate to it, outages fail open)")
+    parent.add_argument("--store-remote-timeout-ms", type=int, default=250,
+                        metavar="MS", dest="store_remote_timeout_ms",
+                        help="per-request budget for the remote summary "
+                             "tier; past it the request reads as a miss "
+                             "(default: 250)")
+    parent.add_argument("--store-codec", choices=("json", "binary"),
+                        default=None, dest="store_codec",
+                        help="entry encoding for new store writes; either "
+                             "codec reads both (default: json)")
     return parent
 
 
@@ -831,10 +1012,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the diagnostics engine over each benchmark "
                             "and add a finding-count column")
     bench.add_argument("--warm", action="store_true",
-                       help="rerun the suite through a second pipeline over "
-                            "the same persistent store and verify the warm "
-                            "reports are byte-identical (uses --store-dir, "
-                            "or a temporary store)")
+                       help="after the cold run, rerun the suite local-warm "
+                            "(same store) and remote-warm (fresh store in "
+                            "front of a summary server, ephemeral unless "
+                            "--store-remote-url) and verify all three "
+                            "reports are byte-identical")
     bench.set_defaults(func=_cmd_bench)
 
     serve = sub.add_parser(
@@ -884,6 +1066,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="access-log lines for requests slower than MS "
                             "are logged at warning level (default: 500)")
     serve.set_defaults(func=_cmd_serve)
+
+    summary = sub.add_parser(
+        "summary-server",
+        help="run the fleet-shared summary service (content-addressed "
+             "GET/PUT/HEAD over /v1/summaries/<key>)",
+    )
+    summary.add_argument("--store-dir", metavar="DIR", required=True,
+                         help="directory holding the served summary blobs")
+    summary.add_argument("--store-max-bytes", type=int,
+                         default=64 * 1024 * 1024, metavar="N",
+                         help="size budget; LRU entries are evicted beyond "
+                              "it (default: 64MiB)")
+    summary.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    summary.add_argument("--port", type=int, default=8200,
+                         help="bind port; 0 picks a free one "
+                              "(default: 8200)")
+    summary.add_argument("--compact-interval", type=float, default=30.0,
+                         metavar="SECONDS", dest="compact_interval",
+                         help="background compaction period folding sibling "
+                              "writers into the budget; <= 0 disables "
+                              "(default: 30)")
+    summary.add_argument("--max-seconds", type=float, default=0, metavar="S",
+                         dest="max_seconds",
+                         help="exit after S seconds (default: 0 = until "
+                              "^C); for smoke tests and CI")
+    summary.add_argument("--quiet", action="store_true",
+                         help="silence the structured JSON access log")
+    summary.add_argument("--no-metrics", action="store_true",
+                         dest="no_metrics",
+                         help="disable the metrics registry and "
+                              "GET /v1/metrics")
+    summary.add_argument("--slow-ms", type=float, default=500.0, metavar="MS",
+                         dest="slow_ms",
+                         help="access-log lines for requests slower than MS "
+                              "are logged at warning level (default: 500)")
+    summary.set_defaults(func=_cmd_summary_server)
 
     top = sub.add_parser(
         "top",
@@ -954,7 +1173,7 @@ def build_parser() -> argparse.ArgumentParser:
 #: flag) is treated as a file to analyze.
 _SUBCOMMANDS = (
     "analyze", "check", "graph", "optimize", "run", "tables", "bench",
-    "serve", "watch", "loadgen", "top",
+    "serve", "summary-server", "watch", "loadgen", "top",
 )
 
 

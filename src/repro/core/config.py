@@ -48,6 +48,21 @@ class ICPConfig:
         or a restarted ``repro-icp serve`` daemon — reuses them.
     :param store_max_bytes: size budget of the persistent store; inserts
         evict least-recently-used entries beyond it.
+    :param store_remote_url: base URL of a ``repro-icp summary-server``
+        (e.g. ``http://10.0.0.5:8200``).  When set (requires
+        ``store_dir``), the persistent store gains a third, fleet-shared
+        tier: local misses are fetched from the remote service and
+        promoted to disk, and local writes are replicated to it.  Every
+        network error fails open to the local tiers.
+    :param store_remote_timeout_ms: per-request deadline of the remote
+        summary tier, in milliseconds.  After an error the client backs
+        off briefly, so an unreachable service costs at most one timeout
+        per cooldown window rather than one per lookup.
+    :param store_codec: on-disk/wire encoding of store entries:
+        ``"json"`` (the default, human-inspectable) or ``"binary"`` (the
+        length-prefixed struct codec — cheaper to decode on the
+        warm-start hot path).  Reads always sniff the entry header, so
+        either codec reads stores written by the other.
     :param serve_host: bind address of the ``repro-icp serve`` daemon.
     :param serve_port: bind port of the daemon (0 picks a free port).
     :param serve_workers: analysis worker threads the daemon runs.
@@ -112,6 +127,9 @@ class ICPConfig:
     cache: bool = False
     store_dir: Optional[str] = None
     store_max_bytes: int = 64 * 1024 * 1024
+    store_remote_url: Optional[str] = None
+    store_remote_timeout_ms: int = 250
+    store_codec: str = "json"
     serve_host: str = "127.0.0.1"
     serve_port: int = 8100
     serve_workers: int = 2
@@ -188,6 +206,34 @@ class ICPConfig:
             raise ValueError(
                 f"store_max_bytes must be a positive int, "
                 f"got {config.store_max_bytes!r}"
+            )
+        if config.store_remote_url is not None:
+            if not isinstance(config.store_remote_url, str) or not (
+                config.store_remote_url.startswith("http://")
+                or config.store_remote_url.startswith("https://")
+            ):
+                raise ValueError(
+                    f"store_remote_url must be an http(s) base URL or None, "
+                    f"got {config.store_remote_url!r}"
+                )
+            if config.store_dir is None:
+                raise ValueError(
+                    "store_remote_url requires store_dir: the remote tier "
+                    "sits behind the local disk tier, never replaces it"
+                )
+        if (
+            not isinstance(config.store_remote_timeout_ms, int)
+            or isinstance(config.store_remote_timeout_ms, bool)
+            or config.store_remote_timeout_ms < 1
+        ):
+            raise ValueError(
+                f"store_remote_timeout_ms must be an int >= 1, "
+                f"got {config.store_remote_timeout_ms!r}"
+            )
+        if config.store_codec not in ("json", "binary"):
+            raise ValueError(
+                f"store_codec must be 'json' or 'binary', "
+                f"got {config.store_codec!r}"
             )
         if not config.serve_host or not isinstance(config.serve_host, str):
             raise ValueError(

@@ -40,9 +40,9 @@ _CLEAR = "\x1b[2J\x1b[H"
 def fetch_sample(base_url: str, timeout: float = FETCH_TIMEOUT_SECONDS) -> Dict[str, Any]:
     """One poll: healthz JSON + parsed /metrics, wall-clock stamped."""
     base = base_url.rstrip("/")
-    with urllib.request.urlopen(f"{base}/healthz", timeout=timeout) as response:
+    with urllib.request.urlopen(f"{base}/v1/healthz", timeout=timeout) as response:
         healthz = json.loads(response.read().decode("utf-8"))
-    with urllib.request.urlopen(f"{base}/metrics", timeout=timeout) as response:
+    with urllib.request.urlopen(f"{base}/v1/metrics", timeout=timeout) as response:
         metrics = parse_prometheus_text(response.read().decode("utf-8"))
     return {"ts": time.time(), "healthz": healthz, "metrics": metrics}
 

@@ -23,11 +23,14 @@ from repro.serve.context import (
     RequestContext,
 )
 from repro.serve.daemon import (
+    API_VERSION,
+    DEPRECATION_HEADER,
     RETRY_AFTER_SECONDS,
     AnalysisServer,
     JSONHTTPFront,
     ServeStats,
     serve_observability,
+    split_api_version,
 )
 from repro.serve.hashring import HashRing
 from repro.serve.router import (
@@ -40,7 +43,9 @@ from repro.serve.router import (
 )
 
 __all__ = [
+    "API_VERSION",
     "AnalysisServer",
+    "DEPRECATION_HEADER",
     "HashRing",
     "JSONHTTPFront",
     "LocalShard",
@@ -55,4 +60,5 @@ __all__ = [
     "TRACE_HEADER",
     "create_server",
     "serve_observability",
+    "split_api_version",
 ]

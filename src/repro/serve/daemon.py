@@ -38,19 +38,24 @@ Production behaviors:
   attributes and ``GET /debug/trace`` exports this process's Chrome
   trace for the router to merge into one fleet timeline.
 
-Endpoints (JSON unless noted)::
+Endpoints (JSON unless noted).  The supported spelling is versioned
+under ``/v1``; the bare legacy paths keep answering as aliases but carry
+a ``Deprecation: true`` response header::
 
-    GET    /healthz                    liveness, shard identity, store stats
-    GET    /stats                      server/store/session counters
-    GET    /metrics                    Prometheus text exposition
-    GET    /debug/last                 recent structured access-log lines
-    GET    /debug/metrics              raw registry snapshot (for the router)
-    GET    /debug/trace                Chrome trace export (serve_trace only)
-    POST   /programs/<id>              {source[, timeout]}: (re)load + analyze
-    POST   /programs/<id>/edits       {source | procedure+source[, timeout]}
-    GET    /programs/<id>/report      deterministic analysis report
-    GET    /programs/<id>/diagnostics interprocedural lint findings
-    DELETE /programs/<id>              drop the session
+    GET    /v1/healthz                    liveness, shard identity, store stats
+    GET    /v1/stats                      server/store/session counters
+    GET    /v1/metrics                    Prometheus text exposition
+    GET    /v1/debug/last                 recent structured access-log lines
+    GET    /v1/debug/metrics              raw registry snapshot (for the router)
+    GET    /v1/debug/trace                Chrome trace export (serve_trace only)
+    POST   /v1/programs/<id>              {source[, timeout]}: (re)load + analyze
+    POST   /v1/programs/<id>/edits       {source | procedure+source[, timeout]}
+    GET    /v1/programs/<id>/report      deterministic analysis report
+    GET    /v1/programs/<id>/diagnostics interprocedural lint findings
+    DELETE /v1/programs/<id>              drop the session
+
+The ``repro-icp summary-server`` daemon (:mod:`repro.store.service`)
+shares this front and adds ``GET/PUT/HEAD /v1/summaries/<key>``.
 """
 
 from __future__ import annotations
@@ -76,13 +81,44 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serve import context as request_context
 from repro.serve.context import REQUEST_ID_HEADER
 from repro.session import AnalysisSession
-from repro.store import PersistentCache, SummaryStore
+from repro.store import PersistentCache, SummaryStore, store_from_config
 
 #: Seconds clients should wait before retrying a 503-rejected request.
 RETRY_AFTER_SECONDS = 1
 
-#: Response payloads are JSON objects, except ``/metrics`` which is text.
-Payload = Union[Dict[str, Any], str]
+#: The current HTTP API version; every route also answers under
+#: ``/v1/...``.  Unversioned paths remain as deprecated aliases.
+API_VERSION = "v1"
+
+#: Header announcing that the request used a deprecated (unversioned)
+#: path; clients should move to ``/v1/...``.
+DEPRECATION_HEADER = "Deprecation"
+
+#: Response payloads are JSON objects, except ``/metrics`` which is text
+#: and ``/v1/summaries/<key>`` which is raw entry bytes.
+Payload = Union[Dict[str, Any], str, bytes]
+
+#: Request bodies are JSON objects, except summary uploads (raw bytes).
+Body = Union[Dict[str, Any], bytes, None]
+
+
+def split_api_version(path: str) -> Tuple[str, bool]:
+    """Strip a leading ``/v1`` from ``path``; `(canonical, versioned)`.
+
+    Routing is defined over *canonical* (unversioned) paths; the
+    versioned spelling is the supported public surface and the bare one
+    a deprecated alias, so :meth:`JSONHTTPFront.handle_request`
+    normalizes before dispatch and stamps legacy requests with a
+    ``Deprecation`` header.  The query string survives normalization.
+    """
+    parsed = urlparse(path)
+    prefix = f"/{API_VERSION}"
+    if parsed.path == prefix or parsed.path.startswith(prefix + "/"):
+        rest = parsed.path[len(prefix):] or "/"
+        if parsed.query:
+            rest = f"{rest}?{parsed.query}"
+        return rest, True
+    return path, False
 
 
 def serve_observability(config: ICPConfig) -> Observability:
@@ -111,7 +147,7 @@ def _endpoint_class(method: str, path: str) -> str:
     if not parts:
         return "other"
     head = parts[0]
-    if head in ("healthz", "stats", "metrics"):
+    if head in ("healthz", "stats", "metrics", "summaries"):
         return head
     if head == "debug":
         return "debug"
@@ -183,8 +219,8 @@ class JSONHTTPFront:
     _thread: Optional[threading.Thread] = None
 
     def dispatch(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        self, method: str, path: str, body: Body = None
+    ) -> Tuple[int, Payload, Dict[str, str]]:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -195,10 +231,16 @@ class JSONHTTPFront:
         self,
         method: str,
         path: str,
-        body: Optional[Dict[str, Any]] = None,
+        body: Body = None,
         headers: Optional[Any] = None,
     ) -> Tuple[int, Payload, Dict[str, str]]:
-        """One request, end to end: identity, metrics, log, dispatch."""
+        """One request, end to end: identity, metrics, log, dispatch.
+
+        Accepts both the versioned (``/v1/...``) and the legacy bare
+        spelling of every route; dispatch sees the canonical path, and
+        legacy responses carry a ``Deprecation`` header.
+        """
+        canonical, versioned = split_api_version(path)
         ctx = None
         # LocalShards nest a shard's handle_request inside the router's on
         # one thread; restoring (not clearing) keeps the outer ctx intact.
@@ -217,11 +259,13 @@ class JSONHTTPFront:
             metrics.gauge("http.in_flight").add(1)
         status, payload, extra = 500, {"error": "internal"}, {}
         try:
-            handled = self._handle_obs_endpoint(method, path)
+            handled = self._handle_obs_endpoint(method, canonical)
             if handled is not None:
                 status, payload, extra = handled
             else:
-                status, payload, extra = self.dispatch(method, path, body)
+                status, payload, extra = self.dispatch(
+                    method, canonical, body
+                )
         except Exception as error:  # noqa: BLE001 - the front must survive
             status, payload, extra = (
                 500,
@@ -234,7 +278,7 @@ class JSONHTTPFront:
                 metrics.gauge("http.in_flight").add(-1)
                 metrics.counter(f"http.status.{status}").inc()
                 metrics.histogram(
-                    f"http.latency.{_endpoint_class(method, path)}"
+                    f"http.latency.{_endpoint_class(method, canonical)}"
                 ).observe(latency_ms)
             if ctx is not None:
                 if self.obs.tracer.enabled:
@@ -250,9 +294,11 @@ class JSONHTTPFront:
                 request_id=ctx.request_id if ctx is not None else None,
                 degraded=degraded,
             )
+        extra = dict(extra)
         if ctx is not None:
-            extra = dict(extra)
             extra[REQUEST_ID_HEADER] = ctx.request_id
+        if not versioned:
+            extra[DEPRECATION_HEADER] = "true"
         return status, payload, extra
 
     def _handle_obs_endpoint(
@@ -338,9 +384,14 @@ class JSONHTTPFront:
         class Handler(BaseHTTPRequestHandler):
             protocol_version = "HTTP/1.1"
 
-            def _finish(self, status, payload, headers):
+            def _finish(self, status, payload, headers, head=False):
                 headers = dict(headers)
-                if isinstance(payload, str):
+                if isinstance(payload, bytes):
+                    data = payload
+                    content_type = headers.pop(
+                        "Content-Type", "application/octet-stream"
+                    )
+                elif isinstance(payload, str):
                     data = payload.encode("utf-8")
                     content_type = headers.pop(
                         "Content-Type", "text/plain; charset=utf-8"
@@ -358,10 +409,20 @@ class JSONHTTPFront:
                 for name, value in headers.items():
                     self.send_header(name, value)
                 self.end_headers()
-                self.wfile.write(data)
+                if not head:
+                    self.wfile.write(data)
 
             def _body(self):
                 length = int(self.headers.get("Content-Length") or 0)
+                content_type = (
+                    (self.headers.get("Content-Type") or "")
+                    .split(";")[0]
+                    .strip()
+                    .lower()
+                )
+                if content_type == "application/octet-stream":
+                    # Summary uploads: raw entry bytes, never JSON.
+                    return self.rfile.read(length) if length else b""
                 if not length:
                     return {}
                 raw = self.rfile.read(length)
@@ -381,13 +442,21 @@ class JSONHTTPFront:
                 status, payload, headers = front.handle_request(
                     method, self.path, body, self.headers
                 )
-                self._finish(status, payload, headers)
+                # HEAD answers with the same headers (Content-Length
+                # included) but must not write a body.
+                self._finish(status, payload, headers, head=method == "HEAD")
 
             def do_GET(self):  # noqa: N802 - http.server API
                 self._serve("GET")
 
+            def do_HEAD(self):  # noqa: N802
+                self._serve("HEAD")
+
             def do_POST(self):  # noqa: N802
                 self._serve("POST")
+
+            def do_PUT(self):  # noqa: N802
+                self._serve("PUT")
 
             def do_DELETE(self):  # noqa: N802
                 self._serve("DELETE")
@@ -460,13 +529,12 @@ class AnalysisServer(JSONHTTPFront):
             shard=shard_index,
         )
         self.stats = ServeStats()
-        self.store: Optional[SummaryStore] = None
-        if self.config.store_dir:
-            self.store = SummaryStore(
-                self.config.store_dir,
-                max_bytes=self.config.store_max_bytes,
-                obs=self.obs,
-            )
+        # store_from_config wires the whole tier stack: local blob
+        # directory plus, with store_remote_url set, the fail-open
+        # fleet-shared remote client.
+        self.store: Optional[SummaryStore] = store_from_config(
+            self.config, obs=self.obs
+        )
         self._programs: "OrderedDict[str, _Program]" = OrderedDict()
         self._programs_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
@@ -765,7 +833,7 @@ class AnalysisServer(JSONHTTPFront):
         if self.store is None:
             return None
         s = self.store.stats
-        return {
+        payload = {
             "dir": self.store.root,
             "hits": s.hits,
             "misses": s.misses,
@@ -774,7 +842,17 @@ class AnalysisServer(JSONHTTPFront):
             "corrupt_dropped": s.corrupt_dropped,
             "bytes": s.bytes,
             "entries": s.entries,
+            "dedup_writes": s.dedup_writes,
+            "codec": self.store.codec,
         }
+        if self.store.remote is not None:
+            payload["remote"] = {
+                "url": self.store.remote.url,
+                "hits": s.remote_hits,
+                "misses": s.remote_misses,
+                "errors": s.remote_errors,
+            }
+        return payload
 
     def _healthz_payload(self) -> Dict[str, Any]:
         """Liveness, shard identity, session residency, and store stats.
@@ -829,7 +907,7 @@ class AnalysisServer(JSONHTTPFront):
         self, method: str, path: str, body: Optional[Dict[str, Any]] = None
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
         """Route one request; returns (status, payload, extra headers)."""
-        body = body or {}
+        body = body if isinstance(body, dict) else {}
         parsed = urlparse(path)
         query = {k: v[-1] for k, v in parse_qs(parsed.query).items()}
         parts = [p for p in parsed.path.split("/") if p]
@@ -932,3 +1010,5 @@ class AnalysisServer(JSONHTTPFront):
     def close(self) -> None:
         super().close()
         self._pool.shutdown(wait=False)
+        if self.store is not None:
+            self.store.close()

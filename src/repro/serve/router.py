@@ -48,6 +48,7 @@ from repro.obs import NULL_OBS, Observability, StructuredLog, merge_snapshots
 from repro.sched.pool import spawn_context
 from repro.serve import context as request_context
 from repro.serve.daemon import (
+    API_VERSION,
     RETRY_AFTER_SECONDS,
     AnalysisServer,
     JSONHTTPFront,
@@ -238,7 +239,7 @@ class ProcessShard:
             conn.close()
 
     def healthz(self, timeout: float = PROBE_TIMEOUT_SECONDS) -> Dict[str, Any]:
-        status, payload, _ = self.request("GET", "/healthz", {}, timeout)
+        status, payload, _ = self.request("GET", "/v1/healthz", {}, timeout)
         if status != 200:
             raise ShardUnavailable(f"shard {self.index} healthz: HTTP {status}")
         return payload
@@ -452,6 +453,10 @@ class ShardRouter(JSONHTTPFront):
             return self._unavailable("router queue is full")
         try:
             timeout = self._proxy_timeout(body, query)
+            # Dispatch sees canonical (unversioned) paths; the hop to the
+            # shard speaks the supported /v1 surface so proxied requests
+            # never look deprecated in shard logs.
+            path = f"/{API_VERSION}{path}"
             # The proxy hop gets its own span id; the shard's request span
             # parents onto it via the X-Repro-Trace header, stitching the
             # cross-process trace: router request → proxy → shard request.

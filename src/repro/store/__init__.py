@@ -1,15 +1,25 @@
 """Persistent, crash-safe storage of content-addressed procedure summaries.
 
 The in-memory :class:`~repro.sched.cache.SummaryCache` dies with its
-process; this package gives it a durable backing tier so summaries
-survive restarts — the same content-addressed keys, persisted as one
-JSON blob per entry under a size-bounded, version-stamped directory.
+process; this package gives it a durable backing — and, when configured,
+a fleet-shared networked backing — so summaries survive restarts and
+identical procedures analyzed by different shards or tenants are
+computed once fleet-wide.  The tiers, top to bottom:
 
-- :class:`SummaryStore` — the on-disk tier (atomic writes, corruption-
-  tolerant reads, LRU eviction under ``max_bytes``).
+1. memory — the scheduler's :class:`SummaryCache` dict;
+2. local disk — :class:`SummaryStore`, decoded entries
+   (:mod:`repro.store.codec`: JSON or binary, sniffed) over a
+   :class:`BlobStore` directory (atomic writes, LRU eviction under
+   ``max_bytes``, background compaction, dedup accounting);
+3. remote HTTP — :class:`RemoteStore`, a bounded-timeout fail-open
+   client of the ``repro-icp summary-server`` daemon
+   (:class:`SummaryService`), speaking content-addressed
+   ``GET``/``PUT``/``HEAD`` ``/v1/summaries/<key>``.
+
 - :class:`PersistentCache` — a drop-in :class:`SummaryCache` whose misses
-  fall through to a store and whose stores write through to it.
-- :func:`cache_from_config` — the one construction path the pipeline,
+  fall through tier by tier and whose stores write through.
+- :func:`cache_from_config` / :func:`store_from_config` /
+  :func:`remote_from_config` — the construction paths the pipeline,
   sessions, and the serve daemon share.
 """
 
@@ -19,26 +29,76 @@ from typing import Optional
 
 from repro.obs import Observability
 from repro.sched.cache import SummaryCache
-from repro.store.codec import CODEC_VERSION, decode_intra, encode_intra
-from repro.store.persist import PersistentCache
+from repro.store.blob import BlobStats, BlobStore
+from repro.store.codec import (
+    CODEC_VERSION,
+    CODECS,
+    STORE_VERSION,
+    decode_entry,
+    decode_intra,
+    encode_entry,
+    encode_intra,
+)
+from repro.store.remote import RemoteStats, RemoteStore
 from repro.store.store import (
     DEFAULT_MAX_BYTES,
-    STORE_VERSION,
     StoreStats,
     SummaryStore,
 )
+from repro.store.tiered import PersistentCache
 
 __all__ = [
+    "BlobStats",
+    "BlobStore",
+    "CODECS",
     "CODEC_VERSION",
     "DEFAULT_MAX_BYTES",
     "STORE_VERSION",
     "PersistentCache",
+    "RemoteStats",
+    "RemoteStore",
     "StoreStats",
+    "SummaryService",
     "SummaryStore",
     "cache_from_config",
+    "decode_entry",
     "decode_intra",
+    "encode_entry",
     "encode_intra",
+    "remote_from_config",
+    "store_from_config",
 ]
+
+
+def remote_from_config(
+    config, obs: Optional[Observability] = None
+) -> Optional[RemoteStore]:
+    """The remote summary tier a config asks for, or ``None``."""
+    url = getattr(config, "store_remote_url", None)
+    if not url:
+        return None
+    return RemoteStore(
+        url,
+        timeout_ms=getattr(config, "store_remote_timeout_ms", None) or 250,
+        obs=obs,
+    )
+
+
+def store_from_config(
+    config, obs: Optional[Observability] = None
+) -> Optional[SummaryStore]:
+    """The persistent store a config asks for (with its remote tier), or
+    ``None`` when ``store_dir`` is unset."""
+    store_dir = getattr(config, "store_dir", None)
+    if not store_dir:
+        return None
+    return SummaryStore(
+        store_dir,
+        max_bytes=getattr(config, "store_max_bytes", DEFAULT_MAX_BYTES),
+        obs=obs,
+        remote=remote_from_config(config, obs=obs),
+        codec=getattr(config, "store_codec", None) or "json",
+    )
 
 
 def cache_from_config(
@@ -52,17 +112,24 @@ def cache_from_config(
     the memory tier in front of it); plain ``cache`` without a store dir
     yields the process-local cache; neither yields ``None``.  An already
     open ``store`` (the serve daemon shares one across sessions) is used
-    as-is.
+    as-is.  ``store_remote_url`` rides along inside the constructed
+    store, so every consumer of this path — driver, sessions, scheduler,
+    serve shards — transparently shares the fleet tier.
     """
-    store_dir = getattr(config, "store_dir", None)
-    if store is None and store_dir:
-        store = SummaryStore(
-            store_dir,
-            max_bytes=getattr(config, "store_max_bytes", DEFAULT_MAX_BYTES),
-            obs=obs,
-        )
+    if store is None:
+        store = store_from_config(config, obs=obs)
     if store is not None:
         return PersistentCache(store)
     if getattr(config, "cache", False):
         return SummaryCache()
     return None
+
+
+def __getattr__(name: str):
+    # SummaryService lives with the serve machinery it reuses; importing
+    # it eagerly here would cycle (serve.daemon imports repro.store).
+    if name == "SummaryService":
+        from repro.store.service import SummaryService
+
+        return SummaryService
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

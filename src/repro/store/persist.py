@@ -1,50 +1,35 @@
-"""The two-tier cache: in-memory :class:`SummaryCache` over a disk store.
+"""Deprecated alias of :mod:`repro.store.tiered`.
 
-A :class:`PersistentCache` behaves exactly like the PR 1 in-memory cache
-from the scheduler's point of view — same slots, same keys, same stats —
-but misses fall through to a :class:`~repro.store.store.SummaryStore`
-and stores write through to it.  Entries promoted from disk land in the
-memory tier, so one process pays the JSON decode at most once per key.
-
-Disk entries carry no engine ``detail`` (see :mod:`repro.store.codec`);
-an in-memory hit that originated on disk therefore reports ``None``
-detail, which every consumer tolerates (the ``simple`` engine contract).
+The two-tier cache grew a third (remote HTTP) tier and moved to
+``repro.store.tiered``; import :class:`PersistentCache` from
+:mod:`repro.store` (or ``repro.api``) instead.  This shim keeps the old
+spelling importable for one deprecation cycle, warning once per process
+via :pep:`562` module ``__getattr__``.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
-
-from repro.analysis.base import IntraResult
-from repro.sched.cache import SummaryCache
-from repro.store.store import SummaryStore
+_MOVED = ("PersistentCache",)
 
 
-class PersistentCache(SummaryCache):
-    """A :class:`SummaryCache` backed by a crash-safe on-disk store."""
+def __getattr__(name: str):
+    if name in _MOVED:
+        import warnings
 
-    def __init__(self, disk: SummaryStore):
-        super().__init__()
-        self.disk = disk
+        warnings.warn(
+            f"importing {name} from repro.store.persist is deprecated; "
+            f"the module moved to repro.store.tiered — import it from "
+            f"repro.store (or repro.api) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.store import tiered
 
-    def _fetch(self, key: str, task) -> Optional[IntraResult]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            return entry
-        if task is None:
-            # No symbol table to rebind against (a bare lookup outside the
-            # scheduler): the disk tier cannot serve safely.
-            return None
-        entry = self.disk.get(key, task.symbols)
-        if entry is not None:
-            # Promote so repeated lookups skip the decode.
-            if key not in self._entries:
-                self.stats.entries += 1
-            self._entries[key] = entry
-        return entry
+        value = getattr(tiered, name)
+        globals()[name] = value  # cache: the warning fires exactly once
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-    def store(
-        self, slot: Tuple[str, str], key: str, value: IntraResult
-    ) -> None:
-        super().store(slot, key, value)
-        self.disk.put(key, slot[0], value)
+
+def __dir__():
+    return sorted(list(globals()) + list(_MOVED))

@@ -1,0 +1,210 @@
+"""HTTP client for the fleet-shared summary tier (``summary-server``).
+
+:class:`RemoteStore` speaks the content-addressed protocol of the
+``repro-icp summary-server`` daemon — ``GET``/``PUT``/``HEAD``
+``/v1/summaries/<key>`` over raw ``application/octet-stream`` entry
+blobs (see :mod:`repro.store.service` for the wire contract).  It is the
+third tier behind the in-memory cache and the local disk store, and it
+is built to *never make analysis worse than local-only*:
+
+- **Bounded timeouts.**  Every request carries ``timeout_ms``; a slow or
+  hung service costs at most one timeout, not a wedged pipeline.
+- **Fail-open.**  Any network error — refused connection, timeout,
+  reset, bad response — is swallowed, counted, and answered as a miss
+  (``get``) or a no-op (``put``).  The local tiers keep serving; the
+  chaos tests kill the service mid-run and require zero request
+  failures.
+- **Error cooldown.**  After an error the client marks the service down
+  for ``cooldown_seconds`` and short-circuits every call in that window,
+  so an outage costs one timeout per window rather than one per lookup.
+- **Negative-lookup memoization.**  A key the service answered 404 for
+  is remembered and not asked again (until this process itself uploads
+  it) — a warm local store would otherwise pay one round trip per miss
+  on every cold key it analyzes.
+
+The client is thread-safe; each request uses its own connection, so the
+serve daemon's worker threads share one instance.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Set
+from urllib.parse import urlsplit
+
+from repro.obs import NULL_OBS, Observability
+
+#: Default per-request deadline, milliseconds.
+DEFAULT_TIMEOUT_MS = 250
+
+#: Seconds the client short-circuits after a network error.
+DEFAULT_COOLDOWN_SECONDS = 1.0
+
+#: Bound on the negative-lookup memo; overflowing clears it (keys are
+#: content-addressed, so a stale negative only costs one extra miss).
+NEGATIVE_MEMO_LIMIT = 4096
+
+#: Versioned path prefix of the summary-service wire protocol.
+SUMMARY_PATH_PREFIX = "/v1/summaries/"
+
+
+@dataclass
+class RemoteStats:
+    """Counters of one :class:`RemoteStore` since construction."""
+
+    gets: int = 0
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    #: Network/protocol errors (all failed open).
+    errors: int = 0
+    #: Lookups skipped by the negative memo.
+    negative_skips: int = 0
+    #: Calls short-circuited inside an error cooldown window.
+    cooldown_skips: int = 0
+
+
+class RemoteStore:
+    """Fail-open client of a ``repro-icp summary-server``."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout_ms: int = DEFAULT_TIMEOUT_MS,
+        obs: Optional[Observability] = None,
+        cooldown_seconds: float = DEFAULT_COOLDOWN_SECONDS,
+    ):
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", "https") or not parts.netloc:
+            raise ValueError(
+                f"remote store URL must be an http(s) base URL, got {url!r}"
+            )
+        self.url = url.rstrip("/")
+        self._scheme = parts.scheme
+        self._netloc = parts.netloc
+        self._base_path = parts.path.rstrip("/")
+        self.timeout = timeout_ms / 1000.0
+        self.cooldown_seconds = cooldown_seconds
+        self.obs = obs or NULL_OBS
+        self.stats = RemoteStats()
+        self._lock = threading.Lock()
+        self._absent: Set[str] = set()
+        self._down_until = 0.0
+
+    # ------------------------------------------------------------------
+    # Wire plumbing.
+    # ------------------------------------------------------------------
+
+    def _key_path(self, key: str) -> str:
+        return f"{self._base_path}{SUMMARY_PATH_PREFIX}{key}"
+
+    def _connect(self) -> http.client.HTTPConnection:
+        conn_cls = (
+            http.client.HTTPSConnection
+            if self._scheme == "https"
+            else http.client.HTTPConnection
+        )
+        return conn_cls(self._netloc, timeout=self.timeout)
+
+    def _available(self) -> bool:
+        with self._lock:
+            if time.monotonic() < self._down_until:
+                self.stats.cooldown_skips += 1
+                return False
+        return True
+
+    def _note_error(self) -> None:
+        metrics = self.obs.metrics
+        with self._lock:
+            self.stats.errors += 1
+            self._down_until = time.monotonic() + self.cooldown_seconds
+        if metrics.enabled:
+            metrics.counter("store.remote.errors").inc()
+
+    def _count(self, name: str) -> None:
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter(f"store.remote.{name}").inc()
+
+    # ------------------------------------------------------------------
+    # Protocol verbs.
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Fetch one entry blob; ``None`` on miss, error, or cooldown."""
+        with self._lock:
+            if key in self._absent:
+                self.stats.negative_skips += 1
+                return None
+        if not self._available():
+            return None
+        self.stats.gets += 1
+        conn = self._connect()
+        try:
+            conn.request("GET", self._key_path(key))
+            response = conn.getresponse()
+            body = response.read()
+        except (OSError, http.client.HTTPException):
+            self._note_error()
+            return None
+        finally:
+            conn.close()
+        if response.status == 200:
+            self.stats.hits += 1
+            self._count("hits")
+            return body
+        if response.status == 404:
+            with self._lock:
+                if len(self._absent) >= NEGATIVE_MEMO_LIMIT:
+                    self._absent.clear()
+                self._absent.add(key)
+        self.stats.misses += 1
+        self._count("misses")
+        return None
+
+    def put(self, key: str, data: bytes) -> bool:
+        """Upload one entry blob; fail-open ``False`` on error/cooldown."""
+        if not self._available():
+            return False
+        self.stats.puts += 1
+        conn = self._connect()
+        try:
+            conn.request(
+                "PUT",
+                self._key_path(key),
+                body=data,
+                headers={"Content-Type": "application/octet-stream"},
+            )
+            response = conn.getresponse()
+            response.read()
+        except (OSError, http.client.HTTPException):
+            self._note_error()
+            return False
+        finally:
+            conn.close()
+        if response.status not in (200, 201):
+            self._count("put_rejections")
+            return False
+        self._count("puts")
+        with self._lock:
+            self._absent.discard(key)
+        return True
+
+    def head(self, key: str) -> bool:
+        """Existence probe (no body); fail-open ``False``."""
+        if not self._available():
+            return False
+        conn = self._connect()
+        try:
+            conn.request("HEAD", self._key_path(key))
+            response = conn.getresponse()
+            response.read()
+        except (OSError, http.client.HTTPException):
+            self._note_error()
+            return False
+        finally:
+            conn.close()
+        return response.status == 200

@@ -1,0 +1,216 @@
+"""The ``repro-icp summary-server`` daemon: the fleet-shared summary tier.
+
+A :class:`SummaryService` is a small content-addressed blob service on
+the same :class:`~repro.serve.daemon.JSONHTTPFront` base as the analysis
+daemon — same threading HTTP server, same observability envelope
+(request ids, ``http.*`` metrics, structured access log, ``/metrics``
+and ``/debug/*``), same ``/v1`` versioned surface.  It stores entry
+blobs *verbatim*: the server never decodes summaries (it has no symbol
+tables to rebind against) — clients validate content on read, so a
+stale or even corrupt remote blob costs one wasted round trip, never a
+wrong answer.
+
+Wire protocol (born versioned; keys are 64-char sha256 hex)::
+
+    GET    /v1/summaries/<key>   200 entry bytes (octet-stream) | 404
+    HEAD   /v1/summaries/<key>   200 (no body) | 404
+    PUT    /v1/summaries/<key>   201 stored | 200 deduped | 400 bad key
+                                 | 413 blob too large
+    GET    /v1/healthz           liveness + store stats
+    GET    /v1/stats             store + protocol counters
+    GET    /v1/metrics           Prometheus text exposition
+
+Durability is the :class:`~repro.store.blob.BlobStore` contract: atomic
+writes, version stamp, mtime-LRU eviction under ``store_max_bytes``,
+and a background compaction thread that folds sibling writers into the
+budget and counts ``store.compactions``.  A ``PUT`` of bytes already
+stored answers 200 with ``"deduped": true`` — the cross-program dedup
+signal (identical procedures from different tenants land on the same
+key) surfaced in ``/v1/stats`` and the ``store.dedup_writes`` metric.
+"""
+
+from __future__ import annotations
+
+import os
+import string
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import ICPConfig
+from repro.obs import NULL_OBS, Observability, StructuredLog
+from repro.serve.daemon import Body, JSONHTTPFront, Payload, serve_observability
+from repro.store.blob import BlobStore
+from repro.store.codec import STORE_VERSION
+
+#: sha256-hex key shape; anything else is a 400.
+KEY_LENGTH = 64
+_HEX = set(string.hexdigits.lower())
+
+#: Upload bound; a summary entry is a few KB, so anything near this is
+#: garbage or abuse (HTTP 413).
+MAX_BLOB_BYTES = 8 * 1024 * 1024
+
+#: Default seconds between background compaction passes.
+DEFAULT_COMPACT_INTERVAL = 30.0
+
+
+def valid_key(key: str) -> bool:
+    return len(key) == KEY_LENGTH and all(c in _HEX for c in key)
+
+
+@dataclass
+class ServiceStats:
+    """Protocol counters of one summary service since start."""
+
+    gets: int = 0
+    get_hits: int = 0
+    get_misses: int = 0
+    heads: int = 0
+    puts: int = 0
+    #: Uploads whose bytes were already stored (cross-program dedup).
+    deduped: int = 0
+    rejected: int = 0
+
+
+class SummaryService(JSONHTTPFront):
+    """Content-addressed summary blobs over the shared HTTP front."""
+
+    def __init__(
+        self,
+        config: Optional[ICPConfig] = None,
+        obs: Optional[Observability] = None,
+        compact_interval: Optional[float] = DEFAULT_COMPACT_INTERVAL,
+    ):
+        self.config = config or ICPConfig()
+        if not self.config.store_dir:
+            raise ValueError("summary-server requires store_dir")
+        if obs is None or obs is NULL_OBS:
+            obs = serve_observability(self.config)
+        self.obs = obs
+        self.log = StructuredLog(
+            enabled=self.config.serve_log_enabled,
+            slow_ms=self.config.serve_log_slow_ms,
+            ring=self.config.serve_log_ring,
+        )
+        self.stats = ServiceStats()
+        self.blobs = BlobStore(
+            self.config.store_dir,
+            max_bytes=self.config.store_max_bytes,
+            obs=self.obs,
+        )
+        if compact_interval is not None:
+            self.blobs.start_compaction(compact_interval)
+
+    # ------------------------------------------------------------------
+    # Routing (canonical paths; handle_request strips /v1).
+    # ------------------------------------------------------------------
+
+    def dispatch(
+        self, method: str, path: str, body: Body = None
+    ) -> Tuple[int, Payload, Dict[str, str]]:
+        parts = [p for p in path.split("?")[0].split("/") if p]
+        if method == "GET" and parts == ["healthz"]:
+            return 200, self._healthz_payload(), {}
+        if method == "GET" and parts == ["stats"]:
+            return 200, self._stats_payload(), {}
+        if len(parts) == 2 and parts[0] == "summaries":
+            key = parts[1]
+            if not valid_key(key):
+                self.stats.rejected += 1
+                return (
+                    400,
+                    {"error": f"key must be {KEY_LENGTH}-char sha256 hex"},
+                    {},
+                )
+            if method == "GET":
+                return self._handle_get(key)
+            if method == "HEAD":
+                self.stats.heads += 1
+                if self.blobs.has(key):
+                    return 200, b"", {}
+                return 404, b"", {}
+            if method == "PUT":
+                return self._handle_put(key, body)
+        return 404, {"error": f"no route for {method} /{'/'.join(parts)}"}, {}
+
+    def _handle_get(self, key: str) -> Tuple[int, Payload, Dict[str, str]]:
+        self.stats.gets += 1
+        raw = self.blobs.get(key)
+        if raw is None:
+            self.stats.get_misses += 1
+            return 404, {"error": "unknown summary key"}, {}
+        self.stats.get_hits += 1
+        return 200, raw, {}
+
+    def _handle_put(
+        self, key: str, body: Body
+    ) -> Tuple[int, Payload, Dict[str, str]]:
+        if not isinstance(body, bytes) or not body:
+            self.stats.rejected += 1
+            return (
+                400,
+                {
+                    "error": "summary uploads must be a non-empty "
+                    "application/octet-stream body"
+                },
+                {},
+            )
+        if len(body) > MAX_BLOB_BYTES:
+            self.stats.rejected += 1
+            return 413, {"error": "summary blob too large"}, {}
+        self.stats.puts += 1
+        dedup_before = self.blobs.stats.dedup_writes
+        if not self.blobs.put(key, body):
+            return 500, {"error": "store write failed"}, {}
+        deduped = self.blobs.stats.dedup_writes > dedup_before
+        if deduped:
+            self.stats.deduped += 1
+        return (
+            200 if deduped else 201,
+            {"ok": True, "key": key, "deduped": deduped},
+            {},
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def _store_payload(self) -> Dict[str, object]:
+        s = self.blobs.stats
+        return {
+            "dir": self.blobs.root,
+            "version": STORE_VERSION,
+            "bytes": s.bytes,
+            "entries": s.entries,
+            "writes": s.writes,
+            "dedup_writes": s.dedup_writes,
+            "evictions": s.evictions,
+            "compactions": s.compactions,
+            "max_bytes": self.blobs.max_bytes,
+        }
+
+    def _healthz_payload(self) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "role": "summary-server",
+            "pid": os.getpid(),
+            "store": self._store_payload(),
+        }
+
+    def _stats_payload(self) -> Dict[str, object]:
+        return {
+            "store": self._store_payload(),
+            "protocol": {
+                "gets": self.stats.gets,
+                "get_hits": self.stats.get_hits,
+                "get_misses": self.stats.get_misses,
+                "heads": self.stats.heads,
+                "puts": self.stats.puts,
+                "deduped": self.stats.deduped,
+                "rejected": self.stats.rejected,
+            },
+        }
+
+    def close(self) -> None:
+        super().close()
+        self.blobs.close()

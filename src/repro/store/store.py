@@ -1,58 +1,60 @@
-"""Crash-safe on-disk backing tier for the procedure-summary cache.
+"""Typed summary tier: decoded entries over blobs, local then remote.
 
-Layout (one directory per store)::
+:class:`SummaryStore` is the second and third tier of the summary cache
+(the first is the in-memory
+:class:`~repro.sched.cache.SummaryCache` dict).  It layers the entry
+codec (:mod:`repro.store.codec`) over a local
+:class:`~repro.store.blob.BlobStore` directory and, when configured, a
+:class:`~repro.store.remote.RemoteStore` client of the fleet-shared
+``repro-icp summary-server``:
 
-    <root>/
-        VERSION            format stamp; a mismatch wipes the store
-        entries/<key>.json one JSON blob per cache entry (sha256-hex key)
+- ``get`` reads the local blob; on a local miss it asks the remote tier
+  and *promotes* a remote hit onto local disk, so a shard pays the
+  network round trip once per key.  Blobs of either codec decode
+  (:func:`~repro.store.codec.decode_entry` sniffs), and an undecodable
+  local blob is dropped as corrupt so the write-through cache rewrites
+  it.
+- ``put`` encodes with the configured codec (``"json"`` default,
+  ``"binary"`` for the cheaper hot-path decode), writes the local blob,
+  and replicates to the remote tier fail-open — a dead summary service
+  never fails a write.
 
-Durability and tolerance guarantees:
-
-- **Atomic writes.**  Every entry lands via a same-directory tempfile and
-  ``os.replace``, so a reader never observes a half-written blob and a
-  crash mid-write leaves at worst an orphaned ``.tmp`` file (swept on the
-  next open).
-- **Version stamping.**  ``VERSION`` carries the store format plus the
-  codec version; opening a store written by an incompatible build clears
-  it instead of misreading entries.
-- **Corruption-tolerant reads.**  A truncated, garbage, or mis-keyed
-  entry (kill -9 mid-write on filesystems without atomic rename, manual
-  tampering, cosmic rays) is treated as a miss, deleted, and naturally
-  rewritten by the write-through cache — never an exception.
-- **Bounded size.**  ``max_bytes`` caps the entries' aggregate size;
-  inserts evict least-recently-used entries (mtime order — reads bump
-  mtime) until the budget holds.
-
-Concurrent readers/writers across processes are safe in the crash sense
-(atomic replace, tolerated disappearing files); two daemons sharing one
-store behave as a shared cache with last-write-wins entries.
+Crash-safety, eviction, compaction, and dedup accounting live in the
+blob layer; see :mod:`repro.store.blob`.  All ``store.*`` metrics from
+both layers land in the same registry, so ``/metrics`` shows the full
+tier picture.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import tempfile
-import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Optional
 
 from repro.analysis.base import IntraResult
 from repro.lang.symbols import ProcedureSymbols
 from repro.obs import NULL_OBS, Observability
-from repro.store.codec import CODEC_VERSION, decode_intra, encode_intra
+from repro.store.blob import DEFAULT_MAX_BYTES, BlobStore
+from repro.store.codec import (
+    CODEC_VERSION,
+    CODECS,
+    STORE_VERSION,
+    decode_entry,
+    encode_entry,
+)
+from repro.store.remote import RemoteStore
 
-#: Store format stamp; includes the codec version so either layer's format
-#: change invalidates persisted state.
-STORE_VERSION = f"repro-icp-store/v1+codec{CODEC_VERSION}"
-
-#: Default size budget (bytes) when a store is opened without one.
-DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+__all__ = [
+    "CODEC_VERSION",
+    "DEFAULT_MAX_BYTES",
+    "STORE_VERSION",
+    "StoreStats",
+    "SummaryStore",
+]
 
 
 @dataclass
 class StoreStats:
-    """Counters of one :class:`SummaryStore` since open."""
+    """Tier-wide counters of one :class:`SummaryStore` (a snapshot)."""
 
     hits: int = 0
     misses: int = 0
@@ -60,217 +62,139 @@ class StoreStats:
     evictions: int = 0
     #: Unreadable/mis-keyed entries dropped (and later rewritten).
     corrupt_dropped: int = 0
-    #: Aggregate entry bytes currently on disk.
+    #: Aggregate entry bytes currently on local disk.
     bytes: int = 0
-    #: Entry files currently on disk.
+    #: Entry files currently on local disk.
     entries: int = 0
+    #: Puts that found byte-identical content already stored (dedup).
+    dedup_writes: int = 0
+    #: Blob-layer compaction passes.
+    compactions: int = 0
+    #: Local misses served by the remote tier (then promoted to disk).
+    remote_hits: int = 0
+    #: Remote lookups that missed (or were skipped by the negative memo).
+    remote_misses: int = 0
+    #: Remote network errors, all failed open to the local tiers.
+    remote_errors: int = 0
 
 
 class SummaryStore:
-    """A size-bounded, crash-safe directory of persisted summaries."""
+    """Decoded-entry view over a local blob directory plus remote tier."""
 
     def __init__(
         self,
         root: str,
         max_bytes: int = DEFAULT_MAX_BYTES,
         obs: Optional[Observability] = None,
+        remote: Optional[RemoteStore] = None,
+        codec: str = "json",
     ):
-        if max_bytes <= 0:
-            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
-        self.root = root
-        self.max_bytes = max_bytes
+        if codec not in CODECS:
+            raise ValueError(
+                f"store codec must be one of {CODECS}, got {codec!r}"
+            )
         self.obs = obs or NULL_OBS
-        self._entries_dir = os.path.join(root, "entries")
-        self._lock = threading.Lock()
-        self._sizes: Dict[str, int] = {}
-        self.stats = StoreStats()
-        self._open()
+        self.blobs = BlobStore(root, max_bytes, obs=self.obs)
+        self.remote = remote
+        self.codec = codec
+        self._hits = 0
+        self._misses = 0
 
     # ------------------------------------------------------------------
-    # Lifecycle.
+    # Compatibility surface (the PR 5 store exposed these directly).
     # ------------------------------------------------------------------
 
-    def _open(self) -> None:
-        os.makedirs(self._entries_dir, exist_ok=True)
-        version_path = os.path.join(self.root, "VERSION")
-        stamp = None
-        try:
-            with open(version_path, "r", encoding="utf-8") as handle:
-                stamp = handle.read().strip()
-        except OSError:
-            pass
-        if stamp != STORE_VERSION:
-            if stamp is not None:
-                self._wipe_entries()
-            self._write_atomic(version_path, STORE_VERSION + "\n")
-        self._scan()
+    @property
+    def root(self) -> str:
+        return self.blobs.root
 
-    def _wipe_entries(self) -> None:
-        for name in self._listdir():
-            try:
-                os.remove(os.path.join(self._entries_dir, name))
-            except OSError:
-                pass
+    @property
+    def max_bytes(self) -> int:
+        return self.blobs.max_bytes
 
-    def _listdir(self):
-        try:
-            return os.listdir(self._entries_dir)
-        except OSError:
-            return []
-
-    def _scan(self) -> None:
-        """Rebuild size accounting; sweep tempfiles a crash left behind."""
-        self._sizes.clear()
-        for name in self._listdir():
-            path = os.path.join(self._entries_dir, name)
-            if not name.endswith(".json"):
-                try:
-                    os.remove(path)  # orphaned tempfile from a crash
-                except OSError:
-                    pass
-                continue
-            try:
-                self._sizes[name[: -len(".json")]] = os.stat(path).st_size
-            except OSError:
-                pass
-        self._refresh_gauges()
-
-    def _refresh_gauges(self) -> None:
-        self.stats.bytes = sum(self._sizes.values())
-        self.stats.entries = len(self._sizes)
-        metrics = self.obs.metrics
-        if metrics.enabled:
-            metrics.gauge("store.bytes").set(self.stats.bytes)
-            metrics.gauge("store.entries").set(self.stats.entries)
+    @property
+    def stats(self) -> StoreStats:
+        """A fresh snapshot merging the typed, blob, and remote tiers."""
+        blob = self.blobs.stats
+        snapshot = StoreStats(
+            hits=self._hits,
+            misses=self._misses,
+            writes=blob.writes,
+            evictions=blob.evictions,
+            corrupt_dropped=blob.corrupt_dropped,
+            bytes=blob.bytes,
+            entries=blob.entries,
+            dedup_writes=blob.dedup_writes,
+            compactions=blob.compactions,
+        )
+        if self.remote is not None:
+            remote = self.remote.stats
+            snapshot.remote_hits = remote.hits
+            snapshot.remote_misses = (
+                remote.misses + remote.negative_skips + remote.cooldown_skips
+            )
+            snapshot.remote_errors = remote.errors
+        return snapshot
 
     # ------------------------------------------------------------------
     # Entry IO.
     # ------------------------------------------------------------------
 
-    def _path(self, key: str) -> str:
-        return os.path.join(self._entries_dir, key + ".json")
-
-    def _write_atomic(self, path: str, text: str) -> None:
-        directory = os.path.dirname(path)
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.remove(tmp_path)
-            except OSError:
-                pass
-            raise
-
-    def _drop(self, key: str, corrupt: bool = False) -> None:
-        try:
-            os.remove(self._path(key))
-        except OSError:
-            pass
-        self._sizes.pop(key, None)
-        if corrupt:
-            self.stats.corrupt_dropped += 1
-            metrics = self.obs.metrics
-            if metrics.enabled:
-                metrics.counter("store.corrupt_dropped").inc()
-        self._refresh_gauges()
-
     def get(self, key: str, symbols: ProcedureSymbols) -> Optional[IntraResult]:
         """Load one entry, rebinding it to ``symbols``; None on any miss.
 
-        Unreadable or mismatched entries are dropped so the write-through
-        cache rewrites them with a good blob.
+        Checks local disk, then the remote service; a remote hit is
+        promoted to local disk.  Unreadable or mismatched local entries
+        are dropped so the write-through cache rewrites them with a good
+        blob.
         """
         metrics = self.obs.metrics
-        path = self._path(key)
-        try:
-            with open(path, "rb") as handle:
-                raw = handle.read()
-        except OSError:
-            with self._lock:
-                self.stats.misses += 1
+        raw = self.blobs.get(key)
+        from_remote = False
+        if raw is None and self.remote is not None:
+            raw = self.remote.get(key)
+            from_remote = raw is not None
+        intra = (
+            decode_entry(raw, key, symbols) if raw is not None else None
+        )
+        if intra is None:
+            if raw is not None and not from_remote:
+                self.blobs.delete(key, corrupt=True)
+            self._misses += 1
             if metrics.enabled:
                 metrics.counter("store.misses").inc()
             return None
-        intra: Optional[IntraResult] = None
-        try:
-            blob = json.loads(raw.decode("utf-8"))
-            if (
-                isinstance(blob, dict)
-                and blob.get("version") == STORE_VERSION
-                and blob.get("key") == key
-            ):
-                intra = decode_intra(blob.get("payload", {}), symbols)
-        except (ValueError, TypeError, UnicodeDecodeError):
-            intra = None
-        with self._lock:
-            if intra is None:
-                self.stats.misses += 1
-                self._drop(key, corrupt=True)
-            else:
-                self.stats.hits += 1
-                try:
-                    os.utime(path)  # bump mtime: LRU recency
-                except OSError:
-                    pass
+        if from_remote:
+            self.blobs.put(key, raw)  # promote: pay the round trip once
+        self._hits += 1
         if metrics.enabled:
-            metrics.counter("store.hits" if intra is not None else "store.misses").inc()
+            metrics.counter("store.hits").inc()
         return intra
 
     def put(self, key: str, pass_label: str, intra: IntraResult) -> None:
-        """Persist one entry atomically, then enforce the size budget."""
-        blob = {
-            "version": STORE_VERSION,
-            "key": key,
-            "pass": pass_label,
-            "payload": encode_intra(intra),
-        }
-        text = json.dumps(blob, sort_keys=True, separators=(",", ":")) + "\n"
-        with self._lock:
-            try:
-                self._write_atomic(self._path(key), text)
-            except OSError:
-                return  # disk trouble degrades to a smaller/no cache
-            self._sizes[key] = len(text.encode("utf-8"))
-            self.stats.writes += 1
-            self._evict_over_budget()
-            self._refresh_gauges()
-        metrics = self.obs.metrics
-        if metrics.enabled:
-            metrics.counter("store.writes").inc()
-
-    def _evict_over_budget(self) -> None:
-        """Drop least-recently-used entries until the budget holds."""
-        if sum(self._sizes.values()) <= self.max_bytes:
-            return
-        aged = []
-        for key in self._sizes:
-            try:
-                aged.append((os.stat(self._path(key)).st_mtime_ns, key))
-            except OSError:
-                aged.append((0, key))
-        aged.sort()
-        metrics = self.obs.metrics
-        for _, key in aged:
-            if sum(self._sizes.values()) <= self.max_bytes:
-                break
-            self._drop(key)
-            self.stats.evictions += 1
-            if metrics.enabled:
-                metrics.counter("store.evictions").inc()
+        """Persist one entry locally and replicate it to the remote tier."""
+        data = encode_entry(key, pass_label, intra, self.codec)
+        self.blobs.put(key, data)
+        if self.remote is not None:
+            self.remote.put(key, data)  # fail-open: outage never fails a put
 
     # ------------------------------------------------------------------
     # Maintenance.
     # ------------------------------------------------------------------
 
+    def compact(self):
+        """One blob-layer maintenance pass (see :meth:`BlobStore.compact`)."""
+        return self.blobs.compact()
+
+    def start_compaction(self, interval_seconds: float) -> None:
+        self.blobs.start_compaction(interval_seconds)
+
+    def close(self) -> None:
+        self.blobs.close()
+
     def clear(self) -> None:
-        """Remove every entry (the version stamp stays)."""
-        with self._lock:
-            self._wipe_entries()
-            self._sizes.clear()
-            self._refresh_gauges()
+        """Remove every local entry (the version stamp stays)."""
+        self.blobs.clear()
 
     def __len__(self) -> int:
-        return len(self._sizes)
+        return len(self.blobs)

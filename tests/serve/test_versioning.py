@@ -1,0 +1,167 @@
+"""The /v1 API surface: versioned routes, deprecated aliases, the header.
+
+Every endpoint's supported spelling lives under ``/v1``; the bare legacy
+paths answer identically but carry ``Deprecation: true`` so fleet
+operators can find stragglers in access logs and dashboards.  The router
+re-speaks ``/v1`` on the hop to its shards, so a fully-upgraded fleet's
+logs never show a deprecated request.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.config import ICPConfig
+from repro.serve import (
+    API_VERSION,
+    DEPRECATION_HEADER,
+    AnalysisServer,
+    split_api_version,
+)
+
+SOURCE = """\
+proc main() { call sub1(0); }
+proc sub1(f1) {
+    x = 1;
+    if (f1 != 0) { y = 1; } else { y = 0; }
+    call sub2(y, 4, f1, x);
+}
+proc sub2(f2, f3, f4, f5) { t = f2 + f3 + f4 + f5; print(t); }
+"""
+
+
+@pytest.fixture
+def server():
+    srv = AnalysisServer(
+        ICPConfig.from_dict({"serve_workers": 1, "serve_max_queue": 4})
+    )
+    yield srv
+    srv.close()
+
+
+class TestSplit:
+    def test_versioned_paths_normalize(self):
+        assert split_api_version("/v1/healthz") == ("/healthz", True)
+        assert split_api_version("/v1/programs/p1/report") == (
+            "/programs/p1/report",
+            True,
+        )
+        assert split_api_version("/v1") == ("/", True)
+
+    def test_query_string_survives(self):
+        assert split_api_version("/v1/programs/p1?timeout=2") == (
+            "/programs/p1?timeout=2",
+            True,
+        )
+
+    def test_unversioned_and_lookalikes_pass_through(self):
+        assert split_api_version("/healthz") == ("/healthz", False)
+        assert split_api_version("/v10/healthz") == ("/v10/healthz", False)
+        assert split_api_version("/programs/v1") == ("/programs/v1", False)
+
+    def test_api_version_constant(self):
+        assert API_VERSION == "v1"
+
+
+class TestAliases:
+    def test_v1_route_answers_without_deprecation(self, server):
+        status, payload, headers = server.handle_request(
+            "POST", "/v1/programs/p1", {"source": SOURCE}, {}
+        )
+        assert status == 200
+        assert DEPRECATION_HEADER not in headers
+        status, payload, headers = server.handle_request(
+            "GET", "/v1/programs/p1/report", None, {}
+        )
+        assert status == 200
+        assert DEPRECATION_HEADER not in headers
+
+    def test_legacy_route_answers_with_deprecation(self, server):
+        status, _, headers = server.handle_request(
+            "POST", "/programs/p1", {"source": SOURCE}, {}
+        )
+        assert status == 200
+        assert headers.get(DEPRECATION_HEADER) == "true"
+
+    def test_both_spellings_hit_the_same_resource(self, server):
+        server.handle_request(
+            "POST", "/v1/programs/p1", {"source": SOURCE}, {}
+        )
+        _, versioned, _ = server.handle_request(
+            "GET", "/v1/programs/p1/report", None, {}
+        )
+        _, legacy, _ = server.handle_request(
+            "GET", "/programs/p1/report", None, {}
+        )
+        assert versioned == legacy
+
+    def test_error_paths_are_versioned_too(self, server):
+        status, _, headers = server.handle_request(
+            "GET", "/v1/programs/ghost/report", None, {}
+        )
+        assert status == 404
+        assert DEPRECATION_HEADER not in headers
+        status, _, headers = server.handle_request(
+            "GET", "/programs/ghost/report", None, {}
+        )
+        assert status == 404
+        assert headers.get(DEPRECATION_HEADER) == "true"
+
+
+class TestOverHTTP:
+    def _fetch(self, base, path):
+        with urllib.request.urlopen(base + path, timeout=10) as response:
+            return (
+                response.status,
+                response.headers,
+                json.loads(response.read()),
+            )
+
+    def test_daemon_serves_both_spellings(self):
+        srv = AnalysisServer(
+            ICPConfig.from_dict(
+                {
+                    "serve_workers": 1,
+                    "serve_port": 0,
+                    "serve_log_enabled": False,
+                }
+            )
+        )
+        host, port = srv.start()
+        base = f"http://{host}:{port}"
+        try:
+            status, headers, payload = self._fetch(base, "/v1/healthz")
+            assert status == 200 and payload["ok"] is True
+            assert headers.get(DEPRECATION_HEADER) is None
+            status, headers, payload = self._fetch(base, "/healthz")
+            assert status == 200 and payload["ok"] is True
+            assert headers.get(DEPRECATION_HEADER) == "true"
+        finally:
+            srv.close()
+
+    def test_sharded_front_proxies_v1(self):
+        from repro.serve import create_server
+
+        srv = create_server(
+            ICPConfig.from_dict(
+                {
+                    "serve_workers": 1,
+                    "serve_port": 0,
+                    "serve_shards": 2,
+                    "serve_log_enabled": False,
+                }
+            )
+        )
+        host, port = srv.start()
+        base = f"http://{host}:{port}"
+        try:
+            status, headers, payload = self._fetch(base, "/v1/healthz")
+            assert status == 200 and payload["ok"] is True
+            assert headers.get(DEPRECATION_HEADER) is None
+            # Legacy spelling still answers at the front door...
+            status, headers, payload = self._fetch(base, "/healthz")
+            assert status == 200
+            assert headers.get(DEPRECATION_HEADER) == "true"
+        finally:
+            srv.close()

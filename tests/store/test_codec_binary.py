@@ -1,0 +1,188 @@
+"""The binary entry codec: roundtrip, sniffing, and corruption handling."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import ICPConfig
+from repro.core.driver import CompilationPipeline
+from repro.core.report import analysis_report
+from repro.ir.lattice import LatticeValue
+from repro.store import SummaryStore, decode_entry, encode_entry
+from repro.store.codec import (
+    BINARY_MAGIC,
+    BINARY_VERSION,
+    STORE_VERSION,
+    entry_codec,
+)
+
+SOURCE = """\
+proc main() { call sub1(0); call sub1(2); }
+proc sub1(f1) {
+    x = 1;
+    if (f1 != 0) { y = 1; } else { y = 0; }
+    call sub2(y, 4, f1, x);
+}
+proc sub2(f2, f3, f4, f5) { t = f2 + f3 + f4 + f5; print(t); }
+"""
+
+KEY = "ab" * 32
+
+
+@pytest.fixture(scope="module")
+def analyzed():
+    pipeline = CompilationPipeline(ICPConfig.from_dict({"cache": True}))
+    return pipeline.run(SOURCE)
+
+
+class TestBinaryRoundtrip:
+    def test_roundtrip_matches_json_decode(self, analyzed):
+        for proc in ("main", "sub1", "sub2"):
+            intra = analyzed.fs.intra[proc]
+            symbols = analyzed.symbols[proc]
+            binary = encode_entry(KEY, "fs", intra, codec="binary")
+            as_json = encode_entry(KEY, "fs", intra, codec="json")
+            assert entry_codec(binary) == "binary"
+            assert entry_codec(as_json) == "json"
+            from_binary = decode_entry(binary, KEY, symbols)
+            from_json = decode_entry(as_json, KEY, symbols)
+            assert from_binary is not None and from_json is not None
+            assert from_binary.proc_name == from_json.proc_name == proc
+            assert from_binary.return_value == from_json.return_value
+            assert set(from_binary.call_sites) == set(from_json.call_sites)
+            for site_key, got in from_binary.call_sites.items():
+                want = from_json.call_sites[site_key]
+                assert got.executable == want.executable
+                assert got.arg_values == want.arg_values
+                assert got.global_values == want.global_values
+                assert got.site.stmt is want.site.stmt  # rebinding, both
+            assert from_binary.detail is None
+
+    def test_int_float_distinction(self, analyzed):
+        intra = analyzed.fs.intra["sub1"]
+        for const in (3, 3.0):
+            patched = dataclasses.replace(
+                intra, return_value=LatticeValue(1, const)
+            )
+            raw = encode_entry(KEY, "fs", patched, codec="binary")
+            decoded = decode_entry(raw, KEY, analyzed.symbols["sub1"])
+            assert type(decoded.return_value.const_value) is type(const)
+            assert decoded.return_value.const_value == const
+
+    def test_arbitrary_precision_ints(self, analyzed):
+        # The evaluator folds past 64 bits; the codec must not truncate.
+        intra = analyzed.fs.intra["sub1"]
+        for const in ((1 << 200) + 7, -(1 << 200) - 7, 0, -1):
+            patched = dataclasses.replace(
+                intra, return_value=LatticeValue(1, const)
+            )
+            raw = encode_entry(KEY, "fs", patched, codec="binary")
+            decoded = decode_entry(raw, KEY, analyzed.symbols["sub1"])
+            assert decoded.return_value.const_value == const
+
+    def test_exit_values_survive(self, analyzed):
+        intra = dataclasses.replace(
+            analyzed.fs.intra["sub2"],
+            exit_values={"t": LatticeValue(1, 5), "u": LatticeValue(1, 2.5)},
+        )
+        raw = encode_entry(KEY, "fs", intra, codec="binary")
+        decoded = decode_entry(raw, KEY, analyzed.symbols["sub2"])
+        assert decoded.exit_values == intra.exit_values
+
+    def test_unknown_codec_rejected(self, analyzed):
+        with pytest.raises(ValueError):
+            encode_entry(KEY, "fs", analyzed.fs.intra["sub1"], codec="msgpack")
+
+
+class TestCorruption:
+    def _binary(self, analyzed, proc="sub1"):
+        return encode_entry(
+            KEY, "fs", analyzed.fs.intra[proc], codec="binary"
+        )
+
+    def test_truncation_decodes_to_none(self, analyzed):
+        raw = self._binary(analyzed)
+        symbols = analyzed.symbols["sub1"]
+        for cut in (5, len(raw) // 2, len(raw) - 1):
+            assert decode_entry(raw[:cut], KEY, symbols) is None
+
+    def test_trailing_garbage_rejected(self, analyzed):
+        raw = self._binary(analyzed)
+        assert decode_entry(raw + b"\x00", KEY, analyzed.symbols["sub1"]) is None
+
+    def test_wrong_key_rejected(self, analyzed):
+        raw = self._binary(analyzed)
+        assert decode_entry(raw, "cd" * 32, analyzed.symbols["sub1"]) is None
+
+    def test_wrong_binary_version_rejected(self, analyzed):
+        raw = bytearray(self._binary(analyzed))
+        assert raw[4] == BINARY_VERSION
+        raw[4] = BINARY_VERSION + 1
+        assert (
+            decode_entry(bytes(raw), KEY, analyzed.symbols["sub1"]) is None
+        )
+
+    def test_symbol_drift_rejected(self, analyzed):
+        # A sub1 entry against main's symbol table: sites cannot rebind.
+        raw = self._binary(analyzed, "sub1")
+        assert decode_entry(raw, KEY, analyzed.symbols["main"]) is None
+
+    def test_bare_magic_rejected(self, analyzed):
+        assert (
+            decode_entry(BINARY_MAGIC, KEY, analyzed.symbols["sub1"]) is None
+        )
+
+
+class TestMixedStores:
+    def test_json_store_readable_after_codec_switch(self, tmp_path):
+        """store_codec is a write-side knob: flipping it neither wipes nor
+        hides entries the other codec wrote."""
+        store_dir = str(tmp_path / "store")
+        json_cfg = ICPConfig.from_dict(
+            {"store_dir": store_dir, "store_codec": "json"}
+        )
+        binary_cfg = ICPConfig.from_dict(
+            {"store_dir": store_dir, "store_codec": "binary"}
+        )
+        cold = CompilationPipeline(json_cfg).run(SOURCE)
+        warm = CompilationPipeline(binary_cfg).run(SOURCE)
+        assert warm.sched.tasks_run == 0
+        assert analysis_report(warm) == analysis_report(cold)
+
+    def test_binary_store_readable_by_json_config(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        binary_cfg = ICPConfig.from_dict(
+            {"store_dir": store_dir, "store_codec": "binary"}
+        )
+        cold = CompilationPipeline(binary_cfg).run(SOURCE)
+        assert cold.sched.tasks_run > 0
+        # At least one on-disk blob is actually binary.
+        store = SummaryStore(store_dir)
+        raws = [store.blobs.get(key) for key in list(store.blobs._sizes)]
+        assert any(raw.startswith(BINARY_MAGIC) for raw in raws)
+        json_cfg = ICPConfig.from_dict({"store_dir": store_dir})
+        warm = CompilationPipeline(json_cfg).run(SOURCE)
+        assert warm.sched.tasks_run == 0
+        assert analysis_report(warm) == analysis_report(cold)
+
+    def test_version_stamp_shared_across_codecs(self, tmp_path):
+        # Both codecs embed the same STORE_VERSION: a binary entry is not
+        # a store-format change, so existing stores are kept, not wiped.
+        store_dir = str(tmp_path / "store")
+        ICPConfig.from_dict({"store_dir": store_dir})
+        CompilationPipeline(
+            ICPConfig.from_dict({"store_dir": store_dir})
+        ).run(SOURCE)
+        with open(f"{store_dir}/VERSION", encoding="utf-8") as handle:
+            assert handle.read().strip() == STORE_VERSION
+
+    def test_json_entries_still_plain_json(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        CompilationPipeline(
+            ICPConfig.from_dict({"store_dir": store_dir})
+        ).run(SOURCE)
+        store = SummaryStore(store_dir)
+        for key in list(store.blobs._sizes):
+            blob = json.loads(store.blobs.get(key).decode("utf-8"))
+            assert blob["version"] == STORE_VERSION

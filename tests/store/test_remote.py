@@ -1,0 +1,167 @@
+"""The remote summary tier: client behavior, tiering, and fail-open chaos."""
+
+import pytest
+
+from repro.api import ICPConfig, analyze, connect_store
+from repro.core.driver import CompilationPipeline
+from repro.core.report import analysis_report
+from repro.store import RemoteStore, SummaryService, SummaryStore
+
+SOURCE = """\
+proc main() { call sub1(0); call sub1(2); }
+proc sub1(f1) {
+    x = 1;
+    if (f1 != 0) { y = 1; } else { y = 0; }
+    call sub2(y, 4, f1, x);
+}
+proc sub2(f2, f3, f4, f5) { t = f2 + f3 + f4 + f5; print(t); }
+"""
+
+KEY = "ab" * 32
+
+
+@pytest.fixture
+def service(tmp_path):
+    srv = SummaryService(
+        ICPConfig.from_dict(
+            {
+                "store_dir": str(tmp_path / "summaries"),
+                "serve_port": 0,
+                "serve_log_enabled": False,
+            }
+        ),
+        compact_interval=None,
+    )
+    host, port = srv.start()
+    srv.base_url = f"http://{host}:{port}"
+    yield srv
+    srv.close()
+
+
+class TestClient:
+    def test_put_get_head_roundtrip(self, service):
+        remote = RemoteStore(service.base_url)
+        assert remote.get(KEY) is None
+        assert remote.put(KEY, b"wire-blob")
+        assert remote.get(KEY) == b"wire-blob"
+        assert remote.head(KEY)
+        assert remote.stats.hits == 1
+        assert remote.stats.puts == 1
+
+    def test_negative_lookups_memoized(self, service):
+        remote = RemoteStore(service.base_url)
+        assert remote.get(KEY) is None
+        gets_on_server = service.stats.gets
+        assert remote.get(KEY) is None  # answered from the memo
+        assert service.stats.gets == gets_on_server
+        assert remote.stats.negative_skips == 1
+        # Our own upload invalidates the negative entry.
+        remote.put(KEY, b"blob")
+        assert remote.get(KEY) == b"blob"
+
+    def test_connect_store_helper(self, service):
+        remote = connect_store(service.base_url, timeout_ms=500)
+        assert isinstance(remote, RemoteStore)
+        assert remote.timeout == pytest.approx(0.5)
+        assert remote.put(KEY, b"blob")
+        assert remote.get(KEY) == b"blob"
+
+    def test_rejects_non_http_url(self):
+        with pytest.raises(ValueError):
+            RemoteStore("ftp://example.com")
+        with pytest.raises(ValueError):
+            RemoteStore("not a url")
+
+
+class TestFailOpen:
+    def test_dead_endpoint_reads_as_miss(self):
+        remote = RemoteStore("http://127.0.0.1:9", cooldown_seconds=0.0)
+        assert remote.get(KEY) is None
+        assert remote.put(KEY, b"blob") is False
+        assert remote.head(KEY) is False
+        assert remote.stats.errors == 3
+
+    def test_cooldown_short_circuits_the_outage_window(self):
+        remote = RemoteStore("http://127.0.0.1:9", cooldown_seconds=60.0)
+        assert remote.get(KEY) is None  # pays the one connection error
+        assert remote.get("cd" * 32) is None
+        assert remote.put(KEY, b"blob") is False
+        assert remote.stats.errors == 1
+        assert remote.stats.cooldown_skips == 2
+
+
+def _config(store_dir, service, **extra):
+    return ICPConfig.from_dict(
+        {
+            "store_dir": str(store_dir),
+            "store_remote_url": service.base_url,
+            **extra,
+        }
+    )
+
+
+class TestTiering:
+    def test_writes_replicate_to_the_service(self, tmp_path, service):
+        analyze(SOURCE, _config(tmp_path / "a", service))
+        assert service.stats.puts > 0
+        assert service.blobs.stats.entries > 0
+
+    def test_remote_warm_fills_a_fresh_node(self, tmp_path, service):
+        cold = analyze(SOURCE, _config(tmp_path / "a", service))
+        assert cold.sched.tasks_run > 0
+        # A different node: empty local disk, same summary service.
+        warm = analyze(SOURCE, _config(tmp_path / "b", service))
+        assert warm.sched.tasks_run == 0
+        assert analysis_report(warm) == analysis_report(cold)
+
+    def test_remote_hits_promote_to_local_disk(self, tmp_path, service):
+        analyze(SOURCE, _config(tmp_path / "a", service))
+        store = SummaryStore(
+            str(tmp_path / "b"),
+            remote=RemoteStore(service.base_url),
+        )
+        pipeline = CompilationPipeline(_config(tmp_path / "b", service))
+        pipeline.run(SOURCE)
+        # The fresh node's own disk now holds every summary: a third run
+        # with NO remote configured stays warm.
+        rerun = analyze(
+            SOURCE, ICPConfig.from_dict({"store_dir": str(tmp_path / "b")})
+        )
+        assert rerun.sched.tasks_run == 0
+        del store
+
+    def test_stats_surface_remote_counters(self, tmp_path, service):
+        pipeline = CompilationPipeline(_config(tmp_path / "a", service))
+        pipeline.run(SOURCE)
+        stats = pipeline.cache.disk.stats
+        # A cold run asks remote on every miss; nothing errored.
+        assert stats.remote_misses > 0
+        assert stats.remote_errors == 0
+
+
+class TestOutageChaos:
+    def test_mid_run_outage_degrades_to_local_only(self, tmp_path, service):
+        """Killing the summary service never fails a request: analysis
+        falls back to the local tiers and the report is byte-identical."""
+        baseline = analyze(
+            SOURCE, ICPConfig.from_dict({"store_dir": str(tmp_path / "base")})
+        )
+        cold = analyze(SOURCE, _config(tmp_path / "a", service))
+        service.close()  # the fleet's summary tier just died
+        config = _config(
+            tmp_path / "fresh", service, store_remote_timeout_ms=100
+        )
+        survivor = analyze(SOURCE, config)
+        # Local-only cold run: every engine ran, nothing raised, and the
+        # analysis itself is unchanged.
+        assert survivor.sched.tasks_run == cold.sched.tasks_run
+        assert analysis_report(survivor) == analysis_report(cold)
+        assert analysis_report(survivor) == analysis_report(baseline)
+
+    def test_outage_on_a_warm_node_stays_warm(self, tmp_path, service):
+        config = _config(tmp_path / "a", service)
+        cold = analyze(SOURCE, config)
+        service.close()
+        warm = analyze(SOURCE, config)  # local disk still answers
+        assert warm.sched.tasks_run == 0
+        assert analysis_report(warm) == analysis_report(cold)

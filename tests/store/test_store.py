@@ -166,17 +166,15 @@ class TestEviction:
         pipeline = CompilationPipeline(_config(store_dir))
         pipeline.run(SOURCE)
         store = pipeline.cache.disk
-        keys = list(store._sizes)
+        keys = list(store.blobs._sizes)
         # Touch every entry but the first, age the first far into the past,
-        # then shrink the budget below current usage by writing a dup.
+        # then shrink the budget below current usage and compact.
         old = os.path.join(str(store_dir), "entries", keys[0] + ".json")
         os.utime(old, (1, 1))
-        store.max_bytes = store.stats.bytes - 1
+        store.blobs.max_bytes = store.stats.bytes - 1
         symbols = pipeline.run(SOURCE).symbols  # reads bump mtimes
         del symbols
-        with store._lock:
-            store._evict_over_budget()
-            store._refresh_gauges()
+        store.compact()
         assert not os.path.exists(old)
         assert store.stats.evictions >= 1
 
