@@ -55,6 +55,15 @@ quantity to the paper's metrics:
 ``invisible_globals``
     a constant global passed *through* a middle procedure that never
     mentions it — counted by the FS call-site metric but not by VIS.
+``rec_self_const`` / ``rec_self_vary`` / ``rec_mutual`` / ``rec_blowup``
+    the recursion-heavy patterns of :data:`RECURSION_SUITE` (not used by
+    the paper-table profiles): self-recursion carrying a local constant
+    through the cycle, self-recursion on a descending counter, a mutually
+    recursive pair threading a constant, and an abstractly unbounded
+    ascent that only the value-contexts blowup guard terminates.  They
+    measure the ``context_mode`` precision/cost tradeoff — the one-pass
+    traversal degrades every cycle to the FI fallback (ICP006), while
+    value-context tabulation resolves them.
 
 Counts per benchmark are chosen so each program reproduces the *shape* of
 its paper row (who wins, roughly by what factor) at roughly 1/8 scale; the
@@ -125,6 +134,10 @@ class BenchmarkProfile:
     fs_int_globals: int = 0
     fs_float_globals: int = 0
     invisible_globals: int = 0
+    rec_self_const: int = 0
+    rec_self_vary: int = 0
+    rec_mutual: int = 0
+    rec_blowup: int = 0
     paper_t1: Optional[PaperTable1Row] = None
     paper_t2: Optional[PaperTable2Row] = None
     paper_t3: Optional[PaperTable1Row] = None
@@ -320,6 +333,75 @@ class _SuiteEmitter:
         self.main_stmts.append(f"{name} = {k % 13 + 1};")
         self.main_stmts.append(f"call igm{k}();")
 
+    # -- recursion patterns (RECURSION_SUITE) -------------------------------
+
+    def rec_self_const(self, k: int) -> None:
+        # Self-recursion threading a local constant through the cycle.
+        # The FI fallback sees a local argument (BOTTOM), so the one-pass
+        # traversal loses formal `c` on the back edge; value-context
+        # tabulation keeps Const in every context and wins the formal.
+        value = k % 9 + 2
+        self.procs.append(
+            f"proc rsc{k}(n, c) {{\n"
+            f"    m = {value};\n"
+            f"    if (n > 0) {{ call rsc{k}(n - 1, m); }}\n"
+            f"    print(n + c);\n"
+            f"}}"
+        )
+        self.main_stmts.append(f"call rsc{k}({k % 3 + 2}, {value});")
+
+    def rec_self_vary(self, k: int) -> None:
+        # Descending-counter self-recursion: no constants to win, but the
+        # cycle terminates on the base case and tabulation resolves every
+        # call edge (no retained fallback, hence no ICP006).
+        self.procs.append(
+            f"proc rsv{k}(n) {{\n"
+            f"    if (n > 0) {{ call rsv{k}(n - 1); }}\n"
+            f"    print(n);\n"
+            f"}}"
+        )
+        self.main_stmts.append(f"call rsv{k}({k % 4 + 2});")
+
+    def rec_mutual(self, k: int) -> None:
+        # A mutually recursive pair threading a constant held in a caller
+        # local: both entries degrade to BOTTOM under the one-pass
+        # traversal (the cycle's fallback poisons the forward edge too);
+        # tabulation keeps Const on both formals.
+        value = k % 7 + 3
+        self.procs.append(
+            f"proc rma{k}(n, c) {{\n"
+            f"    if (n > 0) {{ call rmb{k}(n - 1, c); }}\n"
+            f"    print(c);\n"
+            f"}}\n"
+            f"proc rmb{k}(n, c) {{\n"
+            f"    if (n > 0) {{ call rma{k}(n - 1, c); }}\n"
+            f"    print(c);\n"
+            f"}}"
+        )
+        self.main_stmts.append(f"w{k} = {value};")
+        self.main_stmts.append(f"call rma{k}({k % 3 + 2}, w{k});")
+
+    def rec_blowup(self, k: int) -> None:
+        # Abstractly unbounded ascent: the bound is a non-constant global,
+        # so the recursive branch never goes dead and each call requests a
+        # fresh context — only the ``context_max_per_proc`` guard stops
+        # the tabulation, degrading the site to the FI fallback (the one
+        # recursion shape where ICP006 survives under value contexts).
+        name = f"rb{k}"
+        self.globals.append(name)
+        self.inits.append(f"{name} = {k % 5 + 3};")
+        self.procs.append(
+            f"proc rbu{k}(n) {{\n"
+            f"    if (n < {name}) {{ call rbu{k}(n + 1); }}\n"
+            f"    print(n);\n"
+            f"}}"
+        )
+        self.main_stmts.append(f"i{k} = 2;")
+        self.main_stmts.append(
+            f"while (i{k} > 0) {{ {name} = {name} + i{k}; i{k} = i{k} - 1; }}"
+        )
+        self.main_stmts.append(f"call rbu{k}(0);")
+
 
 def build_benchmark(profile: BenchmarkProfile, scale: int = 1) -> ast.Program:
     """Assemble and parse the synthetic program for ``profile``.
@@ -365,6 +447,14 @@ def build_benchmark_source(profile: BenchmarkProfile, scale: int = 1) -> str:
         emitter.fs_global(k, f"{k % 4}.75", "gf")
     for k in range(scale * profile.invisible_globals):
         emitter.invisible_global(k)
+    for k in range(scale * profile.rec_self_const):
+        emitter.rec_self_const(k)
+    for k in range(scale * profile.rec_self_vary):
+        emitter.rec_self_vary(k)
+    for k in range(scale * profile.rec_mutual):
+        emitter.rec_mutual(k)
+    for k in range(scale * profile.rec_blowup):
+        emitter.rec_blowup(k)
     return emitter.emit()
 
 
@@ -444,9 +534,10 @@ def analyze_suite(
     # Dedupe while keeping order: results are keyed by name, so a repeated
     # request would silently overwrite (and skew the batch totals).
     requested = list(dict.fromkeys(names)) if names is not None else list(SUITE)
-    unknown = sorted(set(requested) - set(SUITE))
+    profiles = {**SUITE, **RECURSION_SUITE}
+    unknown = sorted(set(requested) - set(profiles))
     if unknown:
-        raise KeyError(f"unknown benchmarks: {unknown}; known: {sorted(SUITE)}")
+        raise KeyError(f"unknown benchmarks: {unknown}; known: {sorted(profiles)}")
 
     pipeline = CompilationPipeline(config, obs=obs)
     tracer = obs.tracer if obs is not None else None
@@ -463,9 +554,9 @@ def analyze_suite(
         started = time.perf_counter()
         if tracer is not None and tracer.enabled:
             with tracer.span("benchmark", cat="bench", benchmark=name, scale=scale):
-                results[name] = pipeline.run(build_benchmark(SUITE[name], scale))
+                results[name] = pipeline.run(build_benchmark(profiles[name], scale))
         else:
-            results[name] = pipeline.run(build_benchmark(SUITE[name], scale))
+            results[name] = pipeline.run(build_benchmark(profiles[name], scale))
         if findings is not None:
             diag = run_diagnostics(results[name], diag_options, obs=obs)
             findings[name] = diag.counts
@@ -671,3 +762,96 @@ PAPER_TABLE5: Dict[str, Tuple[int, int, int]] = {
     "030.matrix300": (138, 14, 250),
     "094.fpppp": (56, 25, 79),
 }
+
+
+# ----------------------------------------------------------------------
+# Recursion-heavy profiles (context-mode comparison).
+# ----------------------------------------------------------------------
+
+#: Recursion-heavy profiles measuring the ``context_mode`` tradeoff.  Not
+#: part of the paper tables (the paper's Fortran suite is recursion-free);
+#: :func:`analyze_suite` accepts their names alongside :data:`SUITE`.
+RECURSION_SUITE: Dict[str, BenchmarkProfile] = {}
+
+
+def _add_recursion(profile: BenchmarkProfile) -> None:
+    RECURSION_SUITE[profile.name] = profile
+
+
+_add_recursion(
+    BenchmarkProfile(
+        name="rec.self",
+        rec_self_const=4,
+        rec_self_vary=3,
+        literal_pairs=2,
+    )
+)
+_add_recursion(
+    BenchmarkProfile(
+        name="rec.mutual",
+        rec_mutual=3,
+        rec_self_vary=2,
+        varying_sites=2,
+    )
+)
+_add_recursion(
+    BenchmarkProfile(
+        name="rec.mixed",
+        rec_self_const=2,
+        rec_mutual=2,
+        local_const=2,
+    )
+)
+_add_recursion(
+    BenchmarkProfile(
+        # The guard-exercise profile: its unbounded ascents degrade to the
+        # FI fallback under value contexts, so — unlike the other recursion
+        # profiles — it retains ICP006 notes in both modes by design.
+        name="rec.blowup",
+        rec_blowup=2,
+        rec_self_vary=1,
+    )
+)
+
+#: The recursion profiles that value-context tabulation fully resolves
+#: (zero retained fallback edges, hence zero ICP006 notes).
+RECURSION_RESOLVED: Tuple[str, ...] = ("rec.self", "rec.mutual", "rec.mixed")
+
+
+def compare_context_modes(
+    names: Optional[Iterable[str]] = None,
+    config: "Optional[ICPConfig]" = None,
+    scale: int = 1,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Run profiles under both ``context_mode`` settings and compare.
+
+    Returns ``{benchmark: {mode: row}}`` where each row reports the
+    precision/cost tradeoff of that mode: retained fallback edges (one
+    ICP006 note each), constant formals and entry globals found, wall
+    seconds, and — under value contexts — the tabulation statistics
+    (contexts, rounds, widenings, degraded requests, per-procedure table
+    sizes).  Defaults to the :data:`RECURSION_SUITE` profiles.
+    """
+    from repro.core.config import ICPConfig
+
+    requested = list(names) if names is not None else list(RECURSION_SUITE)
+    base = (config or ICPConfig()).to_dict()
+    comparison: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for mode in ("carini-hind", "value-contexts"):
+        mode_config = ICPConfig.from_dict({**base, "context_mode": mode})
+        run = analyze_suite(requested, mode_config, scale=scale)
+        for name, result in run.results.items():
+            row: Dict[str, object] = {
+                "wall_seconds": round(run.wall_seconds[name], 6),
+                "fallback_edges": len(result.fs.fallback_edges),
+                "constant_formals": len(result.fs.constant_formals()),
+                "constant_entry_globals": sum(
+                    1
+                    for value in result.fs.entry_globals.values()
+                    if value.is_const
+                ),
+            }
+            if result.fs.contexts is not None:
+                row["contexts"] = result.fs.contexts.to_dict()
+            comparison.setdefault(name, {})[mode] = row
+    return comparison

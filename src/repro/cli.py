@@ -78,6 +78,8 @@ def _config_from(args: argparse.Namespace, **extra) -> ICPConfig:
         "propagate_returns": args.returns or args.exit_values,
         "propagate_exit_values": args.exit_values,
         "engine": args.engine,
+        "context_mode": getattr(args, "context_mode", "carini-hind"),
+        "context_max_per_proc": getattr(args, "context_max_per_proc", 64),
         "workers": args.jobs,
         "cache": args.cache_stats,
     }
@@ -459,6 +461,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{run.tasks_run} -> {remote_warm.tasks_run}, "
             f"cached {remote_warm.tasks_cached}), {remote_verdict}"
         )
+    contexts_section = None
+    if getattr(args, "contexts", False):
+        from repro.bench.suite import compare_context_modes
+
+        comparison = compare_context_modes(config=config, scale=args.scale)
+        contexts_section = {
+            "schema": "repro-icp/bench-contexts/v1",
+            "scale": args.scale,
+            "profiles": comparison,
+        }
+        print(
+            f"{'profile':<12} {'mode':<15} {'fallback':>8} {'formals':>7} "
+            f"{'ctxs':>5} {'widen':>5} {'degraded':>8} {'wall(s)':>9}"
+        )
+        for name, modes in comparison.items():
+            for mode, row in modes.items():
+                stats = row.get("contexts") or {}
+                print(
+                    f"{name:<12} {mode:<15} {row['fallback_edges']:>8} "
+                    f"{row['constant_formals']:>7} "
+                    f"{stats.get('contexts', '-'):>5} "
+                    f"{stats.get('widenings', '-'):>5} "
+                    f"{len(stats.get('degraded_procs', [])) if stats else '-':>8} "
+                    f"{row['wall_seconds']:>9.4f}"
+                )
     if args.json:
         _write_bench_json(
             args.json,
@@ -468,6 +495,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             mismatched=mismatched,
             remote_warm=remote_warm,
             remote_mismatched=remote_mismatched,
+            contexts=contexts_section,
         )
         print(f"bench results written to {args.json}", file=sys.stderr)
     if obs is not None:
@@ -484,6 +512,7 @@ def _write_bench_json(
     mismatched=(),
     remote_warm=None,
     remote_mismatched=(),
+    contexts=None,
 ) -> None:
     """Machine-readable bench results (the per-PR perf trajectory record)."""
     import json
@@ -544,13 +573,22 @@ def _write_bench_json(
             "tasks_cached": remote_warm.tasks_cached,
             "reports_identical": not remote_mismatched,
         }
+    if contexts is not None:
+        payload["contexts"] = contexts
     try:
         # The serving benchmark (repro-icp loadgen) owns the "serve"
-        # section of the same file; a bench rewrite must not clobber it.
+        # section of the same file, and --contexts owns "contexts"; a
+        # bench rewrite must not clobber sections it did not regenerate.
         with open(path, "r", encoding="utf-8") as handle:
             existing = json.load(handle)
         if isinstance(existing, dict) and "serve" in existing:
             payload["serve"] = existing["serve"]
+        if (
+            contexts is None
+            and isinstance(existing, dict)
+            and "contexts" in existing
+        ):
+            payload["contexts"] = existing["contexts"]
     except (OSError, ValueError):
         pass
     with open(path, "w", encoding="utf-8") as handle:
@@ -874,6 +912,19 @@ def _analysis_parent() -> argparse.ArgumentParser:
                              "formals and globals (implies --returns)")
     parent.add_argument("--engine", choices=("scc", "simple"), default="scc",
                         help="intraprocedural engine (default: scc)")
+    parent.add_argument("--context-mode",
+                        choices=("carini-hind", "value-contexts"),
+                        default="carini-hind", dest="context_mode",
+                        help="interprocedural strategy: the paper's one-pass "
+                             "traversal (default) or value-context "
+                             "tabulation, which resolves recursion with "
+                             "per-entry-environment summaries instead of "
+                             "the FI fallback")
+    parent.add_argument("--context-max-per-proc", type=int, default=64,
+                        metavar="N", dest="context_max_per_proc",
+                        help="value-contexts blowup guard: beyond N tabulated "
+                             "entry environments a procedure degrades to one "
+                             "widened FI-seeded context (default: 64)")
     parent.add_argument("--jobs", type=_job_count, default=1, metavar="N",
                         help="worker pool size for wavefront-parallel "
                              "analysis (default: 1 = serial; 0 = all cores)")
@@ -1017,6 +1068,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "front of a summary server, ephemeral unless "
                             "--store-remote-url) and verify all three "
                             "reports are byte-identical")
+    bench.add_argument("--contexts", action="store_true",
+                       help="run the recursion-heavy profiles under both "
+                            "context modes and report the precision/cost "
+                            "comparison (added to --json as 'contexts')")
     bench.set_defaults(func=_cmd_bench)
 
     serve = sub.add_parser(

@@ -25,6 +25,18 @@ class ICPConfig:
         Section 3.2 — and let the transformation exploit them after calls.
     :param engine: intraprocedural method: ``"scc"`` (Wegman–Zadeck, the
         paper's choice) or ``"simple"`` (plain iterative, for ablation).
+    :param context_mode: interprocedural propagation strategy:
+        ``"carini-hind"`` (the paper's one-pass traversal, which degrades
+        to the flow-insensitive solution on recursive call chains) or
+        ``"value-contexts"`` (Padhye–Khedker tabulation keyed by the
+        callee's abstract entry environment, giving recursion genuine
+        per-context answers instead of the FI fallback).
+    :param context_max_per_proc: blowup guard of ``"value-contexts"``
+        mode: the maximum distinct entry environments tabulated per
+        procedure.  Beyond it the procedure degrades to a single widened
+        context seeded from the flow-insensitive fallback (the
+        carini-hind answer), counted in the report rather than
+        diverging.
     :param prune_dead_branches: let the transformation delete branches decided
         by constants.
     :param insert_entry_assignments: make the transformation also materialize
@@ -118,6 +130,8 @@ class ICPConfig:
     propagate_returns: bool = False
     propagate_exit_values: bool = False
     engine: str = "scc"
+    context_mode: str = "carini-hind"
+    context_max_per_proc: int = 64
     prune_dead_branches: bool = True
     insert_entry_assignments: bool = False
     allow_missing: bool = False
@@ -179,6 +193,20 @@ class ICPConfig:
         if config.engine not in ("scc", "simple"):
             raise ValueError(
                 f"engine must be 'scc' or 'simple', got {config.engine!r}"
+            )
+        if config.context_mode not in ("carini-hind", "value-contexts"):
+            raise ValueError(
+                f"context_mode must be 'carini-hind' or 'value-contexts', "
+                f"got {config.context_mode!r}"
+            )
+        if (
+            not isinstance(config.context_max_per_proc, int)
+            or isinstance(config.context_max_per_proc, bool)
+            or config.context_max_per_proc < 1
+        ):
+            raise ValueError(
+                f"context_max_per_proc must be an int >= 1, "
+                f"got {config.context_max_per_proc!r}"
             )
         if config.executor not in ("thread", "process"):
             raise ValueError(

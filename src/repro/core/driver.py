@@ -92,6 +92,13 @@ class PipelineResult:
             f"FI constant formals: {self.fi.constant_formals()}",
             f"FS constant formals: {self.fs.constant_formals()}",
         ]
+        if self.fs.contexts is not None:
+            stats = self.fs.contexts
+            lines.append(
+                f"value contexts: {stats.contexts} tabulated "
+                f"({stats.widenings} widenings, "
+                f"{len(stats.degraded_procs)} degraded procedure(s))"
+            )
         fs_globals = sorted(
             key for key, value in self.fs.entry_globals.items() if value.is_const
         )

@@ -72,6 +72,10 @@ class FSResult:
     fi: Optional[FIResult] = None
     #: Wall-clock seconds spent in the intraprocedural engine.
     intra_seconds: float = 0.0
+    #: Tabulation statistics when the run used ``context_mode =
+    #: "value-contexts"`` (:class:`repro.analysis.contexts.ContextStats`);
+    #: None under the default carini-hind traversal.
+    contexts: Optional[object] = None
 
     def entry_formal(self, proc: str, formal: str) -> LatticeValue:
         return self.entry_formals.get((proc, formal), BOTTOM)
@@ -152,6 +156,22 @@ def flow_sensitive_icp(
     """
     config = config or ICPConfig()
     engine = engine or make_engine(config)
+
+    if config.context_mode == "value-contexts":
+        # Value-context tabulation (Padhye & Khedker): per-entry-environment
+        # summaries instead of the one-pass traversal.  The FI solution is
+        # always needed — it seeds the blowup guard's widened contexts.
+        from repro.analysis.contexts import value_contexts_icp
+
+        if fi is None:
+            fi = flow_insensitive_icp(program, symbols, pcg, modref, config)
+        result = FSResult(fi=fi)
+        value_contexts_icp(
+            program, symbols, pcg, modref, aliases, fi, config, engine,
+            effects or SummaryEffects(modref, aliases), result, scheduler,
+        )
+        return result
+
     if fi is None and pcg.fallback_edges:
         fi = flow_insensitive_icp(program, symbols, pcg, modref, config)
 

@@ -142,6 +142,12 @@ def analysis_report(result: PipelineResult) -> str:
         f"(fallback ratio {result.fs.fallback_ratio(result.pcg):.2f})",
         "=" * 64,
     ]
+    if result.fs.contexts is not None:
+        # Tabulation facts are deterministic analysis outputs (table sizes,
+        # widenings) — safe on the byte-identity surface; the section is
+        # absent entirely under the default carini-hind mode.
+        parts.append(result.fs.contexts.render())
+        parts.append("-" * 64)
     for proc in result.pcg.rpo:
         parts.append(procedure_report(result, proc))
         parts.append("-" * 64)

@@ -508,30 +508,39 @@ def has_fatal_signature_errors(findings: List[Finding]) -> bool:
 # ----------------------------------------------------------------------
 
 def check_fallback_precision(result) -> List[Finding]:
-    """Call edges where the FS traversal substituted the FI solution.
+    """Call edges where the FS solution substituted the FI fallback.
 
-    Every PCG back/fallback edge forced the paper's Section 3.2 fallback:
-    entry facts for the callee on that path come from the flow-insensitive
-    solution, so they may be weaker than a full fixpoint would give.
+    The edges come from the FS solution itself (``result.fs.fallback_edges``)
+    rather than the PCG's structural back edges: under the default
+    carini-hind traversal the two sets coincide (every back edge forces the
+    paper's Section 3.2 fallback), while under ``context_mode =
+    "value-contexts"`` only the edges the blowup guard degraded remain —
+    edges the tabulation resolved carry genuine per-context entry facts and
+    report nothing.
+
+    The message names the *full recursion cycle* (sorted member
+    procedures), not just the one fallback edge, so a finding's fingerprint
+    is stable when the same cycle is entered from a different edge.
     """
     rule = RULES["ICP006"]
     scc_of: Dict[str, List[str]] = {}
     for component in result.pcg.sccs:
         for name in component:
             scc_of[name] = component
+    self_recursive = {
+        edge.callee for edge in result.pcg.edges if edge.caller == edge.callee
+    }
     findings: List[Finding] = []
     ordered = sorted(
-        result.pcg.fallback_edges,
+        result.fs.fallback_edges,
         key=lambda edge: (edge.caller, edge.site.index),
     )
     for edge in ordered:
         component = scc_of.get(edge.callee, [edge.callee])
-        if len(component) > 1:
-            cycle = "cycle through " + ", ".join(
+        if len(component) > 1 or edge.callee in self_recursive:
+            cycle = "recursion cycle through " + ", ".join(
                 f"'{name}'" for name in sorted(component)
             )
-        elif edge.caller == edge.callee:
-            cycle = "self-recursion"
         else:
             cycle = "back edge in the traversal order"
         findings.append(

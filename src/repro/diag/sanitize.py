@@ -197,19 +197,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=1_000_000,
         help="interpreter step budget per program",
     )
+    parser.add_argument(
+        "--context-mode",
+        choices=("carini-hind", "value-contexts"),
+        default="carini-hind",
+        dest="context_mode",
+        help="interprocedural context treatment to sanitize (default: "
+        "carini-hind); the sweep includes the recursion-heavy profiles "
+        "either way, since those stress the chosen mode hardest",
+    )
     args = parser.parse_args(argv)
 
-    from repro.bench.suite import SUITE, build_benchmark
+    from repro.bench.suite import RECURSION_SUITE, SUITE, build_benchmark
     from repro.core.config import ICPConfig
     from repro.core.driver import CompilationPipeline
     from repro.lang.fortran import parse_fortran
     from repro.lang.parser import parse_program
 
-    pipeline = CompilationPipeline(ICPConfig())
+    pipeline = CompilationPipeline(
+        ICPConfig.from_dict({"context_mode": args.context_mode})
+    )
     targets = []
     if not args.skip_suite:
-        for name in sorted(SUITE):
-            targets.append((name, build_benchmark(SUITE[name], args.scale)))
+        profiles = {**SUITE, **RECURSION_SUITE}
+        for name in sorted(profiles):
+            targets.append((name, build_benchmark(profiles[name], args.scale)))
     for path in args.files:
         with open(path, "r", encoding="utf-8") as handle:
             text = handle.read()

@@ -47,14 +47,33 @@ class AnalysisTask:
     pass_label: str = "fs"
     record_exit_vars: Optional[FrozenSet[str]] = None
     fingerprints: Tuple[str, ...] = ()
+    #: Entry-environment fingerprint when the task is one *value context* of
+    #: its procedure (``context_mode="value-contexts"``); ``None`` for the
+    #: classic one-task-per-procedure passes.
+    context: Optional[str] = None
 
     @property
     def cacheable(self) -> bool:
         return bool(self.fingerprints)
 
     @property
+    def key(self) -> str:
+        """Result-table key: the procedure, qualified by context if any.
+
+        Two contexts of one procedure may share a wavefront level, so
+        result keying must distinguish them.
+        """
+        if self.context is None:
+            return self.proc_name
+        return f"{self.proc_name}@{self.context}"
+
+    @property
     def slot(self) -> Tuple[str, str]:
-        return (self.pass_label, self.proc_name)
+        # The procedure name stays in slot[1]: SummaryCache.evict_procs
+        # matches on it, so editing a procedure invalidates every context.
+        if self.context is None:
+            return (self.pass_label, self.proc_name)
+        return (f"{self.pass_label}@{self.context}", self.proc_name)
 
 
 @dataclass
@@ -164,7 +183,7 @@ class Scheduler:
                 key = combine_key(*task.fingerprints)
                 cached = self.cache.lookup(task.slot, key, task=task)
                 if cached is not None:
-                    results[task.proc_name] = cached
+                    results[task.key] = cached
                     self.stats.tasks_cached += 1
                     cached_count += 1
                     if tracer.enabled:
@@ -211,7 +230,7 @@ class Scheduler:
         ):
             if key is not None and self.cache is not None:
                 self.cache.store(task.slot, key, intra)
-            results[task.proc_name] = intra
+            results[task.key] = intra
             self.stats.tasks_run += 1
             self.stats.analysis_seconds += seconds
             if obs.enabled:

@@ -307,16 +307,24 @@ class AnalysisSession:
                     prev_modref, modref, prev_fi, fi,
                 ),
             )
-            clean = set(pcg.nodes) - set(region.fs_dirty)
-            clean &= set(previous.fs.intra)
-            clean = {
-                proc
-                for proc in clean
-                if _tables_complete(
-                    proc, previous.fs, symbols, pcg, modref, program
-                )
-            }
-            fs_reuse = FSReuse(previous=previous.fs, clean=frozenset(clean))
+            if config.context_mode != "value-contexts":
+                clean = set(pcg.nodes) - set(region.fs_dirty)
+                clean &= set(previous.fs.intra)
+                clean = {
+                    proc
+                    for proc in clean
+                    if _tables_complete(
+                        proc, previous.fs, symbols, pcg, modref, program
+                    )
+                }
+                fs_reuse = FSReuse(previous=previous.fs, clean=frozenset(clean))
+            # Under value contexts the clean-copy fast path does not apply:
+            # a procedure's merged result is a meet over its context table,
+            # and entry environments are per-context.  Incremental reuse
+            # happens one tier down instead — every (context, procedure)
+            # analysis is served by the content-addressed summary cache
+            # (keyed on context entry-env fingerprints), and evictions by
+            # procedure name drop all of a procedure's context slots.
             use_reuse = UseReuse(
                 previous=previous.use, seeds=region.use_seeds
             )

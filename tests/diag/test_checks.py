@@ -356,7 +356,7 @@ proc fact(n) {
 """
         found = findings_for(source, "ICP006")
         assert len(found) == 1
-        assert "self-recursion" in found[0].message
+        assert "recursion cycle through 'fact'" in found[0].message
         assert found[0].severity == "note"
 
     def test_mutual_recursion_names_the_cycle(self):

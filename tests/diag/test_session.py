@@ -163,7 +163,7 @@ proc f(n) {
         session = AnalysisSession(SOURCE)
         first = session.diagnostics()
         notes = [f for f in first.findings if f.rule_id == "ICP006"]
-        assert len(notes) == 1 and "self-recursion" in notes[0].message
+        assert len(notes) == 1 and "recursion cycle through" in notes[0].message
         second = session.diagnostics()
         assert [f for f in second.findings if f.rule_id == "ICP006"] == notes
 

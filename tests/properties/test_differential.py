@@ -61,6 +61,59 @@ class TestEntryConstantsMatchRuntime:
             check_seed(pipeline, generate_program(seed))
 
 
+#: Recursion-heavy generator shape for the context-mode corpus: more
+#: procedures and a higher call density make cycles (including mutual
+#: recursion) common rather than occasional.
+RECURSION_HEAVY = GeneratorConfig(
+    allow_recursion=True, n_procs=6, p_call=0.40
+)
+CONTEXT_SEEDS = range(50)
+
+
+class TestContextModesStaySound:
+    """The recursion corpus under both ``context_mode`` settings.
+
+    Value-context tabulation replaces the FI fallback on recursion cycles
+    with per-context answers; the runtime oracle must accept every claim
+    in both modes, and tabulation must never be less precise than the
+    one-pass traversal at any procedure entry.
+    """
+
+    def test_value_contexts_recursive_corpus(self):
+        pipeline = CompilationPipeline(
+            ICPConfig(context_mode="value-contexts", **SCHED_CONFIG)
+        )
+        for seed in CONTEXT_SEEDS:
+            check_seed(pipeline, generate_program(seed, RECURSION_HEAVY))
+
+    def test_carini_hind_recursive_corpus(self):
+        pipeline = CompilationPipeline(ICPConfig(**SCHED_CONFIG))
+        for seed in CONTEXT_SEEDS:
+            check_seed(pipeline, generate_program(seed, RECURSION_HEAVY))
+
+    def test_tabulation_never_less_precise(self):
+        from repro.ir.lattice import lattice_le
+
+        base_pipe = CompilationPipeline(ICPConfig(**SCHED_CONFIG))
+        ctx_pipe = CompilationPipeline(
+            ICPConfig(context_mode="value-contexts", **SCHED_CONFIG)
+        )
+        for seed in range(25):
+            program = generate_program(seed, RECURSION_HEAVY)
+            base = base_pipe.run(program)
+            ctx = ctx_pipe.run(program)
+            for key, value in base.fs.entry_formals.items():
+                assert lattice_le(value, ctx.fs.entry_formals[key]), (
+                    seed,
+                    key,
+                )
+            for key, value in base.fs.entry_globals.items():
+                assert lattice_le(value, ctx.fs.entry_globals[key]), (
+                    seed,
+                    key,
+                )
+
+
 class TestTransformedProgramsRunIdentically:
     def test_transform_preserves_output(self):
         pipeline = CompilationPipeline(ICPConfig(**SCHED_CONFIG))

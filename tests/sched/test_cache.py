@@ -152,3 +152,42 @@ class TestCachePrimitives:
         p1_again = parse_program("proc main() { print(1); }").procedures[0]
         assert procedure_fingerprint(p1) != procedure_fingerprint(p2)
         assert procedure_fingerprint(p1) == procedure_fingerprint(p1_again)
+
+
+class TestEnvFingerprintOrdering:
+    """The entry-env fingerprint must hash *sorted* names.
+
+    Value contexts key their tables (and their cache slots) on
+    ``env_fingerprint``, and entry environments are assembled in different
+    orders by different callers (formals in declaration order, globals in
+    ref order, merged tables in first-seen order).  If insertion order
+    leaked into the hash, identical contexts would tabulate — and cache —
+    twice.
+    """
+
+    def test_permuted_insertion_orders_collide(self):
+        import itertools
+
+        from repro.ir.lattice import BOTTOM, TOP
+
+        values = {"a": Const(1), "b": BOTTOM, "c": TOP, "d": Const(2.5)}
+        names = list(values)
+        fingerprints = {
+            env_fingerprint({name: values[name] for name in order})
+            for order in itertools.permutations(names)
+        }
+        assert len(fingerprints) == 1
+
+    def test_different_bindings_do_not_collide(self):
+        base = {"a": Const(1), "b": Const(2)}
+        assert env_fingerprint(base) != env_fingerprint(
+            {"a": Const(2), "b": Const(1)}
+        )
+        assert env_fingerprint(base) != env_fingerprint({"a": Const(1)})
+
+    def test_name_value_boundary_is_unambiguous(self):
+        # The rendering must not let a name absorb part of a value token
+        # ("ab"= vs "a"="b..."-style collisions).
+        assert env_fingerprint({"ab": Const(1)}) != env_fingerprint(
+            {"a": Const(1), "b": Const(1)}
+        )

@@ -24,14 +24,16 @@ RECURSIVE_SEEDS = range(0, 20, 4)
 EDITS_PER_PROGRAM = 3
 
 
-def drive_edits(session, rng, edits=EDITS_PER_PROGRAM):
+def drive_edits(session, rng, edits=EDITS_PER_PROGRAM, strict_reuse=True):
     """Apply mutations, checking identity and containment on each.
 
     Byte identity must hold for every edit.  The engine must never run
     outside the computed dirty region; generator programs can be a single
     procedure or a chain rooted at the edited one (where a full re-run is
     the correct answer), so *strict* reuse is asserted in aggregate by the
-    callers, not per edit.
+    callers, not per edit.  ``strict_reuse=False`` skips the clean-copy
+    containment check — value-contexts sessions reuse through the summary
+    cache instead of the dirty-region fast path.
     """
     applied = 0
     for _ in range(edits):
@@ -51,13 +53,14 @@ def drive_edits(session, rng, edits=EDITS_PER_PROGRAM):
         assert analysis_report(result) == analysis_report(
             analyze(session.program, cold_config)
         ), f"session diverged from cold analysis after editing {target.name!r}"
-        sched = result.sched
-        region = session.last_region
-        clean = set(result.pcg.nodes) - set(region.fs_dirty)
-        assert sched.tasks_reused == len(clean), (
-            "every procedure outside the dirty region must be copied, "
-            "never re-dispatched (and nothing inside it copied)"
-        )
+        if strict_reuse:
+            sched = result.sched
+            region = session.last_region
+            clean = set(result.pcg.nodes) - set(region.fs_dirty)
+            assert sched.tasks_reused == len(clean), (
+                "every procedure outside the dirty region must be copied, "
+                "never re-dispatched (and nothing inside it copied)"
+            )
         applied += 1
     return applied
 
@@ -93,6 +96,58 @@ class TestGeneratorCorpus:
             )
             session.analyze()
             applied += drive_edits(session, random.Random(seed + 99))
+        assert applied > 0
+
+
+class TestValueContextsSessions:
+    """Sessions under ``context_mode="value-contexts"``.
+
+    The clean-copy fast path does not apply (merged results are meets over
+    per-context tables), so every analysis re-runs the tabulation — but
+    unchanged (context, procedure) pairs come back from the summary cache,
+    and the rendered report must still match a cold analysis byte for byte
+    after every edit.
+    """
+
+    CONFIG = {"context_mode": "value-contexts"}
+
+    def test_recursive_seeds(self):
+        config = GeneratorConfig(allow_recursion=True)
+        applied = cached = 0
+        for seed in RECURSIVE_SEEDS:
+            session = AnalysisSession(
+                generate_program(seed, config), self.CONFIG
+            )
+            session.analyze()
+            applied += drive_edits(
+                session, random.Random(seed), strict_reuse=False
+            )
+            cached += session.stats.last_cached
+        assert applied > 0
+        assert cached > 0  # cache-tier reuse stands in for clean copies
+
+    @pytest.mark.parametrize("name", ["rec.self", "rec.mutual", "rec.blowup"])
+    def test_recursion_suite_mutations(self, name):
+        from repro.bench.suite import RECURSION_SUITE
+
+        session = AnalysisSession(
+            build_benchmark_source(RECURSION_SUITE[name]), self.CONFIG
+        )
+        session.analyze()
+        applied = drive_edits(
+            session, random.Random(11), edits=3, strict_reuse=False
+        )
+        assert applied > 0
+
+    @pytest.mark.parametrize("name", ["rec.self", "rec.mutual", "rec.blowup"])
+    def test_recursion_suite_default_mode(self, name):
+        # The same recursion-heavy programs through the carini-hind
+        # session path, with the strict clean-copy containment intact.
+        from repro.bench.suite import RECURSION_SUITE
+
+        session = AnalysisSession(build_benchmark_source(RECURSION_SUITE[name]))
+        session.analyze()
+        applied = drive_edits(session, random.Random(11), edits=3)
         assert applied > 0
 
 

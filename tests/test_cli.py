@@ -47,6 +47,31 @@ class TestAnalyze:
     def test_engine_flag(self, source_file, capsys):
         assert main(["analyze", source_file, "--engine", "simple"]) == 0
 
+    def test_context_mode_flag(self, tmp_path, capsys):
+        path = tmp_path / "rec.mf"
+        path.write_text(
+            "proc main() { call f(3, 5); }\n"
+            "proc f(n, c) {\n"
+            "    m = 5;\n"
+            "    if (n > 0) { call f(n - 1, m); }\n"
+            "    print(n + c);\n"
+            "}\n"
+        )
+        assert main(["analyze", str(path)]) == 0
+        base = capsys.readouterr().out
+        assert "('f', 'c')" not in base
+        assert "value contexts:" not in base
+        assert main(
+            ["analyze", str(path), "--context-mode", "value-contexts"]
+        ) == 0
+        ctx = capsys.readouterr().out
+        assert "('f', 'c')" in ctx
+        assert "value contexts:" in ctx
+
+    def test_context_mode_rejects_unknown(self, source_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", source_file, "--context-mode", "k-cfa"])
+
 
 class TestOptimize:
     def test_prints_transformed_program(self, source_file, capsys):
@@ -242,6 +267,44 @@ class TestBench:
     def test_unknown_benchmark_rejected(self, capsys):
         assert main(["bench", "no.such.bench"]) == 1
         assert "unknown benchmarks" in capsys.readouterr().err
+
+    def test_recursion_profiles_accepted(self, capsys):
+        assert main(["bench", "rec.self", "rec.mutual"]) == 0
+        out = capsys.readouterr().out
+        assert "rec.self" in out and "rec.mutual" in out
+
+    def test_contexts_comparison(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_icp.json"
+        assert main(["bench", "048.ora", "--contexts", "--json", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "carini-hind" in printed and "value-contexts" in printed
+        data = json.loads(out.read_text())
+        section = data["contexts"]
+        assert section["schema"] == "repro-icp/bench-contexts/v1"
+        profiles = section["profiles"]
+        for name in ("rec.self", "rec.mutual", "rec.mixed", "rec.blowup"):
+            both = profiles[name]
+            assert both["carini-hind"]["fallback_edges"] > 0
+            assert "contexts" in both["value-contexts"]
+        # The resolvable profiles drop every fallback edge and win formals.
+        for name in ("rec.self", "rec.mutual", "rec.mixed"):
+            ctx = profiles[name]["value-contexts"]
+            assert ctx["fallback_edges"] == 0
+            assert (
+                ctx["constant_formals"]
+                > profiles[name]["carini-hind"]["constant_formals"]
+            )
+        # The guard profile keeps its degraded sites on the fallback.
+        blowup = profiles["rec.blowup"]["value-contexts"]
+        assert blowup["fallback_edges"] > 0
+        assert blowup["contexts"]["degraded_procs"]
+
+    def test_contexts_section_preserved_without_flag(self, tmp_path):
+        out = tmp_path / "BENCH_icp.json"
+        assert main(["bench", "048.ora", "--contexts", "--json", str(out)]) == 0
+        assert main(["bench", "048.ora", "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["contexts"]["schema"] == "repro-icp/bench-contexts/v1"
 
     def test_negative_jobs_rejected(self, source_file, capsys):
         with pytest.raises(SystemExit):
