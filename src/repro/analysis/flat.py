@@ -1,0 +1,571 @@
+"""The flat, slot-indexed core of the SCC engine (``engine_backend="flat"``).
+
+The graph backend in :mod:`repro.analysis.scc` walks the object-graph IR
+directly: every worklist step chases ``SSAName`` dict lookups, per-node
+``isinstance`` dispatch, and fresh closure allocations.  This module lowers
+a procedure **once** into a :class:`FlatSkeleton` — SSA names and CFG edges
+numbered densely, phi operands / instruction defs / use lists flattened
+into preallocated tuples of ints, expressions compiled to closures over a
+single lattice-cell list — and then runs the fixpoint as tight loops over
+those arrays.  The skeleton is cached per procedure (keyed by the call
+effects it was specialized against), so repeated solves of the same
+procedure — warm pipelines, FI return-fixpoint rounds, value-context
+tabulation — skip CFG/SSA construction entirely and pay only the solve.
+
+**Byte-identity contract.**  The flat solve mirrors the graph solver's
+scheduling decision-for-decision: the same worklist discipline, the same
+visit counters, the same first-change insertion order for the values
+table, and the same insertion sequences for the reached-block and
+executable-edge sets (so even set iteration order matches).  After the
+fixpoint it reconstructs the graph solver's state and answers every
+post-fixpoint query with the shared code in
+:mod:`repro.analysis.queries`.  ``graph`` stays the oracle; ``flat`` must
+be indistinguishable from it in everything but wall-clock time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.analysis.base import CallEffects, entry_value
+from repro.analysis.queries import SolverQueries
+from repro.ir.builder import CFGBuildResult, build_cfg
+from repro.ir.cfg import (
+    ArrayStoreInstr,
+    AssignInstr,
+    Branch,
+    CallInstr,
+    Jump,
+    PrintInstr,
+    Ret,
+)
+from repro.ir.eval import abstract_binary, abstract_unary
+from repro.ir.lattice import BOTTOM, TOP, Const, LatticeValue, meet, values_equal
+from repro.ir.ssa import SSAFunction, SSAName, build_ssa
+from repro.lang import ast
+from repro.lang.symbols import ProcedureSymbols
+
+Edge = Tuple[Optional[int], int]
+
+#: Instruction op tags (first element of the lowered op tuples).
+_OP_ASSIGN = 0
+_OP_ARRAY = 1
+_OP_CALL = 2
+_OP_NOP = 3  # PrintInstr: referenced from use lists, no dataflow effect
+
+#: Terminator op tags.
+_T_JUMP = 0
+_T_BRANCH = 1
+_T_RET = 2
+
+#: Use-list kind codes (mirror the graph's "phi"/"instr"/"term" strings).
+_USE_PHI = 0
+_USE_INSTR = 1
+_USE_TERM = 2
+
+
+def skeleton_key(
+    proc: ast.Procedure,
+    symbols: ProcedureSymbols,
+    effects: CallEffects,
+    record_exit_vars: Optional[Set[str]],
+) -> Tuple:
+    """Everything the lowered skeleton was specialized against.
+
+    ``build_ssa`` consumes the effects oracle only through three signatures
+    — per-site modified variables, per-site recorded globals, and alias
+    partners per assigned variable — plus the exit-record set.  Two
+    ``analyze`` calls with equal keys therefore produce structurally
+    identical CFG/SSA forms, so the lowered skeleton can be reused; the
+    *values* the oracle returns at solve time (call returns, exit values)
+    are read dynamically and deliberately not part of the key.
+    """
+    sites_sig = tuple(
+        (
+            tuple(sorted(effects.modified_vars(site))),
+            tuple(sorted(effects.recorded_globals(site))),
+        )
+        for site in symbols.call_sites
+    )
+    # symbols.assigned covers every Assign/ArrayStore/CallAssign target —
+    # exactly the variables build_ssa queries alias partners for.
+    extras_sig = tuple(
+        (target, tuple(sorted(effects.assign_extra_defs(proc.name, target))))
+        for target in sorted(symbols.assigned)
+    )
+    return (frozenset(record_exit_vars or ()), sites_sig, extras_sig)
+
+
+class FlatOutcome(SolverQueries):
+    """Solved state reconstructed in the graph solver's exact shape."""
+
+    def __init__(
+        self,
+        cfg,
+        effects: CallEffects,
+        values: Dict[SSAName, LatticeValue],
+        reached_blocks: Set[int],
+        executable_edges: Set[Edge],
+        flow_edge_visits: int,
+        ssa_name_visits: int,
+    ):
+        self._cfg = cfg
+        self._effects = effects
+        self.values = values
+        self.reached_blocks = reached_blocks
+        self.executable_edges = executable_edges
+        self.flow_edge_visits = flow_edge_visits
+        self.ssa_name_visits = ssa_name_visits
+
+
+class FlatSkeleton:
+    """One procedure lowered to dense slots, reusable across solves.
+
+    Slot layout: every SSA name gets a dense index into ``_cells`` (the
+    single lattice-cell list all compiled expressions read); entry
+    definitions occupy the first slots in ``entry_defs`` order so the
+    reconstructed values table seeds exactly like the graph solver's.
+    CFG edges (plus the synthetic entry edge) get dense ids into
+    executability flags.  Per block: phi ops ``(target_slot, ((edge_id,
+    src_slot), ...))``, instruction ops (tagged tuples over slots), and one
+    terminator op.  Per slot: the use list, mirroring ``ssa.uses_of``
+    entry-for-entry.
+
+    A skeleton is **not** reentrant — compiled expressions read the shared
+    cell list — so callers must hold :attr:`lock` around :meth:`solve`.
+    """
+
+    def __init__(
+        self,
+        proc: ast.Procedure,
+        symbols: ProcedureSymbols,
+        effects: CallEffects,
+        record_exit_vars: Optional[Set[str]],
+    ):
+        self.proc_name = proc.name
+        self.lock = threading.Lock()
+        record_globals: Set[str] = set()
+        self.build: CFGBuildResult = build_cfg(proc, symbols)
+        cfg = self.build.cfg
+        for instr in cfg.call_instrs():
+            record_globals.update(effects.recorded_globals(instr.site))
+        self.ssa: SSAFunction = build_ssa(
+            cfg,
+            call_defs=lambda instr: effects.modified_vars(instr.site),
+            record_globals=record_globals,
+            assign_extra_defs=lambda target: effects.assign_extra_defs(
+                proc.name, target
+            ),
+            record_at_returns=record_exit_vars,
+        )
+        self._cfg = cfg
+        self._lower()
+
+    # ------------------------------------------------------------------
+    # Lowering.
+    # ------------------------------------------------------------------
+
+    def _lower(self) -> None:
+        ssa = self.ssa
+        cfg = self._cfg
+
+        names: List[SSAName] = []
+        slot_of: Dict[SSAName, int] = {}
+
+        def slot(name: SSAName) -> int:
+            index = slot_of.get(name)
+            if index is None:
+                index = len(names)
+                slot_of[name] = index
+                names.append(name)
+            return index
+
+        # Entry definitions claim the first slots, in entry_defs order —
+        # the order the graph solver seeds its values dict in.
+        self._entry_slots: List[Tuple[int, str]] = [
+            (slot(name), var) for var, name in ssa.entry_defs.items()
+        ]
+
+        edge_list: List[Edge] = []
+        edge_dest: List[int] = []
+        edge_ids: Dict[Edge, int] = {}
+
+        def edge_id(edge: Edge) -> int:
+            index = edge_ids.get(edge)
+            if index is None:
+                index = len(edge_list)
+                edge_ids[edge] = index
+                edge_list.append(edge)
+                edge_dest.append(edge[1])
+            return index
+
+        self._entry_eid = edge_id((None, cfg.entry_id))
+
+        n_blocks = len(cfg.blocks)
+        block_phis: List[Tuple] = [() for _ in range(n_blocks)]
+        block_instrs: List[Tuple] = [() for _ in range(n_blocks)]
+        term_ops: List[Tuple] = [(_T_RET,) for _ in range(n_blocks)]
+        op_of: Dict[int, Tuple] = {}  # id(instr/phi) -> lowered op
+
+        # Cells are allocated before expression compilation: the compiled
+        # closures capture this exact list and read it on every solve.
+        cells: List[LatticeValue] = []
+        self._cells = cells
+
+        def compile_expr(expr: ast.Expr, uses: Dict[str, SSAName]):
+            """Compile ``expr`` to a zero-arg closure over ``cells``.
+
+            Returns ``(fn, has_var)``; a variable-free expression is
+            evaluated once at lowering time (its value can never change).
+            """
+            if isinstance(expr, ast.IntLit) or isinstance(expr, ast.FloatLit):
+                constant = Const(expr.value)
+                return (lambda: constant), False
+            if isinstance(expr, ast.Var):
+                index = slot(uses[expr.name])
+                return (lambda: cells[index]), True
+            if isinstance(expr, ast.Index):
+                return (lambda: BOTTOM), False
+            if isinstance(expr, ast.Unary):
+                operand, has_var = compile_expr(expr.operand, uses)
+                op = expr.op
+                fn = lambda: abstract_unary(op, operand())  # noqa: E731
+                if not has_var:
+                    folded = fn()
+                    return (lambda: folded), False
+                return fn, True
+            if isinstance(expr, ast.Binary):
+                left, left_var = compile_expr(expr.left, uses)
+                right, right_var = compile_expr(expr.right, uses)
+                op = expr.op
+                fn = lambda: abstract_binary(op, left(), right())  # noqa: E731
+                if not (left_var or right_var):
+                    folded = fn()
+                    return (lambda: folded), False
+                return fn, True
+            raise TypeError(f"unknown expression node: {expr!r}")
+
+        for block_id in ssa.dom.rpo:
+            block = cfg.blocks[block_id]
+
+            phi_ops: List[Tuple] = []
+            for phi in ssa.phis[block_id]:
+                op = (
+                    slot(phi.target),
+                    tuple(
+                        (edge_id((pred_id, block_id)), slot(arg_name))
+                        for pred_id, arg_name in phi.args.items()
+                    ),
+                )
+                op_of[id(phi)] = op
+                phi_ops.append(op)
+            block_phis[block_id] = tuple(phi_ops)
+
+            instr_ops: List[Tuple] = []
+            for instr in block.instrs:
+                if isinstance(instr, AssignInstr):
+                    fn, _ = compile_expr(instr.expr, instr.uses)
+                    op = (
+                        _OP_ASSIGN,
+                        fn,
+                        tuple(
+                            (slot(name), var == instr.target)
+                            for var, name in instr.defs.items()
+                        ),
+                    )
+                elif isinstance(instr, ArrayStoreInstr):
+                    op = (
+                        _OP_ARRAY,
+                        tuple(slot(name) for name in instr.defs.values()),
+                    )
+                elif isinstance(instr, CallInstr):
+                    op = (
+                        _OP_CALL,
+                        instr.site,
+                        tuple(
+                            (
+                                slot(name),
+                                var,
+                                instr.target is not None
+                                and var == instr.target,
+                            )
+                            for var, name in instr.defs.items()
+                        ),
+                    )
+                else:  # PrintInstr: no dataflow effect
+                    op_of[id(instr)] = (_OP_NOP,)
+                    continue
+                op_of[id(instr)] = op
+                instr_ops.append(op)
+            block_instrs[block_id] = tuple(instr_ops)
+
+            term = block.terminator
+            if isinstance(term, Jump):
+                term_ops[block_id] = (_T_JUMP, edge_id((block_id, term.target)))
+            elif isinstance(term, Branch):
+                fn, _ = compile_expr(term.cond, term.uses)
+                term_ops[block_id] = (
+                    _T_BRANCH,
+                    fn,
+                    edge_id((block_id, term.true_target)),
+                    edge_id((block_id, term.false_target)),
+                )
+            # Ret (or no terminator) keeps the (_T_RET,) default.
+
+        uses: List[Tuple] = [() for _ in names]
+        for name, refs in ssa.uses_of.items():
+            lowered = []
+            for kind, block_id, node in refs:
+                if kind == "phi":
+                    lowered.append((_USE_PHI, block_id, op_of[id(node)]))
+                elif kind == "instr":
+                    lowered.append((_USE_INSTR, block_id, op_of[id(node)]))
+                else:
+                    lowered.append((_USE_TERM, block_id, None))
+            index = slot_of.get(name)
+            if index is None:
+                continue  # defensive: a use of a name that was never defined
+            uses[index] = tuple(lowered)
+
+        self._names = names
+        self._uses = tuple(uses)
+        self._edge_list = edge_list
+        self._edge_dest = edge_dest
+        self._block_phis = block_phis
+        self._block_instrs = block_instrs
+        self._term_ops = term_ops
+        self._n_slots = len(names)
+        self._n_edges = len(edge_list)
+        self._n_blocks = n_blocks
+        self._top_row = [TOP] * len(names)
+        cells.extend(self._top_row)
+
+    # ------------------------------------------------------------------
+    # Solving.
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        symbols: ProcedureSymbols,
+        entry_env: Dict[str, LatticeValue],
+        effects: CallEffects,
+        optimistic_uninitialized: bool,
+    ) -> FlatOutcome:
+        """Run the SCC fixpoint over the skeleton's arrays.
+
+        Caller must hold :attr:`lock` (the cell list is shared state).
+        """
+        cells = self._cells
+        cells[:] = self._top_row
+        materialized = bytearray(self._n_slots)
+        order: List[int] = []
+        for index, var in self._entry_slots:
+            cells[index] = entry_value(
+                entry_env, symbols, var, optimistic_uninitialized
+            )
+            materialized[index] = 1
+            order.append(index)
+
+        executable = bytearray(self._n_edges)
+        exec_order: List[int] = []
+        reached = bytearray(self._n_blocks)
+        reached_order: List[int] = []
+        flow: List[int] = [self._entry_eid]
+        ssa_work: List[int] = []
+        flow_visits = 0
+        ssa_visits = 0
+
+        edge_dest = self._edge_dest
+        block_phis = self._block_phis
+        block_instrs = self._block_instrs
+        term_ops = self._term_ops
+        uses = self._uses
+
+        def set_slot(index: int, new: LatticeValue) -> None:
+            # Inlined meet + first-change bookkeeping: equivalent to the
+            # graph solver's `merged = meet(old, new); if merged != old`.
+            old = cells[index]
+            old_tag = old.tag
+            if old_tag == 2:  # BOTTOM cannot lower further
+                return
+            new_tag = new.tag
+            if new_tag == 0:  # meeting with TOP never changes anything
+                return
+            if old_tag == 0:
+                merged = new
+            elif new_tag == 1 and values_equal(old.value, new.value):
+                return
+            else:
+                merged = BOTTOM
+            cells[index] = merged
+            if not materialized[index]:
+                materialized[index] = 1
+                order.append(index)
+            ssa_work.append(index)
+
+        def visit_phi(op: Tuple) -> None:
+            target, args = op
+            value = TOP
+            for eid, src in args:
+                if executable[eid]:
+                    value = meet(value, cells[src])
+            set_slot(target, value)
+
+        def visit_instr(op: Tuple) -> None:
+            tag = op[0]
+            if tag == _OP_ASSIGN:
+                result = op[1]()
+                for index, is_target in op[2]:
+                    set_slot(index, result if is_target else BOTTOM)
+            elif tag == _OP_ARRAY:
+                for index in op[1]:
+                    set_slot(index, BOTTOM)
+            elif tag == _OP_CALL:
+                site = op[1]
+                for index, var, is_target in op[2]:
+                    if is_target:
+                        set_slot(index, effects.return_value(site))
+                    else:
+                        set_slot(index, effects.modified_value(site, var))
+            # _OP_NOP: no dataflow effect
+
+        def visit_term(block_id: int) -> None:
+            op = term_ops[block_id]
+            tag = op[0]
+            if tag == _T_JUMP:
+                flow.append(op[1])
+            elif tag == _T_BRANCH:
+                cond = op[1]()
+                cond_tag = cond.tag
+                if cond_tag == 1:
+                    flow.append(op[2] if cond.value != 0 else op[3])
+                elif cond_tag == 2:
+                    flow.append(op[2])
+                    flow.append(op[3])
+                # TOP: neither branch is executable yet
+
+        flow_head = 0
+        ssa_head = 0
+        while flow_head < len(flow) or ssa_head < len(ssa_work):
+            while flow_head < len(flow):
+                eid = flow[flow_head]
+                flow_head += 1
+                flow_visits += 1
+                if executable[eid]:
+                    continue
+                executable[eid] = 1
+                exec_order.append(eid)
+                dest = edge_dest[eid]
+                for op in block_phis[dest]:
+                    visit_phi(op)
+                if reached[dest]:
+                    continue
+                reached[dest] = 1
+                reached_order.append(dest)
+                for op in block_instrs[dest]:
+                    visit_instr(op)
+                visit_term(dest)
+            while ssa_head < len(ssa_work):
+                index = ssa_work[ssa_head]
+                ssa_head += 1
+                ssa_visits += 1
+                for kind, block_id, op in uses[index]:
+                    if not reached[block_id]:
+                        continue
+                    if kind == _USE_PHI:
+                        visit_phi(op)
+                    elif kind == _USE_INSTR:
+                        visit_instr(op)
+                    else:
+                        visit_term(block_id)
+
+        # Reconstruct the graph solver's state: same keys, same values,
+        # same insertion order everywhere (dict order and set order both).
+        names = self._names
+        values: Dict[SSAName, LatticeValue] = {}
+        for index in order:
+            values[names[index]] = cells[index]
+        reached_blocks: Set[int] = set()
+        for block_id in reached_order:
+            reached_blocks.add(block_id)
+        edge_list = self._edge_list
+        executable_edges: Set[Edge] = set()
+        for eid in exec_order:
+            executable_edges.add(edge_list[eid])
+        return FlatOutcome(
+            self._cfg,
+            effects,
+            values,
+            reached_blocks,
+            executable_edges,
+            flow_visits,
+            ssa_visits,
+        )
+
+
+def _release_noop() -> None:
+    return None
+
+
+class SkeletonCache:
+    """Per-engine cache of lowered skeletons, keyed by procedure identity.
+
+    The outer map is keyed by ``id(proc)`` while holding a strong reference
+    to the procedure (so the id can never be recycled underneath us); the
+    inner map is keyed by :func:`skeleton_key`.  :meth:`acquire` returns a
+    ``(skeleton, release)`` pair with the skeleton's lock held — a cached
+    skeleton that is busy in another thread is *not* waited on; the caller
+    gets a private, uncached skeleton instead, so concurrency degrades to
+    the cold path rather than serializing.
+    """
+
+    #: Cached procedures before the oldest half is evicted.  The bound
+    #: must comfortably exceed one batched bench-suite run (~600 procs):
+    #: an engine that overflows mid-batch re-lowers every procedure on
+    #: every warm rerun, which is exactly the cost the cache exists to
+    #: amortize.  Eviction is FIFO (insertion order) and drops half at a
+    #: time so a workload sitting at the boundary doesn't thrash.
+    max_procs = 4096
+    #: Distinct effect-signature skeletons retained per procedure.
+    max_variants = 8
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._procs: Dict[int, Tuple[ast.Procedure, Dict[Tuple, FlatSkeleton]]] = {}
+
+    def acquire(
+        self,
+        proc: ast.Procedure,
+        symbols: ProcedureSymbols,
+        effects: CallEffects,
+        record_exit_vars: Optional[Set[str]],
+    ) -> Tuple[FlatSkeleton, Callable[[], None], bool]:
+        """Return ``(skeleton, release, cache_hit)`` with the lock held."""
+        key = skeleton_key(proc, symbols, effects, record_exit_vars)
+        proc_id = id(proc)
+        with self._lock:
+            entry = self._procs.get(proc_id)
+            skeleton = entry[1].get(key) if entry is not None else None
+        if skeleton is not None:
+            if skeleton.lock.acquire(False):
+                return skeleton, skeleton.lock.release, True
+            # Busy in another thread: solve on a private skeleton.
+            private = FlatSkeleton(proc, symbols, effects, record_exit_vars)
+            return private, _release_noop, False
+        skeleton = FlatSkeleton(proc, symbols, effects, record_exit_vars)
+        skeleton.lock.acquire()
+        with self._lock:
+            if len(self._procs) >= self.max_procs:
+                for stale_id in list(self._procs)[: self.max_procs // 2]:
+                    del self._procs[stale_id]
+            entry = self._procs.get(proc_id)
+            if entry is None:
+                entry = (proc, {})
+                self._procs[proc_id] = entry
+            variants = entry[1]
+            if key not in variants:
+                if len(variants) >= self.max_variants:
+                    variants.clear()
+                variants[key] = skeleton
+        return skeleton, skeleton.lock.release, False

@@ -1,0 +1,59 @@
+"""Per-phase wall-clock accounting for the intraprocedural engine.
+
+The bench harness wants to attribute engine time to the three phases the
+profiler identified as hot — SSA-form construction (``ssa``), the sparse
+conditional constant fixpoint (``scc``), and the post-fixpoint queries that
+assemble the result (``solve``) — so that a backend change can show *where*
+it wins, not just that it wins.
+
+One module-level :class:`PhaseClock` is shared by every engine instance in
+the process.  It is **off by default**: a disabled clock costs the engine a
+single attribute check per ``analyze`` call.  ``repro-icp bench --phases``
+enables it around timed runs; nothing else should.
+
+The clock is intentionally not thread-safe beyond CPython's atomic
+float/int updates — the phases bench runs the pipeline serially, which is
+the only configuration where per-phase attribution is meaningful anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: The engine phases the clock attributes time to.
+PHASE_NAMES = ("ssa", "scc", "solve")
+
+
+class PhaseClock:
+    """Accumulates wall-clock seconds per engine phase across analyses."""
+
+    __slots__ = ("enabled", "seconds", "calls")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.seconds: Dict[str, float] = {name: 0.0 for name in PHASE_NAMES}
+        #: Number of ``analyze`` calls that contributed to the totals.
+        self.calls = 0
+
+    def reset(self) -> None:
+        """Zero the accumulators (leaves ``enabled`` untouched)."""
+        for name in PHASE_NAMES:
+            self.seconds[name] = 0.0
+        self.calls = 0
+
+    def record(self, ssa: float, scc: float, solve: float) -> None:
+        """Add one analysis' per-phase durations (seconds)."""
+        self.seconds["ssa"] += ssa
+        self.seconds["scc"] += scc
+        self.seconds["solve"] += solve
+        self.calls += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        """The accumulated totals plus the contributing call count."""
+        out: Dict[str, float] = dict(self.seconds)
+        out["calls"] = self.calls
+        return out
+
+
+#: The process-wide clock consumed by ``SCCEngine`` and the phases bench.
+PHASES = PhaseClock()

@@ -1,0 +1,107 @@
+"""Post-fixpoint queries shared by the SCC engine's two backends.
+
+After the sparse conditional constant fixpoint, the engine answers three
+questions from the solved state: the procedure's return value, its exit
+values for recorded variables, and the lattice facts at every call site.
+The ``graph`` solver answers them directly from its worklist state; the
+``flat`` solver reconstructs the same state (``values`` dict, reached-block
+set, executable-edge set, with identical insertion orders) and then runs
+**this exact code** over it.  Sharing the implementation is what guarantees
+the two backends produce byte-identical results for everything downstream
+of the fixpoint — any divergence can only come from the fixpoint itself,
+which the differential suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.base import CallSiteValues, site_key
+from repro.ir.cfg import CallInstr, Ret
+from repro.ir.eval import evaluate_expr
+from repro.ir.lattice import BOTTOM, TOP, LatticeValue, meet, meet_all
+from repro.ir.ssa import SSAName
+
+
+class SolverQueries:
+    """Mixin answering post-fixpoint queries over solved SCC state.
+
+    Requires the host to provide ``values`` (SSA name -> lattice value, in
+    the solver's insertion order), ``reached_blocks``, ``_cfg``, and
+    ``_effects``.
+    """
+
+    values: Dict[SSAName, LatticeValue]
+    reached_blocks: Set[int]
+
+    def _value(self, name: SSAName) -> LatticeValue:
+        return self.values.get(name, TOP)
+
+    def _lookup_for(self, uses: Dict[str, SSAName]):
+        return lambda var: self._value(uses[var])
+
+    def return_value(self) -> LatticeValue:
+        contributions: List[LatticeValue] = []
+        for block_id in self.reached_blocks:
+            term = self._cfg.blocks[block_id].terminator
+            if not isinstance(term, Ret):
+                continue
+            if term.expr is None:
+                contributions.append(BOTTOM)
+            else:
+                assert term.uses is not None
+                contributions.append(
+                    evaluate_expr(term.expr, self._lookup_for(term.uses))
+                )
+        return meet_all(contributions)
+
+    def exit_values(self, record_vars: Set[str]) -> Dict[str, LatticeValue]:
+        """Meet of each variable's reaching value over executable returns.
+
+        A variable whose value is the same constant at every executable
+        return point has that constant as its *exit value* — the quantity
+        the Section 3.2 extension propagates back to call sites.  TOP (no
+        executable return: the procedure never returns) demotes to BOTTOM.
+        """
+        values: Dict[str, LatticeValue] = {var: TOP for var in record_vars}
+        for block_id in self.reached_blocks:
+            term = self._cfg.blocks[block_id].terminator
+            if not isinstance(term, Ret) or term.reaching is None:
+                continue
+            for var in record_vars:
+                name = term.reaching.get(var)
+                if name is None:
+                    values[var] = BOTTOM
+                    continue
+                values[var] = meet(values[var], self._value(name))
+        return {
+            var: (BOTTOM if value.is_top else value)
+            for var, value in values.items()
+        }
+
+    def collect_call_sites(self) -> Dict[Tuple[str, int], CallSiteValues]:
+        result: Dict[Tuple[str, int], CallSiteValues] = {}
+        for block in self._cfg.blocks:
+            for instr in block.instrs:
+                if not isinstance(instr, CallInstr):
+                    continue
+                executable = block.id in self.reached_blocks
+                if executable:
+                    assert instr.uses is not None
+                    lookup = self._lookup_for(instr.uses)
+                    arg_values = [evaluate_expr(arg, lookup) for arg in instr.args]
+                    global_values = {
+                        g: self._value(name)
+                        for g, name in (instr.reaching_globals or {}).items()
+                        if g in self._effects.recorded_globals(instr.site)
+                    }
+                else:
+                    arg_values = [TOP for _ in instr.args]
+                    global_values = {}
+                result[site_key(instr.site)] = CallSiteValues(
+                    site=instr.site,
+                    executable=executable,
+                    arg_values=arg_values,
+                    global_values=global_values,
+                )
+        return result

@@ -140,6 +140,11 @@ class CompilationPipeline:
         self.cache: Optional[SummaryCache] = cache_from_config(
             self.config, obs=self.obs
         )
+        #: The pipeline-owned intraprocedural engine, shared by every
+        #: :meth:`run`.  The flat backend keeps its lowered skeletons on the
+        #: engine, so a warm rerun (or the FI return fixpoint) skips
+        #: CFG/SSA construction for unchanged procedures.
+        self.engine = make_engine(self.config)
 
     def run(
         self,
@@ -220,7 +225,7 @@ class CompilationPipeline:
             "icp_fi",
             lambda: flow_insensitive_icp(program, symbols, pcg, modref, config),
         )
-        engine = make_engine(config)
+        engine = self.engine
         try:
             fs = timed(
                 "icp_fs",

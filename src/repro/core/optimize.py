@@ -16,7 +16,7 @@ reference interpreter).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
 from repro.analysis.dce import eliminate_dead_assignments
@@ -42,7 +42,24 @@ class OptimizeResult:
     branches_pruned: int = 0
     dead_assignments_removed: int = 0
     procedures_removed: int = 0
-    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """The per-step counters as one mapping, keyed like :meth:`summary`.
+
+        Derived from the individual fields, so it can never drift from
+        them; consumers that want machine-readable counters (bench JSON,
+        the serve API) read this instead of parsing the summary string.
+        """
+        return {
+            "clones_created": self.clones_created,
+            "calls_inlined": self.calls_inlined,
+            "substitutions": self.substitutions,
+            "folds": self.folds,
+            "branches_pruned": self.branches_pruned,
+            "dead_assignments_removed": self.dead_assignments_removed,
+            "procedures_removed": self.procedures_removed,
+        }
 
     def summary(self) -> str:
         return (

@@ -1,0 +1,212 @@
+"""Unit tests for the flat slot-indexed engine core and its skeleton cache."""
+
+import threading
+
+from repro.analysis.base import ConservativeEffects
+from repro.analysis.flat import FlatSkeleton, SkeletonCache, skeleton_key
+from repro.analysis.scc import BACKENDS, SCCEngine
+from repro.core.config import ICPConfig
+from repro.lang.parser import parse_program
+from repro.lang.symbols import collect_symbols
+
+import pytest
+
+SOURCE = """
+global g;
+init { g = 1; }
+proc main() {
+    x = 2;
+    if (x > 1) { y = x + 3; } else { y = 0; }
+    i = 4;
+    while (i > 0) { g = g + y; i = i - 1; }
+    call f(y, g);
+    print(y);
+}
+proc f(a, b) { g = a + b; }
+"""
+
+
+def _context(proc="main"):
+    program = parse_program(SOURCE)
+    symbols = collect_symbols(program)
+    effects = ConservativeEffects(program.global_set())
+    return program.procedure(proc), symbols[proc], effects
+
+
+def _analyze(backend, source=SOURCE, proc="main", engine=None):
+    program = parse_program(source)
+    symbols = collect_symbols(program)
+    effects = ConservativeEffects(program.global_set())
+    engine = engine or SCCEngine(backend=backend)
+    return engine.analyze(program.procedure(proc), symbols[proc], {}, effects)
+
+
+class TestBackendSelection:
+    def test_backends_registry(self):
+        assert BACKENDS == ("graph", "flat")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SCCEngine(backend="numpy")
+
+    def test_config_validates_engine_backend(self):
+        with pytest.raises(ValueError, match="engine_backend"):
+            ICPConfig.from_dict({"engine_backend": "fast"})
+
+    def test_graph_engine_has_no_skeleton_cache(self):
+        assert SCCEngine()._skeletons is None
+        assert SCCEngine(backend="flat")._skeletons is not None
+
+
+class TestFlatMatchesGraph:
+    def test_detail_identical_including_orders(self):
+        graph = _analyze("graph")
+        flat = _analyze("flat")
+        assert list(flat.detail.values) == list(graph.detail.values)
+        assert flat.detail.values == graph.detail.values
+        assert flat.detail.reached_blocks == graph.detail.reached_blocks
+        assert flat.detail.executable_edges == graph.detail.executable_edges
+        assert flat.detail.visits == graph.detail.visits
+
+    def test_call_sites_and_exit_state_identical(self):
+        graph = _analyze("graph")
+        flat = _analyze("flat")
+        assert flat.call_sites == graph.call_sites
+        assert flat.return_value == graph.return_value
+        assert flat.exit_values == graph.exit_values
+
+
+class TestSkeletonKey:
+    def test_stable_across_calls(self):
+        proc, symbols, effects = _context()
+        assert skeleton_key(proc, symbols, effects, None) == skeleton_key(
+            proc, symbols, effects, None
+        )
+
+    def test_exit_record_set_changes_key(self):
+        proc, symbols, effects = _context()
+        assert skeleton_key(proc, symbols, effects, None) != skeleton_key(
+            proc, symbols, effects, {"g"}
+        )
+
+
+class TestSkeletonCache:
+    def test_warm_acquire_hits(self):
+        proc, symbols, effects = _context()
+        cache = SkeletonCache()
+        first, release, hit = cache.acquire(proc, symbols, effects, None)
+        release()
+        assert not hit
+        again, release, hit = cache.acquire(proc, symbols, effects, None)
+        release()
+        assert hit
+        assert again is first
+
+    def test_engine_reuses_skeleton_across_analyses(self):
+        proc, symbols, effects = _context()
+        engine = SCCEngine(backend="flat")
+        first = engine.analyze(proc, symbols, {}, effects)
+        second = engine.analyze(proc, symbols, {}, effects)
+        assert first.detail.values == second.detail.values
+        # One procedure entry, one variant: the rerun solved in place.
+        (entry,) = engine._skeletons._procs.values()
+        assert len(entry[1]) == 1
+
+    def test_contended_skeleton_falls_back_to_private(self):
+        proc, symbols, effects = _context()
+        cache = SkeletonCache()
+        held, release, _ = cache.acquire(proc, symbols, effects, None)
+        # While another thread holds the skeleton, acquire must neither
+        # block nor hand out the busy skeleton.
+        private, private_release, hit = cache.acquire(
+            proc, symbols, effects, None
+        )
+        assert not hit
+        assert private is not held
+        private_release()
+        release()
+        # With the lock free again, the cached skeleton comes back.
+        again, release, hit = cache.acquire(proc, symbols, effects, None)
+        release()
+        assert hit and again is held
+
+    def test_private_fallback_solves_concurrently(self):
+        proc, symbols, effects = _context()
+        engine = SCCEngine(backend="flat")
+        baseline = engine.analyze(proc, symbols, {}, effects)
+        results = []
+
+        def worker():
+            results.append(engine.analyze(proc, symbols, {}, effects))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for result in results:
+            assert result.detail.values == baseline.detail.values
+
+    def test_eviction_drops_oldest_half(self):
+        cache = SkeletonCache()
+        cache.max_procs = 4
+        procs = []
+        for k in range(4):
+            program = parse_program(f"proc main() {{ x = {k}; print(x); }}")
+            symbols = collect_symbols(program)
+            effects = ConservativeEffects(program.global_set())
+            proc = program.procedure("main")
+            procs.append(proc)  # keep ids alive
+            _, release, _ = cache.acquire(proc, symbols[proc.name], effects, None)
+            release()
+        assert len(cache._procs) == 4
+        program = parse_program("proc main() { y = 9; print(y); }")
+        symbols = collect_symbols(program)
+        effects = ConservativeEffects(program.global_set())
+        proc = program.procedure("main")
+        procs.append(proc)
+        _, release, _ = cache.acquire(proc, symbols[proc.name], effects, None)
+        release()
+        # The oldest two made room; the newest three remain.
+        assert len(cache._procs) == 3
+        kept = {id(entry[0]) for entry in cache._procs.values()}
+        assert id(procs[0]) not in kept and id(procs[1]) not in kept
+        assert id(procs[4]) in kept
+
+    def test_variant_cap_bounds_inner_map(self):
+        proc, symbols, effects = _context()
+        cache = SkeletonCache()
+        cache.max_variants = 2
+        for k in range(5):
+            _, release, _ = cache.acquire(
+                proc, symbols, effects, {f"v{k}"}
+            )
+            release()
+        (entry,) = cache._procs.values()
+        assert len(entry[1]) <= 2
+
+
+class TestFlatSkeletonReuse:
+    def test_repeat_solves_are_identical(self):
+        proc, symbols, effects = _context()
+        skeleton = FlatSkeleton(proc, symbols, effects, None)
+        first = skeleton.solve(symbols, {}, effects, False)
+        second = skeleton.solve(symbols, {}, effects, False)
+        assert list(first.values) == list(second.values)
+        assert first.values == second.values
+        assert first.reached_blocks == second.reached_blocks
+        assert first.executable_edges == second.executable_edges
+
+    def test_entry_env_respected_on_reuse(self):
+        program = parse_program("proc f(a) { b = a + 1; print(b); }")
+        symbols = collect_symbols(program)["f"]
+        effects = ConservativeEffects(program.global_set())
+        engine = SCCEngine(backend="flat")
+        oracle = SCCEngine()
+        proc = program.procedure("f")
+        from repro.ir.lattice import Const
+
+        for env in ({}, {"a": Const(3)}, {"a": Const(10)}):
+            flat = engine.analyze(proc, symbols, dict(env), effects)
+            graph = oracle.analyze(proc, symbols, dict(env), effects)
+            assert flat.detail.values == graph.detail.values

@@ -48,6 +48,23 @@ class TestPipeline:
         result = optimize_program(SOURCE)
         assert "substitutions" in result.summary()
 
+    def test_stats_mirrors_per_step_counters(self):
+        # Regression: stats was once a declared-but-never-populated field.
+        # The contract is that it exposes exactly the counters summary()
+        # reports, derived from the individual fields.
+        result = optimize_program(SOURCE, clone=True, inline=True)
+        assert result.stats == {
+            "clones_created": result.clones_created,
+            "calls_inlined": result.calls_inlined,
+            "substitutions": result.substitutions,
+            "folds": result.folds,
+            "branches_pruned": result.branches_pruned,
+            "dead_assignments_removed": result.dead_assignments_removed,
+            "procedures_removed": result.procedures_removed,
+        }
+        assert result.stats["branches_pruned"] >= 1
+        assert all(isinstance(v, int) for v in result.stats.values())
+
     def test_with_cloning(self):
         result = optimize_program(
             "proc main() { call f(1); call f(2); } proc f(a) { print(a + 1); }",

@@ -1,0 +1,71 @@
+"""Round-trip verification of the optimizer (ROADMAP item 2's oracle).
+
+The paper's compilation model rewrites the program after analysis; the
+check that closes that loop is re-analyzing the rewritten program:
+
+- the flow-sensitive solution must not lose a single constant — every
+  entry formal/global fact of the original program that survives the
+  rewrite is at least as constant afterwards (strict equality can't hold
+  in general: pruning a dead call tightens MOD sets, which may *gain*
+  constants — classic phase ordering), and
+- the diagnostics set must shrink: substitution and pruning resolve
+  findings (foldable expressions, decided branches, dead stores) and can
+  never introduce new ones.
+
+On the paper's own Figure 1 the result is exact: the FS solution is
+unchanged key-for-key and both ICP004 decided-branch findings disappear.
+"""
+
+from repro.bench.generator import generate_program
+from repro.bench.programs import figure1_program
+from repro.core.config import ICPConfig
+from repro.core.driver import analyze
+from repro.core.optimize import optimize_program
+from repro.diag.engine import DiagOptions, run_diagnostics
+from repro.ir.lattice import lattice_le
+
+CONFIG = ICPConfig()
+OPTIONS = DiagOptions.from_config(CONFIG)
+
+
+def _roundtrip(program):
+    before = analyze(program, CONFIG)
+    optimized = optimize_program(program, CONFIG)
+    after = analyze(optimized.program, CONFIG)
+    return before, after
+
+
+class TestFigure1RoundTrip:
+    def test_fs_solution_unchanged(self):
+        before, after = _roundtrip(figure1_program())
+        for key in set(after.fs.entry_formals) & set(before.fs.entry_formals):
+            assert after.fs.entry_formals[key] == before.fs.entry_formals[key]
+        for key in set(after.fs.entry_globals) & set(before.fs.entry_globals):
+            assert after.fs.entry_globals[key] == before.fs.entry_globals[key]
+
+    def test_diagnostics_shrink_to_zero(self):
+        before, after = _roundtrip(figure1_program())
+        findings_before = run_diagnostics(before, OPTIONS).findings
+        findings_after = run_diagnostics(after, OPTIONS).findings
+        assert any(f.rule_id == "ICP004" for f in findings_before)
+        assert len(findings_after) < len(findings_before)
+        assert findings_after == []
+
+
+class TestCorpusRoundTrip:
+    def test_no_constant_lost_and_diagnostics_never_grow(self):
+        checked = 0
+        for seed in range(40):
+            program = generate_program(seed)
+            before, after = _roundtrip(program)
+            for table in ("entry_formals", "entry_globals"):
+                old = getattr(before.fs, table)
+                new = getattr(after.fs, table)
+                for key in set(old) & set(new):
+                    # old <= new: the rewrite may gain precision, never lose it.
+                    assert lattice_le(old[key], new[key]), (seed, table, key)
+            count_before = len(run_diagnostics(before, OPTIONS).findings)
+            count_after = len(run_diagnostics(after, OPTIONS).findings)
+            assert count_after <= count_before, (seed, count_before, count_after)
+            checked += 1
+        assert checked == 40

@@ -1,0 +1,130 @@
+"""Differential parity of the SCC engine's two backends.
+
+``engine_backend="flat"`` (the slot-indexed core) must be indistinguishable
+from ``"graph"`` (the object-graph oracle) in everything but wall-clock
+time: byte-identical analysis reports and byte-identical diagnostics, in
+every pipeline configuration.  The matrix crosses the fuzzer corpus and the
+bench recursion profiles with serial vs. ``--jobs`` dispatch and both
+``context_mode`` settings; each cell runs one warm pipeline per backend, so
+later seeds also exercise the flat backend's skeleton cache (a stale or
+wrongly-keyed skeleton would diverge here).
+"""
+
+from repro.bench.generator import GeneratorConfig, generate_program
+from repro.bench.suite import RECURSION_SUITE, SUITE, build_benchmark
+from repro.core.config import ICPConfig
+from repro.core.report import analysis_report
+from repro.api import CompilationPipeline
+from repro.diag.engine import DiagOptions, run_diagnostics
+
+#: Recursion-heavy generator shape (mirrors the soundness fuzzer's corpus).
+RECURSION_HEAVY = GeneratorConfig(allow_recursion=True, n_procs=6, p_call=0.40)
+
+DIAG_OPTIONS = DiagOptions.from_config(ICPConfig())
+
+
+def _pipelines(**overrides):
+    graph = CompilationPipeline(ICPConfig.from_dict(dict(overrides)))
+    flat = CompilationPipeline(
+        ICPConfig.from_dict(dict(overrides, engine_backend="flat"))
+    )
+    return graph, flat
+
+
+def _assert_identical(graph_pipe, flat_pipe, program, context):
+    graph_result = graph_pipe.run(program)
+    flat_result = flat_pipe.run(program)
+    assert analysis_report(flat_result) == analysis_report(graph_result), context
+    graph_diag = run_diagnostics(graph_result, DIAG_OPTIONS)
+    flat_diag = run_diagnostics(flat_result, DIAG_OPTIONS)
+    assert flat_diag.render() == graph_diag.render(), context
+
+
+class TestFuzzerCorpusParity:
+    def test_serial(self):
+        graph, flat = _pipelines()
+        for seed in range(40):
+            _assert_identical(graph, flat, generate_program(seed), seed)
+
+    def test_serial_recursive(self):
+        graph, flat = _pipelines()
+        for seed in range(25):
+            _assert_identical(
+                graph, flat, generate_program(seed, RECURSION_HEAVY), seed
+            )
+
+    def test_jobs_with_cache(self):
+        graph, flat = _pipelines(workers=2, cache=True)
+        for seed in range(25):
+            _assert_identical(graph, flat, generate_program(seed), seed)
+        for seed in range(15):
+            _assert_identical(
+                graph, flat, generate_program(seed, RECURSION_HEAVY), seed
+            )
+
+    def test_value_contexts_serial(self):
+        graph, flat = _pipelines(context_mode="value-contexts")
+        for seed in range(25):
+            _assert_identical(
+                graph, flat, generate_program(seed, RECURSION_HEAVY), seed
+            )
+
+    def test_value_contexts_jobs(self):
+        graph, flat = _pipelines(context_mode="value-contexts", workers=2)
+        for seed in range(15):
+            _assert_identical(
+                graph, flat, generate_program(seed, RECURSION_HEAVY), seed
+            )
+
+    def test_returns_extension(self):
+        graph, flat = _pipelines(
+            propagate_returns=True, propagate_exit_values=True
+        )
+        for seed in range(25):
+            _assert_identical(graph, flat, generate_program(seed), seed)
+
+
+class TestBenchProfilesParity:
+    def test_standard_suite(self):
+        graph, flat = _pipelines()
+        for name, profile in SUITE.items():
+            _assert_identical(graph, flat, build_benchmark(profile, 1), name)
+
+    def test_recursion_suite(self):
+        graph, flat = _pipelines()
+        for name, profile in RECURSION_SUITE.items():
+            _assert_identical(graph, flat, build_benchmark(profile, 1), name)
+
+    def test_recursion_suite_value_contexts(self):
+        graph, flat = _pipelines(context_mode="value-contexts")
+        for name, profile in RECURSION_SUITE.items():
+            _assert_identical(graph, flat, build_benchmark(profile, 1), name)
+
+
+class TestSolverStateParity:
+    """Beyond reports: the engine-internal state matches cell-for-cell.
+
+    Pins the flat backend's ordering-fidelity contract — same values-table
+    insertion order, same reached/executable sets, same worklist visit
+    counters — which is what makes everything downstream byte-identical
+    rather than merely equivalent.
+    """
+
+    def test_detail_matches_including_orders_and_visits(self):
+        graph, flat = _pipelines()
+        for seed in range(15):
+            program = generate_program(seed, RECURSION_HEAVY)
+            graph_intra = graph.run(program).fs.intra
+            flat_intra = flat.run(program).fs.intra
+            assert list(graph_intra) == list(flat_intra)
+            for proc_name, graph_result in graph_intra.items():
+                graph_detail = graph_result.detail
+                flat_detail = flat_intra[proc_name].detail
+                assert list(flat_detail.values) == list(graph_detail.values)
+                assert flat_detail.values == graph_detail.values
+                assert flat_detail.reached_blocks == graph_detail.reached_blocks
+                assert (
+                    flat_detail.executable_edges
+                    == graph_detail.executable_edges
+                )
+                assert flat_detail.visits == graph_detail.visits
